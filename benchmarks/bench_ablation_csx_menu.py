@@ -1,0 +1,81 @@
+"""Ablation — the CSX substructure menu (DESIGN.md §5).
+
+How much of CSX-Sym's compression comes from each pattern family?
+Encodes the suite with deltas only, +1-D runs, and +blocks, reporting
+compression ratio and the predicted Dunnington speedup per menu.
+"""
+
+from common import MATRIX_NAMES, SCALE, suite_matrix, write_result
+from repro.analysis import render_table, thread_partitions
+from repro.formats import CSRMatrix, CSXSymMatrix
+from repro.formats.csx import DetectionConfig
+from repro.machine import DUNNINGTON, predict_spmv
+
+MENUS = {
+    "deltas-only": DetectionConfig(
+        enable_horizontal=False,
+        enable_vertical=False,
+        enable_diagonal=False,
+        enable_anti_diagonal=False,
+        enable_blocks=False,
+    ),
+    "runs-1d": DetectionConfig(enable_blocks=False),
+    "full": DetectionConfig(),
+}
+
+#: Representative subset — one per pattern-richness class.
+ABLATION_MATRICES = [
+    n for n in ("consph", "bmw7st_1", "thermal2", "ldoor")
+    if n in MATRIX_NAMES
+] or MATRIX_NAMES[:2]
+
+
+def compute_menu_ablation():
+    rows = []
+    stats = {}
+    for name in ABLATION_MATRICES:
+        coo = suite_matrix(name)
+        csr = CSRMatrix.from_coo(coo)
+        parts = thread_partitions(coo, 24, symmetric=True)
+        for menu, config in MENUS.items():
+            csxs = CSXSymMatrix(coo, partitions=parts, config=config)
+            cr = csxs.compression_ratio_vs(csr)
+            t = predict_spmv(
+                csxs, parts, DUNNINGTON, reduction="indexed",
+                machine_scale=SCALE,
+            ).total
+            rows.append(
+                [name, menu, 100 * cr, 100 * csxs.substructure_coverage(),
+                 t * 1e6]
+            )
+            stats[(name, menu)] = (cr, t)
+    return rows, stats
+
+
+def test_csx_menu_ablation(benchmark):
+    rows, stats = benchmark.pedantic(
+        compute_menu_ablation, rounds=1, iterations=1
+    )
+    text = render_table(
+        ["matrix", "menu", "CR %", "coverage %", "t @24t Dunnington (us)"],
+        rows,
+        title="Ablation — CSX-Sym substructure menu",
+        floatfmt="{:.1f}",
+    )
+    write_result("ablation_csx_menu", text)
+
+    for name in ABLATION_MATRICES:
+        cr_delta, t_delta = stats[(name, "deltas-only")]
+        cr_runs, t_runs = stats[(name, "runs-1d")]
+        cr_full, t_full = stats[(name, "full")]
+        # Richer menus never compress worse.
+        assert cr_delta <= cr_runs + 1e-9 and cr_runs <= cr_full + 1e-9
+        # And never predict slower.
+        assert t_full <= t_delta * 1.02, name
+    # Block patterns matter specifically for the structural matrices.
+    for name in ("bmw7st_1", "ldoor"):
+        if name in ABLATION_MATRICES:
+            assert (
+                stats[(name, "full")][0]
+                > stats[(name, "runs-1d")][0] + 0.002
+            ), name

@@ -1,0 +1,72 @@
+"""Ablation — NUMA allocation policy (paper §V-A).
+
+The paper's NUMA runs use numactl plus a custom interleaved allocator.
+This ablation shows why: on Gainestown the naive first-touch placement
+(matrix built by the main thread → all pages on socket 0) caps the
+kernel at one memory controller, while interleaved/local placement
+reaches the aggregate bandwidth. The SMP Dunnington is placement-blind.
+"""
+
+from common import MATRIX_NAMES, SCALE, predict, write_result
+from repro.analysis import render_table
+from repro.machine import (
+    AllocationPolicy,
+    DUNNINGTON,
+    GAINESTOWN,
+    effective_bandwidth,
+)
+
+P = 16
+
+ABLATION_MATRICES = [
+    n for n in ("hood", "ldoor", "thermal2")
+    if n in MATRIX_NAMES
+] or MATRIX_NAMES[:2]
+
+
+def _time_under_policy(pt, platform, policy):
+    """Rescale a prediction's memory ceilings to the policy's effective
+    bandwidth (compute ceilings are placement-independent)."""
+    base_bw = platform.bandwidth_gbps(pt.n_threads)
+    eff_bw = effective_bandwidth(platform, pt.n_threads, policy)
+    scale = base_bw / eff_bw
+    t_mult = max(pt.t_mult_compute, pt.t_mult_memory * scale)
+    t_red = max(pt.t_reduce_compute, pt.t_reduce_memory * scale)
+    return t_mult + t_red
+
+
+def compute_numa_ablation():
+    rows = []
+    stats = {}
+    for name in ABLATION_MATRICES:
+        pt = predict(name, "sss", GAINESTOWN, P, "indexed")
+        pt_d = predict(name, "sss", DUNNINGTON, P, "indexed")
+        for policy in AllocationPolicy:
+            t_g = _time_under_policy(pt, GAINESTOWN, policy)
+            t_d = _time_under_policy(pt_d, DUNNINGTON, policy)
+            rows.append([name, policy.value, t_g * 1e6, t_d * 1e6])
+            stats[(name, policy)] = (t_g, t_d)
+    return rows, stats
+
+
+def test_numa_allocation_ablation(benchmark):
+    rows, stats = benchmark.pedantic(
+        compute_numa_ablation, rounds=1, iterations=1
+    )
+    text = render_table(
+        ["matrix", "policy", "Gainestown 16t (us)", "Dunnington 16t (us)"],
+        rows,
+        title="Ablation — NUMA allocation policy (SSS, indexed)",
+        floatfmt="{:.1f}",
+    )
+    write_result("ablation_numa", text)
+
+    for name in ABLATION_MATRICES:
+        ft = stats[(name, AllocationPolicy.FIRST_TOUCH_SERIAL)]
+        il = stats[(name, AllocationPolicy.INTERLEAVED)]
+        loc = stats[(name, AllocationPolicy.LOCAL)]
+        # Gainestown: placement ordering local ≤ interleaved < first-touch.
+        assert loc[0] <= il[0] <= ft[0], name
+        assert ft[0] > 1.3 * loc[0], name  # the allocator's raison d'être
+        # Dunnington (shared bus): placement changes nothing.
+        assert ft[1] == il[1] == loc[1], name

@@ -1,0 +1,74 @@
+"""Fig. 10 — symmetric SpM×V execution-time breakdown @ 24 threads,
+Dunnington.
+
+Regenerates the per-matrix multiplication/reduction split for the three
+local-vector methods. Paper shape: the reduction share is dominant for
+naive, halved-ish for effective ranges, and minimal for the indexing
+scheme; the indexed multiplication phase is never slower than the
+others' (lower cache interference).
+"""
+
+from common import MATRIX_NAMES, SCALE, suite_matrix, write_result
+from repro.analysis import (render_stacked_bars, render_table,
+                            spmv_reduction_breakdown)
+from repro.machine import DUNNINGTON
+
+
+def compute_fig10():
+    matrices = {n: suite_matrix(n) for n in MATRIX_NAMES}
+    return spmv_reduction_breakdown(
+        matrices, DUNNINGTON, 24, machine_scale=SCALE
+    )
+
+
+def test_fig10_breakdown(benchmark):
+    rows = benchmark.pedantic(compute_fig10, rounds=1, iterations=1)
+    table = [
+        [
+            r.matrix,
+            r.method,
+            r.t_mult * 1e6,
+            r.t_reduce * 1e6,
+            100 * r.reduce_fraction,
+        ]
+        for r in rows
+    ]
+    text = render_table(
+        ["matrix", "method", "mult (us)", "reduce (us)", "reduce %"],
+        table,
+        title="Fig. 10 — symmetric SpM×V breakdown, 24 threads, "
+              "Dunnington (model time)",
+        floatfmt="{:.1f}",
+    )
+    bars = render_stacked_bars(
+        [
+            (f"{r.matrix}/{r.method}",
+             {"mult": r.t_mult * 1e6, "reduce": r.t_reduce * 1e6})
+            for r in rows
+        ],
+        title="Fig. 10 breakdown bars (us)",
+    )
+    write_result("fig10_breakdown", text + "\n\n" + bars)
+
+    from repro.analysis import effective_region_density
+    from repro.formats import SSSMatrix
+
+    by = {(r.matrix, r.method): r for r in rows}
+    for name in MATRIX_NAMES:
+        naive = by[(name, "naive")]
+        eff = by[(name, "effective")]
+        idx = by[(name, "indexed")]
+        assert eff.t_reduce < naive.t_reduce, name
+        assert idx.t_reduce < naive.t_reduce, name
+        # Indexing beats effective ranges wherever the effective regions
+        # are actually sparse (everywhere at paper scale; the densest
+        # miniature matrices can cross the d≈0.5 break-even).
+        d, _ = effective_region_density(
+            SSSMatrix.from_coo(suite_matrix(name)), 24
+        )
+        if d < 0.45:
+            assert idx.t_reduce < eff.t_reduce, (name, d)
+            # Indexed keeps the reduction a small share of the total.
+            assert idx.reduce_fraction < 0.40, (name, idx.reduce_fraction)
+        # Lower cache interference: the indexed mult phase never loses.
+        assert idx.t_mult <= naive.t_mult * 1.001, name

@@ -1,0 +1,88 @@
+"""Fig. 11 — symmetric SpM×V speedup with CSX-Sym.
+
+Regenerates the speedup curves for CSR, CSX, SSS (indexed local
+vectors) and CSX-Sym (indexed) on both platforms. Paper shape: CSX-Sym
+on top, then SSS-indexed, with the unsymmetric CSX and CSR below;
+the CSX-Sym advantage over SSS is large on the bandwidth-starved
+Dunnington (43.4% in the paper) and small on Gainestown (10%).
+"""
+
+from common import (
+    DUNNINGTON_THREADS,
+    GAINESTOWN_THREADS,
+    MATRIX_NAMES,
+    speedup,
+    suite_mean,
+    write_result,
+)
+from repro.analysis import render_series
+from repro.machine import DUNNINGTON, GAINESTOWN
+
+CONFIGS = (
+    ("csr", "csr", None),
+    ("csx", "csx", None),
+    ("sss-indexed", "sss", "indexed"),
+    ("csx-sym", "csx-sym", "indexed"),
+)
+
+
+def compute_platform(platform, threads):
+    curves = {}
+    for label, fmt, red in CONFIGS:
+        curves[label] = {
+            p: suite_mean(
+                speedup(name, fmt, platform, p, red)
+                for name in MATRIX_NAMES
+            )
+            for p in threads
+        }
+    return curves
+
+
+def check_shape(curves, threads, platform_name):
+    max_p = threads[-1]
+    # CSX beats CSR (compression) and CSX-Sym beats everything.
+    assert curves["csx"][max_p] > curves["csr"][max_p], platform_name
+    assert curves["csx-sym"][max_p] > curves["sss-indexed"][max_p]
+    assert curves["csx-sym"][max_p] > curves["csx"][max_p]
+    gain = curves["csx-sym"][max_p] / curves["sss-indexed"][max_p] - 1
+    return gain
+
+
+def test_fig11_dunnington(benchmark):
+    curves = benchmark.pedantic(
+        compute_platform, args=(DUNNINGTON, DUNNINGTON_THREADS),
+        rounds=1, iterations=1,
+    )
+    gain = check_shape(curves, DUNNINGTON_THREADS, "Dunnington")
+    # Bandwidth-starved platform: the compression gain is large.
+    assert gain > 0.15, gain
+    text = render_series(
+        "threads", curves,
+        title=(
+            "Fig. 11a — Dunnington: suite-average speedup over serial "
+            f"CSR\nCSX-Sym vs SSS-indexed @24t: +{100 * gain:.1f}% "
+            "(paper: +43.4%)"
+        ),
+    )
+    write_result("fig11_dunnington", text)
+
+
+def test_fig11_gainestown(benchmark):
+    curves = benchmark.pedantic(
+        compute_platform, args=(GAINESTOWN, GAINESTOWN_THREADS),
+        rounds=1, iterations=1,
+    )
+    gain = check_shape(curves, GAINESTOWN_THREADS, "Gainestown")
+    text = render_series(
+        "threads", curves,
+        title=(
+            "Fig. 11b — Gainestown: suite-average speedup over serial "
+            f"CSR\nCSX-Sym vs SSS-indexed @16t: +{100 * gain:.1f}% "
+            "(paper: +10%)"
+        ),
+    )
+    write_result("fig11_gainestown", text)
+    # Ample bandwidth: the compression gain narrows (paper: ~10%).
+    dunnington_gain_floor = 0.15
+    assert gain < dunnington_gain_floor + 0.25

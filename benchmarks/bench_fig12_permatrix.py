@@ -1,0 +1,62 @@
+"""Fig. 12 — per-matrix SpM×V performance @ 16 threads, Gainestown.
+
+Regenerates the per-matrix Gflop/s bars for CSR, CSX, SSS (indexed) and
+CSX-Sym. Paper shape: CSX-Sym best on the regular (mostly structural)
+matrices, while on the four high-bandwidth corner cases no symmetric
+format beats CSR.
+"""
+
+from common import MATRIX_NAMES, predict, serial_csr_baseline, write_result
+from repro.analysis import render_table
+from repro.machine import GAINESTOWN
+from repro.matrices import get_entry
+
+CONFIGS = (
+    ("csr", "csr", None),
+    ("csx", "csx", None),
+    ("sss-indexed", "sss", "indexed"),
+    ("csx-sym", "csx-sym", "indexed"),
+)
+
+
+def compute_fig12():
+    table = {}
+    for name in MATRIX_NAMES:
+        table[name] = {
+            label: predict(name, fmt, GAINESTOWN, 16, red).gflops
+            for label, fmt, red in CONFIGS
+        }
+    return table
+
+
+def test_fig12_per_matrix_gflops(benchmark):
+    table = benchmark.pedantic(compute_fig12, rounds=1, iterations=1)
+    rows = [
+        [name] + [table[name][label] for label, *_ in CONFIGS]
+        for name in table
+    ]
+    text = render_table(
+        ["matrix"] + [label for label, *_ in CONFIGS],
+        rows,
+        title="Fig. 12 — per-matrix Gflop/s, 16 threads, Gainestown "
+              "(model)",
+        floatfmt="{:.2f}",
+    )
+    write_result("fig12_permatrix", text)
+
+    best_counts = 0
+    for name in MATRIX_NAMES:
+        perf = table[name]
+        corner = get_entry(name).corner_case
+        if corner:
+            # No symmetric format wins on the corner cases (§V-C).
+            assert perf["csr"] >= 0.9 * max(
+                perf["sss-indexed"], perf["csx-sym"]
+            ), name
+        else:
+            assert perf["csx-sym"] > perf["csr"], name
+            if perf["csx-sym"] == max(perf.values()):
+                best_counts += 1
+    # CSX-Sym achieves the best performance on (most of) the 8 regular
+    # matrices (paper: best in 8 of 12).
+    assert best_counts >= 6, best_counts

@@ -1,0 +1,63 @@
+"""Fig. 13 — per-matrix performance on the RCM-reordered suite
+(Gainestown, 16 threads).
+
+Paper shape: the former corner cases improve considerably though not to
+the level of the regular matrices; CSX-Sym stays on top for the
+majority of the suite.
+"""
+
+from common import (
+    MATRIX_NAMES,
+    predict,
+    predict_reordered,
+    write_result,
+)
+from repro.analysis import render_table
+from repro.machine import GAINESTOWN
+from repro.matrices import get_entry
+
+CONFIGS = (
+    ("csr", "csr", None),
+    ("csx", "csx", None),
+    ("sss-indexed", "sss", "indexed"),
+    ("csx-sym", "csx-sym", "indexed"),
+)
+
+
+def compute_fig13():
+    table = {}
+    for name in MATRIX_NAMES:
+        table[name] = {
+            label: predict_reordered(name, fmt, GAINESTOWN, 16, red).gflops
+            for label, fmt, red in CONFIGS
+        }
+    return table
+
+
+def test_fig13_reordered_gflops(benchmark):
+    table = benchmark.pedantic(compute_fig13, rounds=1, iterations=1)
+    rows = [
+        [name] + [table[name][label] for label, *_ in CONFIGS]
+        for name in table
+    ]
+    text = render_table(
+        ["matrix"] + [label for label, *_ in CONFIGS],
+        rows,
+        title="Fig. 13 — per-matrix Gflop/s on RCM-reordered matrices, "
+              "16 threads, Gainestown (model)",
+        floatfmt="{:.2f}",
+    )
+    write_result("fig13_reordered_permatrix", text)
+
+    csx_sym_best = 0
+    for name in MATRIX_NAMES:
+        perf = table[name]
+        entry = get_entry(name)
+        if entry.corner_case:
+            # Corner cases improve markedly once reordered (§V-D).
+            native = predict(name, "csx-sym", GAINESTOWN, 16, "indexed")
+            assert perf["csx-sym"] > 1.2 * native.gflops, name
+        if perf["csx-sym"] == max(perf.values()):
+            csx_sym_best += 1
+    # CSX-Sym on top for the majority of the suite.
+    assert csx_sym_best >= len(MATRIX_NAMES) // 2, csx_sym_best

@@ -1,0 +1,98 @@
+"""Fig. 14 — CG execution-time breakdown @ 24 threads, Dunnington,
+RCM-reordered suite, 2048 iterations.
+
+Paper shape: vector operations dominate the small/sparse matrices
+(parabolic_fem, offshore — can exceed 50% of solver time); the large
+matrices gain >50% total time from the symmetric formats; CSX-Sym's
+preprocessing hurts it on small matrices and amortizes on large ones.
+Headline: overall solver acceleration ~77.8% on Dunnington (vs CSR).
+"""
+
+import numpy as np
+
+from common import MATRIX_NAMES, SCALE, reordered_matrix, write_result
+from repro.analysis import cg_breakdown, render_stacked_bars, render_table
+from repro.machine import DUNNINGTON
+
+ITERATIONS = 2048
+
+
+def compute_fig14():
+    matrices = {n: reordered_matrix(n) for n in MATRIX_NAMES}
+    return cg_breakdown(
+        matrices, DUNNINGTON, 24, iterations=ITERATIONS,
+        machine_scale=SCALE,
+    )
+
+
+def test_fig14_cg_breakdown(benchmark):
+    rows = benchmark.pedantic(compute_fig14, rounds=1, iterations=1)
+    table = [
+        [
+            r.matrix,
+            r.config,
+            r.t_spmv_mult * 1e3,
+            r.t_spmv_reduce * 1e3,
+            r.t_vector * 1e3,
+            r.t_preproc * 1e3,
+            r.total * 1e3,
+        ]
+        for r in rows
+    ]
+    text = render_table(
+        [
+            "matrix", "config", "spmv (ms)", "reduce (ms)",
+            "vector (ms)", "preproc (ms)", "total (ms)",
+        ],
+        table,
+        title=(
+            f"Fig. 14 — CG breakdown, 24 threads, Dunnington, RCM, "
+            f"{ITERATIONS} iterations (model time)"
+        ),
+        floatfmt="{:.2f}",
+    )
+
+    by = {(r.matrix, r.config): r for r in rows}
+    gains = []
+    for name in MATRIX_NAMES:
+        csr = by[(name, "csr")]
+        best_sym = min(
+            by[(name, "sss")].total, by[(name, "csx-sym")].total
+        )
+        gains.append(csr.total / best_sym - 1.0)
+    avg_gain = float(np.mean(gains))
+    text += (
+        f"\n\naverage CG acceleration vs CSR: +{100 * avg_gain:.1f}% "
+        "(paper: +77.8%)"
+    )
+    bars = render_stacked_bars(
+        [
+            (
+                f"{r.matrix}/{r.config}",
+                {
+                    "spmv": r.t_spmv_mult * 1e3,
+                    "reduce": r.t_spmv_reduce * 1e3,
+                    "vector": r.t_vector * 1e3,
+                    "preproc": r.t_preproc * 1e3,
+                },
+            )
+            for r in rows
+        ],
+        title="Fig. 14 breakdown bars (ms)",
+    )
+    write_result("fig14_cg_breakdown", text + "\n\n" + bars)
+
+    # Vector operations are a significant share for the sparse, large-N
+    # matrices (paper: can exceed 50% for parabolic_fem / offshore).
+    sparse = by[("parabolic_fem", "csr")]
+    assert sparse.t_vector / sparse.total > 0.25
+    # Large structural matrices gain substantially from symmetry.
+    for name in ("inline_1", "ldoor"):
+        csr = by[(name, "csr")]
+        sym = by[(name, "csx-sym")]
+        assert csr.total / sym.total > 1.3, name
+    # Preprocessing hurts only the CSX variants, and is one-off (small
+    # against 2048 iterations for large matrices).
+    big = by[("ldoor", "csx-sym")]
+    assert big.t_preproc < 0.25 * big.total
+    assert avg_gain > 0.20

@@ -1,0 +1,103 @@
+"""Fig. 9 — symmetric SpM×V speedup with the three reduction methods.
+
+Regenerates the speedup-over-serial-CSR curves for CSR and SSS with the
+naive / effective-ranges / indexed reductions on both platforms.
+
+Paper shape: all symmetric methods beat CSR at low thread counts;
+naive and effective stop scaling and fall to (or below) CSR as the
+memory bandwidth saturates, while the indexed method keeps scaling at
+CSR's rate and stays above it. Headline: the indexed SSS beats the best
+plain-SSS configuration by a large margin (83.9% on Dunnington, 44% on
+Gainestown in the paper).
+"""
+
+from common import (
+    DUNNINGTON_THREADS,
+    GAINESTOWN_THREADS,
+    MATRIX_NAMES,
+    speedup,
+    suite_mean,
+    write_result,
+)
+from repro.analysis import render_series
+from repro.machine import DUNNINGTON, GAINESTOWN
+
+CONFIGS = (
+    ("csr", "csr", None),
+    ("sss-naive", "sss", "naive"),
+    ("sss-effective", "sss", "effective"),
+    ("sss-indexed", "sss", "indexed"),
+)
+
+
+def compute_platform(platform, threads):
+    curves = {}
+    for label, fmt, red in CONFIGS:
+        curves[label] = {
+            p: suite_mean(
+                speedup(name, fmt, platform, p, red)
+                for name in MATRIX_NAMES
+            )
+            for p in threads
+        }
+    return curves
+
+
+def check_shape(curves, threads, platform_name):
+    max_p = threads[-1]
+    csr = curves["csr"]
+    idx = curves["sss-indexed"]
+    # All symmetric methods win while bandwidth is unsaturated.
+    for label, *_ in CONFIGS[1:]:
+        assert curves[label][1] > 0.8 * csr[1], (platform_name, label)
+    # Naive loses its advantage at full thread count (paper: "completely
+    # eliminated when the memory bandwidth is saturated").
+    assert curves["sss-naive"][max_p] < 1.1 * csr[max_p], platform_name
+    # Indexed keeps scaling: stays above CSR and above the others.
+    assert idx[max_p] > 1.15 * csr[max_p], platform_name
+    assert idx[max_p] > curves["sss-effective"][max_p]
+    # Indexed vs the *best* plain-SSS configuration over all thread
+    # counts (the paper's 83.9% / 44% metric). The suite average at
+    # miniature scale compresses this gap — dense matrices where all
+    # methods tie weigh it down — so the threshold checks direction;
+    # EXPERIMENTS.md records the measured value against the paper's.
+    best_plain = max(
+        max(curves["sss-naive"].values()),
+        max(curves["sss-effective"].values()),
+    )
+    gain = max(idx.values()) / best_plain - 1.0
+    assert gain > 0.04, (platform_name, gain)
+    return gain
+
+
+def test_fig9_dunnington(benchmark):
+    curves = benchmark.pedantic(
+        compute_platform, args=(DUNNINGTON, DUNNINGTON_THREADS),
+        rounds=1, iterations=1,
+    )
+    gain = check_shape(curves, DUNNINGTON_THREADS, "Dunnington")
+    text = render_series(
+        "threads", curves,
+        title=(
+            "Fig. 9a — Dunnington: suite-average speedup over serial CSR\n"
+            f"indexed vs best plain SSS: +{100 * gain:.1f}% "
+            "(paper: +83.9%)"
+        ),
+    )
+    write_result("fig9_dunnington", text)
+
+
+def test_fig9_gainestown(benchmark):
+    curves = benchmark.pedantic(
+        compute_platform, args=(GAINESTOWN, GAINESTOWN_THREADS),
+        rounds=1, iterations=1,
+    )
+    gain = check_shape(curves, GAINESTOWN_THREADS, "Gainestown")
+    text = render_series(
+        "threads", curves,
+        title=(
+            "Fig. 9b — Gainestown: suite-average speedup over serial CSR\n"
+            f"indexed vs best plain SSS: +{100 * gain:.1f}% (paper: +44%)"
+        ),
+    )
+    write_result("fig9_gainestown", text)

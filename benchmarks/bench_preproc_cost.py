@@ -1,0 +1,85 @@
+"""§V-E — CSX(-Sym) preprocessing cost in serial CSR SpM×V units.
+
+Paper values: 49 (Dunnington, 24 preprocessing threads) and 94
+(Gainestown, 16 threads) serial CSR SpM×V equivalents on average;
+59 / 115 on the RCM-reordered suite (whose serial SpM×V is faster, so
+the quotient grows).
+"""
+
+import numpy as np
+
+from common import (
+    MATRIX_NAMES,
+    SCALE,
+    built_format,
+    built_format_reordered,
+    reordered_matrix,
+    suite_matrix,
+    write_result,
+)
+from repro.analysis import preprocessing_cost, render_table
+from repro.formats import CSRMatrix
+from repro.machine import DUNNINGTON, GAINESTOWN
+
+
+def compute_preproc():
+    rows = []
+    averages = {}
+    for tag, matrix_of, built in (
+        ("native", suite_matrix, built_format),
+        ("rcm", reordered_matrix, built_format_reordered),
+    ):
+        for platform, p in ((DUNNINGTON, 24), (GAINESTOWN, 16)):
+            equivalents = []
+            for name in MATRIX_NAMES:
+                csr = CSRMatrix.from_coo(matrix_of(name))
+                csxs, _ = built(name, "csx-sym", p)
+                cost = preprocessing_cost(csxs, csr, platform, p)
+                equivalents.append(cost.csr_spmv_equivalents)
+                rows.append(
+                    [name, tag, platform.name, cost.csr_spmv_equivalents]
+                )
+            averages[(tag, platform.name)] = float(np.mean(equivalents))
+    return rows, averages
+
+
+def test_preprocessing_cost(benchmark):
+    rows, averages = benchmark.pedantic(
+        compute_preproc, rounds=1, iterations=1
+    )
+    paper = {
+        ("native", "Dunnington"): 49,
+        ("native", "Gainestown"): 94,
+        ("rcm", "Dunnington"): 59,
+        ("rcm", "Gainestown"): 115,
+    }
+    summary = [
+        [tag, plat, avg, paper[(tag, plat)]]
+        for (tag, plat), avg in averages.items()
+    ]
+    text = render_table(
+        ["suite", "platform", "avg CSR-SpMV units", "paper"],
+        summary,
+        title="§V-E — CSX-Sym preprocessing cost "
+              "(serial CSR SpM×V equivalents)",
+        floatfmt="{:.1f}",
+    ) + "\n\n" + render_table(
+        ["matrix", "suite", "platform", "CSR-SpMV units"],
+        rows,
+        floatfmt="{:.1f}",
+    )
+    write_result("preproc_cost", text)
+
+    # Same order of magnitude as the paper (tens, not thousands).
+    for key, avg in averages.items():
+        assert 5 < avg < 600, (key, avg)
+    # NUMA preprocessing costs more (paper: 94 vs 49).
+    assert (
+        averages[("native", "Gainestown")]
+        > averages[("native", "Dunnington")]
+    )
+    # Reordered suite costs more in SpM×V units (faster denominator).
+    assert (
+        averages[("rcm", "Dunnington")]
+        > 0.9 * averages[("native", "Dunnington")]
+    )

@@ -1,0 +1,90 @@
+"""Table III — SpM×V performance improvement due to RCM reordering.
+
+Regenerates the average per-format improvement from applying the RCM
+ordering (Section V-D). Paper shape: everyone gains, the symmetric
+formats gain far more than the unsymmetric ones (their reduction index
+shrinks with the bandwidth), and the effect is stronger on Dunnington
+than Gainestown. Paper values — Dunnington: CSR 22%, CSX 63%, SSS
+92.2%, CSX-Sym 106.8%; Gainestown: 11.1%, 14%, 43.6%, 48.5%.
+"""
+
+import numpy as np
+
+from common import (
+    MATRIX_NAMES,
+    predict,
+    predict_reordered,
+    write_result,
+)
+from repro.analysis import render_table
+from repro.machine import DUNNINGTON, GAINESTOWN
+
+CONFIGS = (
+    ("csr", "csr", None),
+    ("csx", "csx", None),
+    ("sss", "sss", "indexed"),
+    ("csx-sym", "csx-sym", "indexed"),
+)
+
+PAPER = {
+    ("Dunnington", "csr"): 22.0,
+    ("Dunnington", "csx"): 63.0,
+    ("Dunnington", "sss"): 92.2,
+    ("Dunnington", "csx-sym"): 106.8,
+    ("Gainestown", "csr"): 11.1,
+    ("Gainestown", "csx"): 14.0,
+    ("Gainestown", "sss"): 43.6,
+    ("Gainestown", "csx-sym"): 48.5,
+}
+
+
+def compute_table3():
+    improvements = {}
+    for platform, p in ((DUNNINGTON, 24), (GAINESTOWN, 16)):
+        for label, fmt, red in CONFIGS:
+            gains = []
+            for name in MATRIX_NAMES:
+                t_native = predict(name, fmt, platform, p, red).total
+                t_rcm = predict_reordered(name, fmt, platform, p, red).total
+                gains.append(t_native / t_rcm - 1.0)
+            improvements[(platform.name, label)] = 100 * float(
+                np.mean(gains)
+            )
+    return improvements
+
+
+def test_table3_rcm_improvement(benchmark):
+    imp = benchmark.pedantic(compute_table3, rounds=1, iterations=1)
+    rows = [
+        [
+            label,
+            imp[("Dunnington", label)],
+            PAPER[("Dunnington", label)],
+            imp[("Gainestown", label)],
+            PAPER[("Gainestown", label)],
+        ]
+        for label, *_ in CONFIGS
+    ]
+    text = render_table(
+        [
+            "format",
+            "Dunnington %", "paper %",
+            "Gainestown %", "paper %",
+        ],
+        rows,
+        title="Table III — average improvement from RCM reordering",
+        floatfmt="{:.1f}",
+    )
+    write_result("table3_reordering", text)
+
+    for platform in ("Dunnington", "Gainestown"):
+        # Everyone gains from reordering.
+        for label, *_ in CONFIGS:
+            assert imp[(platform, label)] > 0, (platform, label)
+        # Symmetric formats gain more than their unsymmetric bases.
+        assert imp[(platform, "sss")] > imp[(platform, "csr")]
+        assert imp[(platform, "csx-sym")] > imp[(platform, "csx")]
+        # CSX-Sym gains the most (reasons 1-3 of §V-D compound).
+        assert imp[(platform, "csx-sym")] == max(
+            imp[(platform, label)] for label, *_ in CONFIGS
+        )

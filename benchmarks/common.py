@@ -1,0 +1,128 @@
+"""Shared infrastructure for the per-table/per-figure benchmarks.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(Section V). The matrices are the synthetic Table I stand-ins at
+``REPRO_BENCH_SCALE`` of the paper's sizes (default 0.01); the machine
+model's caches are scaled by the same factor so capacity effects appear
+at the right relative sizes (see ``predict_spmv(machine_scale=...)``).
+
+Rendered artifacts are printed and written to ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import build_format, thread_partitions
+from repro.formats import CSRMatrix
+from repro.machine import (
+    DUNNINGTON,
+    GAINESTOWN,
+    predict_serial_csr,
+    predict_spmv,
+)
+from repro.matrices import SUITE, get_entry
+
+#: Fraction of the paper's matrix sizes the benchmarks run at.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+
+#: Optional comma-separated matrix subset (all 12 by default).
+_names_env = os.environ.get("REPRO_BENCH_MATRICES", "")
+MATRIX_NAMES = (
+    [n.strip() for n in _names_env.split(",") if n.strip()]
+    if _names_env
+    else [e.name for e in SUITE]
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Thread sweeps per platform (paper Fig. 9 / 11 x-axes).
+DUNNINGTON_THREADS = (1, 2, 4, 8, 12, 24)
+GAINESTOWN_THREADS = (1, 2, 4, 8, 16)
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one rendered artifact under ``results/`` and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+@lru_cache(maxsize=None)
+def suite_matrix(name: str):
+    """Cached suite build at the benchmark scale."""
+    return get_entry(name).build(scale=SCALE)
+
+
+@lru_cache(maxsize=None)
+def built_format(name: str, format_name: str, n_threads: int):
+    """Cached (matrix, partitions) for a suite entry/format/threads."""
+    return build_format(suite_matrix(name), format_name, n_threads)
+
+
+@lru_cache(maxsize=None)
+def reordered_matrix(name: str):
+    """Cached RCM-reordered suite build (Section V-D)."""
+    from repro.reorder import rcm_reorder
+
+    return rcm_reorder(suite_matrix(name))[0]
+
+
+@lru_cache(maxsize=None)
+def built_format_reordered(name: str, format_name: str, n_threads: int):
+    return build_format(reordered_matrix(name), format_name, n_threads)
+
+
+@lru_cache(maxsize=None)
+def serial_csr_baseline_reordered(name: str, platform_name: str):
+    platform = {"dunnington": DUNNINGTON, "gainestown": GAINESTOWN}[
+        platform_name
+    ]
+    csr = CSRMatrix.from_coo(reordered_matrix(name))
+    return predict_serial_csr(csr, platform, machine_scale=SCALE)
+
+
+def predict_reordered(name: str, format_name: str, platform,
+                      n_threads: int, reduction=None):
+    matrix, parts = built_format_reordered(name, format_name, n_threads)
+    return predict_spmv(
+        matrix, parts, platform, reduction=reduction, machine_scale=SCALE
+    )
+
+
+@lru_cache(maxsize=None)
+def serial_csr_baseline(name: str, platform_name: str):
+    """Cached serial CSR prediction (the speedup denominator)."""
+    platform = {"dunnington": DUNNINGTON, "gainestown": GAINESTOWN}[
+        platform_name
+    ]
+    csr = CSRMatrix.from_coo(suite_matrix(name))
+    return predict_serial_csr(csr, platform, machine_scale=SCALE)
+
+
+def predict(name: str, format_name: str, platform, n_threads: int,
+            reduction=None):
+    """Model prediction for one configuration at the benchmark scale."""
+    matrix, parts = built_format(name, format_name, n_threads)
+    return predict_spmv(
+        matrix, parts, platform, reduction=reduction, machine_scale=SCALE
+    )
+
+
+def speedup(name: str, format_name: str, platform, n_threads: int,
+            reduction=None) -> float:
+    """Speedup over the serial CSR baseline (the paper's Fig. 9/11 y)."""
+    base = serial_csr_baseline(name, platform.name.lower())
+    return predict(
+        name, format_name, platform, n_threads, reduction
+    ).speedup_over(base)
+
+
+def suite_mean(values) -> float:
+    return float(np.mean(list(values)))

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Makes ``benchmarks/`` importable as a script directory (so the bench
+modules can ``import common``) and prints the active scale once.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import common  # noqa: E402
+
+
+def pytest_report_header(config):
+    return (
+        f"repro benchmarks: scale={common.SCALE} "
+        f"matrices={len(common.MATRIX_NAMES)} "
+        f"results -> {common.RESULTS_DIR}"
+    )

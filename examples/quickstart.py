@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: store a symmetric matrix four ways and multiply.
+
+Builds a small FEM-style symmetric positive-definite matrix, stores it
+in every format the library implements (CSR, SSS, CSX, CSX-Sym),
+verifies all kernels agree, and prints what the symmetric compression
+buys — the paper's Table-I-style numbers in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.formats import CSRMatrix, CSXMatrix, CSXSymMatrix, SSSMatrix
+from repro.matrices import block_structural
+from repro.parallel import (
+    ParallelSymmetricSpMV,
+    partition_nnz_balanced,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A structural-mechanics-style matrix: 500 nodes with 3 degrees of
+    # freedom each, coupled in dense 3x3 blocks (what CSX loves).
+    coo = block_structural(
+        n_nodes=500, dof=3, nnz_per_row=50.0, band_nodes=30, rng=rng
+    )
+    print(f"matrix: {coo.n_rows} x {coo.n_cols}, {coo.nnz} non-zeros")
+
+    x = rng.standard_normal(coo.n_cols)
+
+    # --- serial SpM×V in every format -------------------------------
+    csr = CSRMatrix.from_coo(coo)
+    sss = SSSMatrix.from_coo(coo)
+    csx = CSXMatrix(coo)
+    csx_sym = CSXSymMatrix(coo)
+
+    reference = csr.spmv(x)
+    for m in (sss, csx, csx_sym):
+        assert np.allclose(m.spmv(x), reference), m.format_name
+
+    print("\nformat    size (KiB)   vs CSR")
+    for m in (csr, sss, csx, csx_sym):
+        ratio = m.size_bytes() / csr.size_bytes()
+        print(
+            f"{m.format_name:8s}  {m.size_bytes() / 1024:9.1f}   "
+            f"{100 * ratio:5.1f}%"
+        )
+    print(
+        f"\nCSX-Sym substructure coverage: "
+        f"{100 * csx_sym.substructure_coverage():.1f}% of stored elements"
+    )
+
+    # --- multithreaded symmetric SpM×V (paper Alg. 3) ----------------
+    n_threads = 8
+    parts = partition_nnz_balanced(sss.expanded_row_nnz(), n_threads)
+    kernel = ParallelSymmetricSpMV(sss, parts, reduction="indexed")
+    assert np.allclose(kernel(x), reference)
+
+    fp = kernel.footprint()
+    print(
+        f"\n{n_threads}-thread symmetric SpM×V with local-vectors "
+        f"indexing:\n"
+        f"  conflicting elements indexed: {fp.index_pairs}\n"
+        f"  effective-region density:     {fp.effective_density:.3f}\n"
+        f"  reduction working set:        "
+        f"{fp.ws_measured_bytes / 1024:.1f} KiB "
+        f"(naive method would use "
+        f"{8 * n_threads * coo.n_rows / 1024:.1f} KiB)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Multicore scaling study on the modelled platforms.
+
+Reproduces a Fig. 9 / Fig. 11-style thread sweep for one matrix of the
+paper's suite: speedup over serial CSR for CSR, SSS with each reduction
+method, and CSX-Sym, on the Dunnington SMP and Gainestown NUMA models.
+Shows the paper's central result in one screen: the naive and
+effective-ranges reductions stop scaling when the memory bandwidth
+saturates, the indexing scheme keeps scaling, and CSX-Sym's compression
+adds another step on the bandwidth-starved machine.
+
+Run:  python examples/scaling_study.py [matrix] [scale]
+      e.g. python examples/scaling_study.py hood 0.02
+"""
+
+import sys
+
+from repro.analysis import build_format, render_series
+from repro.formats import CSRMatrix
+from repro.machine import (
+    DUNNINGTON,
+    GAINESTOWN,
+    predict_serial_csr,
+    predict_spmv,
+)
+from repro.matrices import get_entry
+
+CONFIGS = (
+    ("csr", "csr", None),
+    ("sss-naive", "sss", "naive"),
+    ("sss-effective", "sss", "effective"),
+    ("sss-indexed", "sss", "indexed"),
+    ("csx-sym", "csx-sym", "indexed"),
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "hood"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.01
+    entry = get_entry(name)
+    coo = entry.build(scale=scale)
+    print(
+        f"{name} at scale {scale}: {coo.n_rows} rows, {coo.nnz} nnz "
+        f"(paper: {entry.paper_rows} rows, {entry.paper_nnz} nnz)"
+    )
+
+    for platform, threads in (
+        (DUNNINGTON, (1, 2, 4, 8, 12, 24)),
+        (GAINESTOWN, (1, 2, 4, 8, 16)),
+    ):
+        base = predict_serial_csr(
+            CSRMatrix.from_coo(coo), platform, machine_scale=scale
+        )
+        curves = {}
+        for label, fmt, red in CONFIGS:
+            curves[label] = {}
+            for p in threads:
+                matrix, parts = build_format(coo, fmt, p)
+                pt = predict_spmv(
+                    matrix, parts, platform, reduction=red,
+                    machine_scale=scale,
+                )
+                curves[label][p] = pt.speedup_over(base)
+        print()
+        print(
+            render_series(
+                "threads",
+                curves,
+                title=f"{platform.name}: modelled speedup over serial CSR",
+                floatfmt="{:.2f}",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Improving the Performance of the Symmetric
+Sparse Matrix-Vector Multiplication in Multicore" (IPDPS Workshops 2013).
+
+Subpackages
+-----------
+formats
+    COO / CSR / SSS / CSX / CSX-Sym storage formats.
+parallel
+    Thread partitioning, the three local-vector reduction methods
+    (naive, effective ranges, local-vectors indexing) and the
+    multithreaded symmetric SpM×V orchestration.
+machine
+    Multicore performance model (platform specs, cache-aware traffic
+    estimation, roofline timing) used to regenerate the paper's
+    experiments; see DESIGN.md for the hardware substitution rationale.
+analysis
+    Working-set accounting, effective-region density, execution-time
+    breakdowns, figure/table renderers.
+reorder
+    Cuthill-McKee / RCM bandwidth reduction.
+solvers
+    Non-preconditioned Conjugate Gradient with phase instrumentation.
+matrices
+    Synthetic matrix suite mirroring the paper's Table I, plus
+    MatrixMarket I/O.
+"""
+
+__version__ = "1.0.0"
+
+from . import formats
+
+__all__ = ["formats", "__version__"]

@@ -1,0 +1,61 @@
+"""Instrumentation and experiment-analysis layer.
+
+Density measurements (Fig. 4), working-set accounting (Fig. 5),
+execution breakdowns (Fig. 10, 14), the CSX preprocessing cost model
+(§V-E), configuration factories and text renderers for the benchmark
+harness.
+"""
+
+from .breakdown import (
+    CGBreakdown,
+    SpmvBreakdown,
+    cg_breakdown,
+    cg_vector_counts_per_iter,
+    spmv_reduction_breakdown,
+)
+from .configs import FORMAT_NAMES, build_format, thread_partitions
+from .matrix_stats import MatrixStats, compute_matrix_stats
+from .density import (
+    DensityPoint,
+    average_density,
+    density_sweep,
+    effective_region_density,
+)
+from .preproc import PreprocCost, preprocessing_cost
+from .report import render_series, render_stacked_bars, render_table
+from .traffic import (
+    OverheadPoint,
+    average_overhead,
+    reduction_overhead_sweep,
+    ws_effective,
+    ws_indexed,
+    ws_naive,
+)
+
+__all__ = [
+    "CGBreakdown",
+    "SpmvBreakdown",
+    "cg_breakdown",
+    "cg_vector_counts_per_iter",
+    "spmv_reduction_breakdown",
+    "FORMAT_NAMES",
+    "build_format",
+    "thread_partitions",
+    "DensityPoint",
+    "average_density",
+    "density_sweep",
+    "effective_region_density",
+    "PreprocCost",
+    "preprocessing_cost",
+    "render_series",
+    "render_stacked_bars",
+    "render_table",
+    "OverheadPoint",
+    "average_overhead",
+    "reduction_overhead_sweep",
+    "ws_naive",
+    "ws_effective",
+    "ws_indexed",
+    "MatrixStats",
+    "compute_matrix_stats",
+]

@@ -1,0 +1,166 @@
+"""Execution-time breakdowns (paper Fig. 10 and Fig. 14).
+
+Fig. 10: symmetric SpM×V time split into multiplication and reduction
+per reduction method. Fig. 14: CG solver time split into SpM×V
+multiplication, SpM×V reduction, vector operations and CSX
+preprocessing after a fixed iteration count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.csx.matrix import CSXMatrix
+from ..formats.csx.sym import CSXSymMatrix
+from ..formats.sss import SSSMatrix
+from ..machine.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..machine.perfmodel import predict_spmv
+from ..machine.platforms import Platform
+from ..machine.roofline import PhaseLoad, phase_time
+from .configs import build_format
+from .preproc import preprocessing_cost
+
+__all__ = [
+    "SpmvBreakdown",
+    "spmv_reduction_breakdown",
+    "CGBreakdown",
+    "cg_breakdown",
+    "cg_vector_counts_per_iter",
+]
+
+
+@dataclass(frozen=True)
+class SpmvBreakdown:
+    """One bar of Fig. 10."""
+
+    matrix: str
+    method: str
+    t_mult: float
+    t_reduce: float
+
+    @property
+    def total(self) -> float:
+        return self.t_mult + self.t_reduce
+
+    @property
+    def reduce_fraction(self) -> float:
+        return self.t_reduce / self.total if self.total else 0.0
+
+
+def spmv_reduction_breakdown(
+    matrices: Mapping[str, COOMatrix],
+    platform: Platform,
+    n_threads: int,
+    methods: Sequence[str] = ("naive", "effective", "indexed"),
+    cost: CostModel = DEFAULT_COST_MODEL,
+    machine_scale: float = 1.0,
+) -> list[SpmvBreakdown]:
+    """Fig. 10: SSS SpM×V phase times per reduction method."""
+    out: list[SpmvBreakdown] = []
+    for name, coo in matrices.items():
+        sss, partitions = build_format(coo, "sss", n_threads)
+        for method in methods:
+            pt = predict_spmv(
+                sss, partitions, platform, reduction=method, cost=cost,
+                machine_scale=machine_scale,
+            )
+            out.append(SpmvBreakdown(name, method, pt.t_mult, pt.t_reduce))
+    return out
+
+
+# ----------------------------------------------------------------------
+# CG breakdown (Fig. 14)
+# ----------------------------------------------------------------------
+def cg_vector_counts_per_iter(n: int) -> tuple[float, float]:
+    """Closed-form flop and byte counts of the vector operations in one
+    CG iteration (Alg. 1: two dots, two axpys, one xpay):
+
+    * flops: ``10 n``
+    * bytes: ``96 n`` (dot(r,r): 8n, dot(p,q): 16n, 2×axpy: 48n,
+      xpay: 24n)
+
+    Cross-checked against the instrumented solver in the tests.
+    """
+    return 10.0 * n, 96.0 * n
+
+
+@dataclass(frozen=True)
+class CGBreakdown:
+    """One bar of Fig. 14."""
+
+    matrix: str
+    config: str  # "csr", "csx", "sss", "csx-sym"
+    iterations: int
+    t_spmv_mult: float
+    t_spmv_reduce: float
+    t_vector: float
+    t_preproc: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.t_spmv_mult
+            + self.t_spmv_reduce
+            + self.t_vector
+            + self.t_preproc
+        )
+
+
+def cg_breakdown(
+    matrices: Mapping[str, COOMatrix],
+    platform: Platform,
+    n_threads: int,
+    iterations: int = 2048,
+    configs: Sequence[str] = ("csr", "csx", "sss", "csx-sym"),
+    cost: CostModel = DEFAULT_COST_MODEL,
+    machine_scale: float = 1.0,
+) -> list[CGBreakdown]:
+    """Fig. 14: CG execution-time breakdown per matrix and format.
+
+    SpM×V phase times come from the machine model per iteration; vector
+    operations use the closed-form per-iteration counts; CSX formats pay
+    their preprocessing once up front (§V-E model).
+    """
+    out: list[CGBreakdown] = []
+    for name, coo in matrices.items():
+        n = coo.n_rows
+        vec_flops, vec_bytes = cg_vector_counts_per_iter(n)
+        # Vector ops parallelize perfectly; ~1 cycle per flop.
+        vec_load = PhaseLoad(
+            [vec_flops / n_threads] * n_threads, vec_bytes, vec_flops
+        )
+        t_vec_iter, _, _ = phase_time(vec_load, platform, n_threads)
+        csr_ref: Optional[CSRMatrix] = None
+        for config in configs:
+            matrix, partitions = build_format(coo, config, n_threads)
+            reduction = (
+                "indexed"
+                if isinstance(matrix, (SSSMatrix, CSXSymMatrix))
+                else None
+            )
+            pt = predict_spmv(
+                matrix, partitions, platform, reduction=reduction, cost=cost,
+                machine_scale=machine_scale,
+            )
+            t_pre = 0.0
+            if isinstance(matrix, (CSXMatrix, CSXSymMatrix)):
+                if csr_ref is None:
+                    csr_ref = CSRMatrix.from_coo(coo)
+                t_pre = preprocessing_cost(
+                    matrix, csr_ref, platform, n_threads, cost
+                ).seconds
+            out.append(
+                CGBreakdown(
+                    matrix=name,
+                    config=config,
+                    iterations=iterations,
+                    t_spmv_mult=iterations * pt.t_mult,
+                    t_spmv_reduce=iterations * pt.t_reduce,
+                    t_vector=iterations * t_vec_iter,
+                    t_preproc=t_pre,
+                )
+            )
+    return out

@@ -1,0 +1,79 @@
+"""Effective-region density measurement (paper Fig. 4, Section III-C).
+
+The density ``d`` of the local vectors' effective regions — the
+fraction of entries in ``[0, start_i)`` a thread actually writes —
+drives the working-set of the indexing scheme (eqs. 5-6). It falls as
+threads are added (each partition's transposed writes concentrate near
+its own boundary), which is why the indexed reduction stabilizes where
+the other methods grow linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..formats.base import SymmetricFormat
+from ..formats.coo import COOMatrix
+from ..formats.sss import SSSMatrix
+from ..parallel.partition import partition_nnz_balanced
+from ..parallel.reduction import IndexedReduction
+
+__all__ = ["DensityPoint", "effective_region_density", "density_sweep"]
+
+
+@dataclass(frozen=True)
+class DensityPoint:
+    """Density of one (matrix, thread count) configuration."""
+
+    matrix: str
+    n_threads: int
+    density: float
+    index_pairs: int
+
+
+def effective_region_density(
+    matrix: SymmetricFormat, n_threads: int
+) -> tuple[float, int]:
+    """Measured effective-region density at ``n_threads`` threads.
+
+    Partitions are nnz-balanced as in all the paper's experiments.
+    Returns ``(density, index_pairs)``.
+    """
+    if isinstance(matrix, SSSMatrix):
+        weights = matrix.expanded_row_nnz()
+    else:
+        weights = np.ones(matrix.n_rows)
+    partitions = partition_nnz_balanced(weights, n_threads)
+    red = IndexedReduction(matrix, partitions)
+    return red.effective_density(), red.n_pairs
+
+
+def density_sweep(
+    matrices: Mapping[str, COOMatrix],
+    thread_counts: Sequence[int],
+) -> list[DensityPoint]:
+    """Fig. 4's sweep: density per matrix per thread count.
+
+    ``thread_counts`` may exceed physical machines — the figure goes to
+    256 threads; density is a property of the partitioning alone.
+    """
+    points: list[DensityPoint] = []
+    for name, coo in matrices.items():
+        sss = SSSMatrix.from_coo(coo)
+        for p in thread_counts:
+            if p < 2:
+                continue  # a single thread has no effective region
+            d, pairs = effective_region_density(sss, p)
+            points.append(DensityPoint(name, p, d, pairs))
+    return points
+
+
+def average_density(points: Iterable[DensityPoint]) -> dict[int, float]:
+    """Suite-average density per thread count (the Fig. 4 curve)."""
+    by_p: dict[int, list[float]] = {}
+    for pt in points:
+        by_p.setdefault(pt.n_threads, []).append(pt.density)
+    return {p: float(np.mean(ds)) for p, ds in sorted(by_p.items())}

@@ -1,0 +1,71 @@
+"""CSX preprocessing cost model (paper Section V-E).
+
+The paper expresses CSX(-Sym) preprocessing cost in units of *serial
+CSR SpM×V operations*: 49 on Dunnington (24 threads) and 94 on
+Gainestown (16 threads) on average, rising to 59/115 for the RCM
+reordered suite (whose serial SpM×V is faster, inflating the quotient).
+
+We model preprocessing time as the detection scan work measured by
+:class:`~repro.formats.csx.detect.DetectionReport`
+(``elements_scanned`` across orientations, plus encoding passes) at the
+platform's calibrated per-element preprocessing cost
+(:attr:`~repro.machine.platforms.Platform.preproc_cycles_per_element`),
+parallelized over the preprocessing threads, and divide by the modelled
+serial CSR SpM×V time. The NUMA platform's higher §V-E quotient emerges
+from its much faster serial SpM×V denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..formats.csr import CSRMatrix
+from ..formats.csx.matrix import CSXMatrix
+from ..formats.csx.sym import CSXSymMatrix
+from ..machine.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..machine.perfmodel import predict_serial_csr
+from ..machine.platforms import Platform
+
+__all__ = ["PreprocCost", "preprocessing_cost"]
+
+
+@dataclass(frozen=True)
+class PreprocCost:
+    """Preprocessing cost of one CSX build on one platform."""
+
+    platform: str
+    n_threads: int
+    seconds: float
+    serial_csr_spmv_seconds: float
+
+    @property
+    def csr_spmv_equivalents(self) -> float:
+        """The paper's §V-E metric."""
+        if self.serial_csr_spmv_seconds <= 0:
+            return float("inf")
+        return self.seconds / self.serial_csr_spmv_seconds
+
+
+def preprocessing_cost(
+    matrix: Union[CSXMatrix, CSXSymMatrix],
+    csr: CSRMatrix,
+    platform: Platform,
+    n_threads: int,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> PreprocCost:
+    """Model the preprocessing cost of an already-built CSX matrix.
+
+    Parameters
+    ----------
+    matrix : the CSX/CSX-Sym instance (its detection reports carry the
+        measured scan work).
+    csr : the same matrix in CSR (the SpM×V-equivalents denominator).
+    platform, n_threads : preprocessing configuration.
+    """
+    scanned = sum(r.elements_scanned for r in matrix.detection_reports())
+    cycles = platform.preproc_cycles_per_element * scanned
+    cores = platform.cores_used(min(n_threads, platform.n_threads))
+    seconds = cycles / (cores * platform.clock_ghz * 1e9)
+    serial = predict_serial_csr(csr, platform, cost=cost).total
+    return PreprocCost(platform.name, n_threads, seconds, serial)

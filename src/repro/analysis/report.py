@@ -1,0 +1,117 @@
+"""Plain-text table and series renderers for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; these helpers keep the output format uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_stacked_bars",
+    "format_value",
+]
+
+
+def format_value(v: Any, floatfmt: str = "{:.3f}") -> str:
+    if isinstance(v, float):
+        return floatfmt.format(v)
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[format_value(v, floatfmt) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    *,
+    title: str = "",
+    width: int = 50,
+    symbols: str = "#=-.~+*",
+) -> str:
+    """Render stacked horizontal bars — the textual equivalent of the
+    paper's breakdown figures (Fig. 10, Fig. 14).
+
+    ``rows`` is a sequence of ``(label, {segment: value})``; all bars
+    share one scale (the longest total spans ``width`` characters) and
+    each segment gets one fill symbol, listed in the legend.
+    """
+    if not rows:
+        return title
+    segment_names: list[str] = []
+    for _, segments in rows:
+        for name in segments:
+            if name not in segment_names:
+                segment_names.append(name)
+    symbol_of = {
+        name: symbols[i % len(symbols)]
+        for i, name in enumerate(segment_names)
+    }
+    max_total = max(
+        sum(seg.values()) for _, seg in rows
+    )
+    if max_total <= 0:
+        max_total = 1.0
+    label_w = max(len(label) for label, _ in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{symbol_of[name]} {name}" for name in segment_names
+    )
+    lines.append(f"[{legend}]")
+    for label, segments in rows:
+        bar = ""
+        for name in segment_names:
+            value = segments.get(name, 0.0)
+            n = int(round(width * value / max_total))
+            bar += symbol_of[name] * n
+        total = sum(segments.values())
+        lines.append(f"{label.rjust(label_w)} |{bar} ({total:.3g})")
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    columns: Mapping[str, Mapping[Any, float]],
+    *,
+    title: str = "",
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render aligned series (one x column, one column per series) —
+    the textual equivalent of a line plot."""
+    xs = sorted({x for col in columns.values() for x in col})
+    headers = [x_label] + list(columns)
+    rows = []
+    for x in xs:
+        row: list[Any] = [x]
+        for name in columns:
+            v = columns[name].get(x)
+            row.append(v if v is not None else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, title=title, floatfmt=floatfmt)

@@ -1,0 +1,102 @@
+"""Working-set equations of Section III and their measured counterparts.
+
+The closed forms (paper eqs. 3-6)::
+
+    ws_naive = 8 p N                       (eq. 3)
+    ws_eff   = 4 (p-1) N                   (eq. 4)
+    ws_idx   = 4 (p-1) N d + 4 (p-1) N d   (eq. 5)  ≈ 8 (p-1) N d (eq. 6)
+
+are reproduced here both analytically and from the real reduction data
+structures, and converted into the relative "workload overhead over the
+serial SSS implementation" series of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+from ..formats.sss import SSSMatrix
+from ..parallel.partition import partition_nnz_balanced
+from ..parallel.reduction import make_reduction
+
+__all__ = [
+    "ws_naive",
+    "ws_effective",
+    "ws_indexed",
+    "OverheadPoint",
+    "reduction_overhead_sweep",
+]
+
+
+def ws_naive(p: int, n: int) -> float:
+    """Eq. (3): naive local-vectors working-set overhead in bytes."""
+    return 8.0 * p * n
+
+
+def ws_effective(p: int, n: int) -> float:
+    """Eq. (4): effective-ranges working-set overhead in bytes."""
+    return 4.0 * (p - 1) * n
+
+
+def ws_indexed(p: int, n: int, d: float) -> float:
+    """Eq. (5)/(6): indexing-scheme working-set overhead in bytes."""
+    return 8.0 * (p - 1) * n * d
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """Reduction working-set overhead of one configuration, relative to
+    the serial SSS workload (matrix bytes + the two vectors)."""
+
+    matrix: str
+    method: str
+    n_threads: int
+    ws_bytes: float
+    overhead_fraction: float
+
+
+def _serial_sss_workload(sss: SSSMatrix) -> float:
+    """Bytes the serial SSS SpM×V streams: the matrix plus x and y."""
+    return float(sss.size_bytes() + 16 * sss.n_rows)
+
+
+def reduction_overhead_sweep(
+    matrices: Mapping[str, COOMatrix],
+    thread_counts: Sequence[int],
+    methods: Sequence[str] = ("naive", "effective", "indexed"),
+) -> list[OverheadPoint]:
+    """Fig. 5's data: measured reduction working set per method/thread
+    count, as a fraction of the serial SSS workload."""
+    points: list[OverheadPoint] = []
+    for name, coo in matrices.items():
+        sss = SSSMatrix.from_coo(coo)
+        serial = _serial_sss_workload(sss)
+        weights = sss.expanded_row_nnz()
+        for p in thread_counts:
+            partitions = partition_nnz_balanced(weights, p)
+            for method in methods:
+                red = make_reduction(method, sss, partitions)
+                ws = red.footprint().ws_measured_bytes
+                points.append(
+                    OverheadPoint(name, method, p, ws, ws / serial)
+                )
+    return points
+
+
+def average_overhead(
+    points: Sequence[OverheadPoint],
+) -> dict[str, dict[int, float]]:
+    """Suite-average overhead fraction per method per thread count."""
+    acc: dict[str, dict[int, list[float]]] = {}
+    for pt in points:
+        acc.setdefault(pt.method, {}).setdefault(pt.n_threads, []).append(
+            pt.overhead_fraction
+        )
+    return {
+        m: {p: float(np.mean(v)) for p, v in sorted(by_p.items())}
+        for m, by_p in acc.items()
+    }

@@ -1,0 +1,271 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands
+-----------
+``suite``
+    List the Table I stand-in matrices with their statistics.
+``spmv``
+    Run one SpM×V configuration functionally and report the machine
+    model's prediction for it.
+``sweep``
+    Thread sweep for one matrix (the Fig. 9/11 view).
+``cg``
+    Solve a random SPD system from the suite with the chosen kernel.
+
+Examples
+--------
+::
+
+    python -m repro.cli suite --scale 0.01
+    python -m repro.cli spmv --matrix hood --format csx-sym --threads 8
+    python -m repro.cli sweep --matrix ldoor --platform dunnington
+    python -m repro.cli cg --matrix consph --format sss --threads 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .analysis import build_format, render_series, render_table
+from .formats import CSRMatrix, CSXSymMatrix, SSSMatrix
+from .machine import PLATFORMS, predict_serial_csr, predict_spmv
+from .matrices import SUITE, get_entry
+from .parallel import ParallelSpMV, ParallelSymmetricSpMV
+from .reorder import bandwidth_stats
+from .solvers import conjugate_gradient
+
+__all__ = ["main", "build_parser"]
+
+_FORMATS = ("csr", "csx", "sss", "csx-sym")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symmetric SpM×V reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suite = sub.add_parser("suite", help="list the matrix suite")
+    p_suite.add_argument("--scale", type=float, default=0.01)
+
+    def common(p):
+        p.add_argument("--matrix", default="hood",
+                       choices=[e.name for e in SUITE])
+        p.add_argument("--scale", type=float, default=0.01)
+        p.add_argument("--threads", type=int, default=8)
+
+    p_spmv = sub.add_parser("spmv", help="run one SpM×V configuration")
+    common(p_spmv)
+    p_spmv.add_argument("--format", default="sss", choices=_FORMATS)
+    p_spmv.add_argument(
+        "--reduction", default="indexed",
+        choices=("naive", "effective", "indexed"),
+    )
+    p_spmv.add_argument(
+        "--platform", default="dunnington", choices=sorted(PLATFORMS)
+    )
+
+    p_sweep = sub.add_parser("sweep", help="thread sweep (Fig. 9/11 view)")
+    common(p_sweep)
+    p_sweep.add_argument(
+        "--platform", default="dunnington", choices=sorted(PLATFORMS)
+    )
+
+    p_cg = sub.add_parser("cg", help="CG solve on a suite matrix")
+    common(p_cg)
+    p_cg.add_argument("--format", default="sss", choices=_FORMATS)
+    p_cg.add_argument("--tol", type=float, default=1e-8)
+
+    p_stats = sub.add_parser(
+        "stats", help="structural fingerprint of a suite matrix"
+    )
+    p_stats.add_argument("--matrix", default="hood",
+                         choices=[e.name for e in SUITE])
+    p_stats.add_argument("--scale", type=float, default=0.01)
+    p_stats.add_argument(
+        "--rcm", action="store_true",
+        help="also show the fingerprint after RCM reordering",
+    )
+    return parser
+
+
+def _cmd_suite(args) -> int:
+    rows = []
+    for entry in SUITE:
+        coo = entry.build(scale=args.scale)
+        bw = bandwidth_stats(coo)
+        rows.append(
+            [
+                entry.name,
+                entry.problem,
+                coo.n_rows,
+                coo.nnz,
+                round(coo.nnz / coo.n_rows, 1),
+                round(bw.avg_distance / max(1, coo.n_rows), 3),
+                "corner" if entry.corner_case else "",
+            ]
+        )
+    print(
+        render_table(
+            ["matrix", "problem", "rows", "nnz", "nnz/row",
+             "avg dist/n", "note"],
+            rows,
+            title=f"Table I suite at scale {args.scale}",
+        )
+    )
+    return 0
+
+
+def _make_kernel(matrix, partitions, reduction):
+    if isinstance(matrix, (SSSMatrix, CSXSymMatrix)):
+        return ParallelSymmetricSpMV(matrix, partitions, reduction)
+    return ParallelSpMV(matrix, partitions)
+
+
+def _cmd_spmv(args) -> int:
+    coo = get_entry(args.matrix).build(scale=args.scale)
+    matrix, parts = build_format(coo, args.format, args.threads)
+    kernel = _make_kernel(matrix, parts, args.reduction)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(coo.n_cols)
+    y = kernel(x)
+    ref = CSRMatrix.from_coo(coo).spmv(x)
+    ok = np.allclose(y, ref)
+    platform = PLATFORMS[args.platform]
+    red = (
+        args.reduction
+        if isinstance(matrix, (SSSMatrix, CSXSymMatrix))
+        else None
+    )
+    pt = predict_spmv(
+        matrix, parts, platform, reduction=red, machine_scale=args.scale
+    )
+    base = predict_serial_csr(
+        CSRMatrix.from_coo(coo), platform, machine_scale=args.scale
+    )
+    print(
+        f"{args.matrix} [{args.format}] {args.threads} threads on "
+        f"{platform.name}: correct={ok}\n"
+        f"  size: {matrix.size_bytes()} B "
+        f"({matrix.size_bytes() / max(1, coo.nnz):.2f} B/nnz)\n"
+        f"  model: mult {pt.t_mult * 1e6:.1f} us + reduce "
+        f"{pt.t_reduce * 1e6:.1f} us = {pt.total * 1e6:.1f} us "
+        f"({pt.gflops:.2f} Gflop/s, {pt.speedup_over(base):.2f}x "
+        "serial CSR)"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_sweep(args) -> int:
+    coo = get_entry(args.matrix).build(scale=args.scale)
+    platform = PLATFORMS[args.platform]
+    threads = [
+        p
+        for p in (1, 2, 4, 8, 12, 16, 24)
+        if p <= platform.n_threads
+    ]
+    base = predict_serial_csr(
+        CSRMatrix.from_coo(coo), platform, machine_scale=args.scale
+    )
+    curves: dict[str, dict[int, float]] = {}
+    configs = (
+        ("csr", "csr", None),
+        ("sss-indexed", "sss", "indexed"),
+        ("csx-sym", "csx-sym", "indexed"),
+    )
+    for label, fmt, red in configs:
+        curves[label] = {}
+        for p in threads:
+            matrix, parts = build_format(coo, fmt, p)
+            pt = predict_spmv(
+                matrix, parts, platform, reduction=red,
+                machine_scale=args.scale,
+            )
+            curves[label][p] = pt.speedup_over(base)
+    print(
+        render_series(
+            "threads",
+            curves,
+            title=f"{args.matrix} on {platform.name}: modelled speedup "
+                  "over serial CSR",
+            floatfmt="{:.2f}",
+        )
+    )
+    return 0
+
+
+def _cmd_cg(args) -> int:
+    coo = get_entry(args.matrix).build(scale=args.scale)
+    matrix, parts = build_format(coo, args.format, args.threads)
+    spmv = _make_kernel(matrix, parts, "indexed")
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal(coo.n_rows)
+    b = CSRMatrix.from_coo(coo).spmv(x_true)
+    res = conjugate_gradient(spmv, b, tol=args.tol)
+    err = float(np.abs(res.x - x_true).max())
+    print(
+        f"CG on {args.matrix} [{args.format}, {args.threads} threads]: "
+        f"{'converged' if res.converged else 'NOT converged'} in "
+        f"{res.iterations} iterations, residual {res.residual_norm:.2e}, "
+        f"max error {err:.2e}"
+    )
+    return 0 if res.converged else 1
+
+
+def _cmd_stats(args) -> int:
+    from .analysis import compute_matrix_stats
+    from .reorder import rcm_reorder
+
+    coo = get_entry(args.matrix).build(scale=args.scale)
+    variants = [("native", coo)]
+    if args.rcm:
+        variants.append(("rcm", rcm_reorder(coo)[0]))
+    rows = []
+    for tag, m in variants:
+        s = compute_matrix_stats(m)
+        rows.append(
+            [
+                tag,
+                s.nnz,
+                round(s.nnz_per_row_mean, 1),
+                s.bandwidth,
+                round(s.normalized_bandwidth, 3),
+                round(s.unit_stride_fraction, 3),
+                round(s.x_miss_rate, 4),
+                round(100 * s.sss_compression, 1),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "ordering", "nnz", "nnz/row", "bandwidth", "bw/n",
+                "unit-stride", "x miss/nnz", "SSS CR %",
+            ],
+            rows,
+            title=f"{args.matrix} at scale {args.scale}",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "suite": _cmd_suite,
+    "spmv": _cmd_spmv,
+    "sweep": _cmd_sweep,
+    "cg": _cmd_cg,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

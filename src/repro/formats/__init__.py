@@ -1,0 +1,29 @@
+"""Sparse matrix storage formats.
+
+The format zoo of the paper: COO (interchange), CSR (baseline, eq. 1),
+SSS (symmetric skyline, eq. 2), CSX and CSX-Sym (Section IV).
+"""
+
+from .base import INDEX_BYTES, VALUE_BYTES, SparseFormat, SymmetricFormat
+from .bcsr import BCSRMatrix
+from .coo import COOMatrix
+from .csb import CSBMatrix, CSBSymMatrix
+from .csr import CSRMatrix
+from .csx import CSXMatrix, CSXSymMatrix, DetectionConfig
+from .sss import SSSMatrix
+
+__all__ = [
+    "SparseFormat",
+    "SymmetricFormat",
+    "COOMatrix",
+    "CSRMatrix",
+    "SSSMatrix",
+    "CSXMatrix",
+    "CSXSymMatrix",
+    "DetectionConfig",
+    "BCSRMatrix",
+    "CSBMatrix",
+    "CSBSymMatrix",
+    "INDEX_BYTES",
+    "VALUE_BYTES",
+]

@@ -1,0 +1,175 @@
+"""Common interface for sparse matrix storage formats.
+
+Every storage format in :mod:`repro.formats` implements
+:class:`SparseFormat`: a container exposing the logical matrix shape and
+non-zero count, a serial SpM×V kernel, and exact in-memory size accounting
+(the quantity the paper's performance analysis is built on, eqs. (1)-(2)).
+
+Sizing conventions follow the paper: 8-byte double-precision values and
+4-byte integer indices unless a format states otherwise.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+#: Bytes per non-zero value (double precision).
+VALUE_BYTES = 8
+#: Bytes per index entry (32-bit integers, as in the paper).
+INDEX_BYTES = 4
+
+__all__ = ["SparseFormat", "SymmetricFormat", "VALUE_BYTES", "INDEX_BYTES"]
+
+
+class SparseFormat(abc.ABC):
+    """Abstract base class for sparse matrix storage formats.
+
+    Attributes
+    ----------
+    shape : tuple[int, int]
+        Logical matrix dimensions ``(n_rows, n_cols)``.
+    """
+
+    #: Short lowercase format identifier (``"csr"``, ``"sss"``, ...).
+    format_name: str = "abstract"
+
+    def __init__(self, shape: tuple[int, int]):
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError(f"matrix shape must be non-negative, got {shape}")
+        self.shape: tuple[int, int] = (n_rows, n_cols)
+
+    # ------------------------------------------------------------------
+    # Core interface
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of *logical* non-zero elements.
+
+        For symmetric formats this counts both triangles, i.e. it equals
+        the non-zero count of the fully expanded matrix, so flop counts
+        (``2 * nnz``) are comparable across formats.
+        """
+
+    @property
+    @abc.abstractmethod
+    def stored_entries(self) -> int:
+        """Number of explicitly stored value entries."""
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Exact in-memory representation size in bytes.
+
+        Only the arrays that a C implementation would stream during
+        SpM×V are counted (values + indexing metadata), matching the
+        paper's eqs. (1) and (2).
+        """
+
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Serial sparse matrix-vector product ``y = A @ x``.
+
+        Parameters
+        ----------
+        x : ndarray of float64, shape ``(n_cols,)``
+        y : optional output array, shape ``(n_rows,)``; overwritten.
+
+        Returns
+        -------
+        ndarray
+            The product vector (``y`` if provided).
+        """
+
+    @abc.abstractmethod
+    def to_coo(self):
+        """Convert to :class:`repro.formats.coo.COOMatrix` (expanded,
+        both triangles for symmetric formats)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    def _check_spmv_args(
+        self, x: np.ndarray, y: Optional[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate/allocate SpM×V operands. Returns ``(x, y)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValueError(
+                f"x has shape {x.shape}, expected ({self.n_cols},) for "
+                f"{self.format_name} matrix of shape {self.shape}"
+            )
+        if y is None:
+            y = np.zeros(self.n_rows, dtype=np.float64)
+        else:
+            if y.shape != (self.n_rows,):
+                raise ValueError(
+                    f"y has shape {y.shape}, expected ({self.n_rows},)"
+                )
+            if y.dtype != np.float64:
+                raise TypeError("y must be float64")
+            y[:] = 0.0
+        return x, y
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ndarray (testing / small matrices only)."""
+        return self.to_coo().to_dense()
+
+    def compression_ratio_vs(self, other: "SparseFormat") -> float:
+        """Size reduction relative to ``other``: ``1 - size/other.size``."""
+        other_size = other.size_bytes()
+        if other_size == 0:
+            raise ValueError("reference format has zero size")
+        return 1.0 - self.size_bytes() / other_size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.n_rows}x{self.n_cols} "
+            f"nnz={self.nnz} bytes={self.size_bytes()}>"
+        )
+
+
+class SymmetricFormat(SparseFormat):
+    """Marker base class for formats that store only the lower triangle.
+
+    Symmetric formats additionally support a *partitioned* SpM×V used by
+    the multithreaded algorithms of Section III: thread ``i`` computes the
+    products of the stored rows ``start[i]..end[i]`` but its transposed
+    (upper-triangle) contributions scatter to arbitrary earlier rows,
+    which is exactly what the local-vector machinery resolves.
+    """
+
+    def __init__(self, shape: tuple[int, int]):
+        if shape[0] != shape[1]:
+            raise ValueError(f"symmetric formats require a square matrix, got {shape}")
+        super().__init__(shape)
+
+    @abc.abstractmethod
+    def spmv_partition(
+        self,
+        x: np.ndarray,
+        y_direct: np.ndarray,
+        y_local: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> None:
+        """Compute the partition product for stored rows
+        ``[row_start, row_end)``.
+
+        Contributions to output rows inside ``[row_start, row_end)`` are
+        accumulated into ``y_direct``; transposed contributions to rows
+        ``< row_start`` go to ``y_local`` (the thread's local vector).
+        Both arrays have length ``n_rows`` and are accumulated into, not
+        overwritten (callers zero them).
+        """

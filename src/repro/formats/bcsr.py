@@ -1,0 +1,201 @@
+"""Blocked Compressed Sparse Row (BCSR) — related-work comparator.
+
+The paper's Section VI discusses BCSR (Im & Yelick's SPARSITY / OSKI
+lineage) as the classic register-blocking format: the matrix is tiled
+into fixed ``r×c`` blocks aligned to the block grid and every block
+containing at least one non-zero is stored densely (explicit zero
+fill-in). Indexing cost drops to one column index per *block*, at the
+price of the fill-in values.
+
+Includes the OSKI-style size autotuner: pick the block shape minimizing
+the stored byte count over a candidate set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .base import INDEX_BYTES, VALUE_BYTES, SparseFormat
+from .coo import COOMatrix
+
+__all__ = ["BCSRMatrix", "bcsr_fill_ratio", "autotune_block_shape"]
+
+#: Block shapes the autotuner considers by default.
+DEFAULT_CANDIDATES = ((1, 1), (2, 2), (3, 3), (2, 3), (3, 2), (4, 4), (6, 6))
+
+
+def _block_structure(
+    coo: COOMatrix, r: int, c: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map entries to blocks; returns (block_keys_sorted_unique,
+    block_of_entry, entry_order) for grid-aligned ``r×c`` tiling."""
+    brow = coo.rows.astype(np.int64) // r
+    bcol = coo.cols.astype(np.int64) // c
+    n_bcols = -(-coo.n_cols // c)
+    keys = brow * n_bcols + bcol
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    return uniq, inverse, keys
+
+
+class BCSRMatrix(SparseFormat):
+    """Blocked CSR storage with grid-aligned dense ``r×c`` blocks.
+
+    Parameters
+    ----------
+    coo : source matrix.
+    block_shape : (r, c) tile shape; ``autotune=True`` picks it instead.
+    """
+
+    format_name = "bcsr"
+
+    def __init__(
+        self,
+        coo: COOMatrix,
+        block_shape: tuple[int, int] = (2, 2),
+        *,
+        autotune: bool = False,
+        candidates: Sequence[tuple[int, int]] = DEFAULT_CANDIDATES,
+    ):
+        super().__init__(coo.shape)
+        if autotune:
+            block_shape = autotune_block_shape(coo, candidates)
+        r, c = int(block_shape[0]), int(block_shape[1])
+        if r < 1 or c < 1:
+            raise ValueError(f"invalid block shape {block_shape}")
+        self.block_shape = (r, c)
+        self._nnz = coo.nnz
+
+        n_brows = -(-self.n_rows // r)
+        n_bcols = -(-self.n_cols // c)
+        self.n_brows = n_brows
+        self.n_bcols = n_bcols
+
+        uniq, inverse, _ = _block_structure(coo, r, c)
+        nb = uniq.size
+        self.brow = (uniq // n_bcols).astype(np.int32)
+        self.bcol = (uniq % n_bcols).astype(np.int32)
+        # Dense block values, row-major within each block.
+        self.values = np.zeros((nb, r, c), dtype=np.float64)
+        lr = coo.rows.astype(np.int64) % r
+        lc = coo.cols.astype(np.int64) % c
+        np.add.at(self.values, (inverse, lr, lc), coo.vals)
+
+        counts = np.bincount(self.brow, minlength=n_brows)
+        self.browptr = np.zeros(n_brows + 1, dtype=np.int32)
+        np.cumsum(counts, out=self.browptr[1:])
+
+        # Padded x/y workspaces for ragged edges.
+        self._pad_cols = n_bcols * c
+        self._pad_rows = n_brows * r
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self._nnz)
+
+    @property
+    def stored_entries(self) -> int:
+        """Stored values including explicit fill-in zeros."""
+        return int(self.values.size)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored entries per true non-zero (≥ 1; the BCSR tax)."""
+        return self.stored_entries / self.nnz if self.nnz else 1.0
+
+    def size_bytes(self) -> int:
+        """Dense block values + one column index per block + browptr."""
+        return (
+            self.stored_entries * VALUE_BYTES
+            + self.n_blocks * INDEX_BYTES
+            + (self.n_brows + 1) * INDEX_BYTES
+        )
+
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        x, y = self._check_spmv_args(x, y)
+        r, c = self.block_shape
+        if self.n_blocks == 0:
+            return y
+        x_pad = x
+        if self._pad_cols != self.n_cols:
+            x_pad = np.zeros(self._pad_cols, dtype=np.float64)
+            x_pad[: self.n_cols] = x
+        # Gather each block's x slice: (nb, c).
+        xs = x_pad[
+            self.bcol.astype(np.int64)[:, None] * c
+            + np.arange(c, dtype=np.int64)[None, :]
+        ]
+        contrib = np.einsum("brc,bc->br", self.values, xs)  # (nb, r)
+        y_pad = np.zeros(self._pad_rows, dtype=np.float64)
+        rows_flat = (
+            self.brow.astype(np.int64)[:, None] * r
+            + np.arange(r, dtype=np.int64)[None, :]
+        ).ravel()
+        y_pad += np.bincount(
+            rows_flat, weights=contrib.ravel(), minlength=self._pad_rows
+        )
+        y += y_pad[: self.n_rows]
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        """Expand back to COO, dropping the fill-in zeros."""
+        r, c = self.block_shape
+        rows = (
+            self.brow.astype(np.int64)[:, None, None] * r
+            + np.arange(r, dtype=np.int64)[None, :, None]
+        )
+        cols = (
+            self.bcol.astype(np.int64)[:, None, None] * c
+            + np.arange(c, dtype=np.int64)[None, None, :]
+        )
+        rows = np.broadcast_to(rows, self.values.shape).ravel()
+        cols = np.broadcast_to(cols, self.values.shape).ravel()
+        vals = self.values.ravel()
+        keep = (
+            (vals != 0.0) & (rows < self.n_rows) & (cols < self.n_cols)
+        )
+        return COOMatrix(
+            self.shape, rows[keep], cols[keep], vals[keep],
+            sum_duplicates=False,
+        )
+
+
+def bcsr_fill_ratio(coo: COOMatrix, block_shape: tuple[int, int]) -> float:
+    """Fill ratio of tiling ``coo`` with ``block_shape`` (without
+    materializing values — used by the autotuner)."""
+    r, c = block_shape
+    uniq, _, _ = _block_structure(coo, r, c)
+    if coo.nnz == 0:
+        return 1.0
+    return uniq.size * r * c / coo.nnz
+
+
+def autotune_block_shape(
+    coo: COOMatrix,
+    candidates: Iterable[tuple[int, int]] = DEFAULT_CANDIDATES,
+) -> tuple[int, int]:
+    """OSKI-style structural autotuning: choose the candidate block
+    shape minimizing the stored byte count (values incl. fill + block
+    indices)."""
+    best = None
+    best_bytes = float("inf")
+    for r, c in candidates:
+        uniq, _, _ = _block_structure(coo, r, c)
+        n_brows = -(-coo.n_rows // r)
+        size = (
+            uniq.size * r * c * VALUE_BYTES
+            + uniq.size * INDEX_BYTES
+            + (n_brows + 1) * INDEX_BYTES
+        )
+        if size < best_bytes:
+            best_bytes = size
+            best = (r, c)
+    if best is None:
+        raise ValueError("no candidate block shapes given")
+    return best

@@ -1,0 +1,374 @@
+"""Compressed Sparse Blocks (CSB) — related-work comparator.
+
+The paper's Section VI discusses Buluç et al.'s CSB [8] and its
+symmetric extension [27] as the closest rival to the local-vectors
+indexing scheme. CSB tiles the matrix into large ``β×β`` sparse blocks
+stored in coordinate form with *small* (2-byte) local indices:
+
+* :class:`CSBMatrix` — the unsymmetric format (supports ``A·x``).
+* :class:`CSBSymMatrix` — stores only the lower-triangle blocks; the
+  multithreaded kernel follows [27]: transposed contributions landing
+  within the three innermost block diagonals go to per-thread local
+  buffers (so the reduction is always at most three vector additions),
+  while contributions from farther blocks use atomic updates on the
+  shared output vector. On matrices with large bandwidth the atomics
+  dominate — the weakness the paper points out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .base import INDEX_BYTES, VALUE_BYTES, SparseFormat, SymmetricFormat
+from .coo import COOMatrix
+
+__all__ = ["CSBMatrix", "CSBSymMatrix", "default_beta"]
+
+#: Local indices are stored in 16 bits, capping the block dimension.
+MAX_BETA = 1 << 16
+#: Bytes per stored element: value + two uint16 local indices.
+_ELEM_BYTES = VALUE_BYTES + 4
+#: Per-block index overhead: block row, block col, offset.
+_BLOCK_BYTES = 3 * INDEX_BYTES
+
+
+def default_beta(n: int) -> int:
+    """CSB's recommended block dimension: ``~sqrt(n)`` rounded up to a
+    power of two, clamped to the uint16 local-index range."""
+    if n <= 1:
+        return 1
+    beta = 1
+    while beta * beta < n:
+        beta <<= 1
+    return min(max(beta, 2), MAX_BETA)
+
+
+@dataclass
+class _Block:
+    """One sparse block: local coordinates + values."""
+
+    brow: int
+    bcol: int
+    lrows: np.ndarray  # uint16 local row indices
+    lcols: np.ndarray  # uint16 local col indices
+    vals: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.size)
+
+
+def _build_blocks(
+    coo: COOMatrix, beta: int
+) -> list[_Block]:
+    rows = coo.rows.astype(np.int64)
+    cols = coo.cols.astype(np.int64)
+    brow = rows // beta
+    bcol = cols // beta
+    n_bcols = -(-coo.n_cols // beta)
+    keys = brow * n_bcols + bcol
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    boundaries = np.flatnonzero(
+        np.diff(np.concatenate(([-1], keys_sorted)))
+    )
+    blocks: list[_Block] = []
+    ends = np.append(boundaries[1:], keys_sorted.size)
+    for start, end in zip(boundaries, ends):
+        sel = order[start:end]
+        key = keys_sorted[start]
+        blocks.append(
+            _Block(
+                brow=int(key // n_bcols),
+                bcol=int(key % n_bcols),
+                lrows=(rows[sel] % beta).astype(np.uint16),
+                lcols=(cols[sel] % beta).astype(np.uint16),
+                vals=coo.vals[sel].copy(),
+            )
+        )
+    return blocks
+
+
+class CSBMatrix(SparseFormat):
+    """Compressed Sparse Blocks storage (unsymmetric).
+
+    Parameters
+    ----------
+    coo : source matrix.
+    beta : block dimension (power of two ≤ 65536); default
+        :func:`default_beta`.
+    """
+
+    format_name = "csb"
+
+    def __init__(self, coo: COOMatrix, beta: Optional[int] = None):
+        super().__init__(coo.shape)
+        self.beta = int(beta) if beta is not None else default_beta(max(self.shape))
+        if not 1 <= self.beta <= MAX_BETA:
+            raise ValueError(f"beta must be in [1, {MAX_BETA}]")
+        self.blocks = _build_blocks(coo, self.beta)
+        self._nnz = coo.nnz
+
+    @property
+    def nnz(self) -> int:
+        return int(self._nnz)
+
+    @property
+    def stored_entries(self) -> int:
+        return int(self._nnz)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def size_bytes(self) -> int:
+        return self._nnz * _ELEM_BYTES + self.n_blocks * _BLOCK_BYTES
+
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        x, y = self._check_spmv_args(x, y)
+        b = self.beta
+        for blk in self.blocks:
+            r0 = blk.brow * b
+            c0 = blk.bcol * b
+            products = blk.vals * x[c0 + blk.lcols.astype(np.int64)]
+            y[r0 : r0 + b] += np.bincount(
+                blk.lrows, weights=products, minlength=min(b, self.n_rows - r0)
+            )[: self.n_rows - r0]
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        if not self.blocks:
+            return COOMatrix.empty(self.shape)
+        b = self.beta
+        rows = np.concatenate(
+            [blk.brow * b + blk.lrows.astype(np.int64) for blk in self.blocks]
+        )
+        cols = np.concatenate(
+            [blk.bcol * b + blk.lcols.astype(np.int64) for blk in self.blocks]
+        )
+        vals = np.concatenate([blk.vals for blk in self.blocks])
+        return COOMatrix(self.shape, rows, cols, vals, sum_duplicates=False)
+
+
+class CSBSymMatrix(SymmetricFormat):
+    """Symmetric CSB: lower-triangle blocks only ([27]'s storage).
+
+    Off-diagonal blocks (``brow > bcol``) carry both ``A·x`` and
+    ``Aᵀ·x`` contributions; diagonal blocks store their lower triangle
+    and expand symmetrically in-kernel.
+    """
+
+    format_name = "csb-sym"
+
+    #: Transposed writes within this many block diagonals of a thread's
+    #: own rows go to local buffers; farther ones are atomic ([27] uses
+    #: the three innermost block diagonals → distance ≤ 2).
+    NEAR_DIAGONALS = 2
+
+    def __init__(
+        self,
+        coo: COOMatrix,
+        beta: Optional[int] = None,
+        *,
+        check_symmetry: bool = True,
+    ):
+        super().__init__(coo.shape)
+        if check_symmetry and not coo.is_symmetric():
+            raise ValueError("CSB-Sym requires a symmetric matrix")
+        self.beta = int(beta) if beta is not None else default_beta(self.n_rows)
+        if not 1 <= self.beta <= MAX_BETA:
+            raise ValueError(f"beta must be in [1, {MAX_BETA}]")
+        lower = coo.lower_triangle(strict=False)  # diagonal kept in-block
+        self.blocks = _build_blocks(lower, self.beta)
+        self._nnz_stored = lower.nnz
+        self._nnz = coo.nnz
+        self.n_brows = -(-self.n_rows // self.beta)
+
+    @property
+    def nnz(self) -> int:
+        return int(self._nnz)
+
+    @property
+    def stored_entries(self) -> int:
+        return int(self._nnz_stored)
+
+    def size_bytes(self) -> int:
+        return (
+            self._nnz_stored * _ELEM_BYTES
+            + len(self.blocks) * _BLOCK_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    def _block_contribution(
+        self, blk: _Block, x: np.ndarray, y_direct: np.ndarray,
+        y_transposed: np.ndarray,
+    ) -> None:
+        """Accumulate one block's direct rows into ``y_direct`` and its
+        transposed writes into ``y_transposed`` (may alias)."""
+        b = self.beta
+        r0 = blk.brow * b
+        c0 = blk.bcol * b
+        lr = blk.lrows.astype(np.int64)
+        lc = blk.lcols.astype(np.int64)
+        if blk.brow == blk.bcol:
+            # Diagonal block: symmetric expansion, diagonal counted once.
+            products = blk.vals * x[c0 + lc]
+            np.add.at(y_direct, r0 + lr, products)
+            off = lr != lc
+            if np.any(off):
+                np.add.at(
+                    y_transposed,
+                    c0 + lc[off],
+                    blk.vals[off] * x[r0 + lr[off]],
+                )
+        else:
+            np.add.at(y_direct, r0 + lr, blk.vals * x[c0 + lc])
+            np.add.at(y_transposed, c0 + lc, blk.vals * x[r0 + lr])
+
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        x, y = self._check_spmv_args(x, y)
+        for blk in self.blocks:
+            self._block_contribution(blk, x, y, y)
+        return y
+
+    def spmv_partition(
+        self,
+        x: np.ndarray,
+        y_direct: np.ndarray,
+        y_local: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> None:
+        """SymmetricFormat interface: partition boundaries must align to
+        block rows. Transposed writes before ``row_start`` go to
+        ``y_local`` regardless of distance (the generic local-vectors
+        contract); :meth:`spmv_partition_csb` exposes [27]'s
+        near/atomic split with its statistics."""
+        if row_start % self.beta and row_start != self.n_rows:
+            raise ValueError(
+                f"partition boundary {row_start} not aligned to beta="
+                f"{self.beta}"
+            )
+        scratch = np.zeros_like(y_direct)
+        for blk in self.blocks:
+            r0 = blk.brow * self.beta
+            if not row_start <= r0 < row_end:
+                continue
+            self._block_contribution(blk, x, y_direct, scratch)
+        y_direct[row_start:] += scratch[row_start:]
+        y_local[:row_start] += scratch[:row_start]
+
+    def spmv_partition_csb(
+        self,
+        x: np.ndarray,
+        y_shared: np.ndarray,
+        near_buffers: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> int:
+        """[27]'s kernel for one thread: direct writes and *near*
+        transposed writes (within :attr:`NEAR_DIAGONALS` block
+        diagonals) go to ``near_buffers`` (shape ``(NEAR_DIAGONALS+1,
+        n)``); farther transposed writes hit ``y_shared`` "atomically".
+
+        Returns the number of atomic updates performed (the model's
+        cost driver).
+        """
+        b = self.beta
+        atomic = 0
+        for blk in self.blocks:
+            r0 = blk.brow * b
+            if not row_start <= r0 < row_end:
+                continue
+            dist = blk.brow - blk.bcol
+            if dist <= self.NEAR_DIAGONALS:
+                # Direct rows always go to the shared vector (rows are
+                # thread-exclusive); near transposed writes buffer.
+                buf = near_buffers[max(dist, 0)]
+                self._block_contribution(blk, x, y_shared, buf)
+            else:
+                lr = blk.lrows.astype(np.int64)
+                lc = blk.lcols.astype(np.int64)
+                c0 = blk.bcol * b
+                np.add.at(
+                    y_shared, r0 + lr, blk.vals * x[c0 + lc]
+                )
+                np.add.at(
+                    y_shared, c0 + lc, blk.vals * x[r0 + lr]
+                )
+                atomic += blk.nnz
+        return atomic
+
+    def count_atomic_updates(
+        self, partitions: Sequence[tuple[int, int]]
+    ) -> int:
+        """Transposed elements beyond the near diagonals — each needs an
+        atomic update in [27]'s scheme."""
+        total = 0
+        for blk in self.blocks:
+            if blk.brow - blk.bcol > self.NEAR_DIAGONALS:
+                total += blk.nnz
+        return total
+
+    def partition_conflict_rows(self, row_start: int, row_end: int) -> np.ndarray:
+        """Generic local-vectors interface (for cross-method reuse)."""
+        b = self.beta
+        out = []
+        for blk in self.blocks:
+            r0 = blk.brow * b
+            if not row_start <= r0 < row_end:
+                continue
+            cols = blk.bcol * b + blk.lcols.astype(np.int64)
+            out.append(cols[cols < row_start])
+        if not out:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(out))
+
+    def block_row_partitions(
+        self, n_threads: int
+    ) -> list[tuple[int, int]]:
+        """Row partitions aligned to block rows, balanced on stored
+        elements per block row."""
+        weights = np.zeros(self.n_brows, dtype=np.float64)
+        for blk in self.blocks:
+            weights[blk.brow] += blk.nnz
+        from ..parallel.partition import partition_nnz_balanced
+
+        bparts = partition_nnz_balanced(weights, n_threads)
+        out = []
+        for bs, be in bparts:
+            out.append(
+                (
+                    min(bs * self.beta, self.n_rows),
+                    min(be * self.beta, self.n_rows),
+                )
+            )
+        if out:
+            out[-1] = (out[-1][0], self.n_rows)
+        return out
+
+    def to_coo(self) -> COOMatrix:
+        if not self.blocks:
+            return COOMatrix.empty(self.shape)
+        b = self.beta
+        rows_l, cols_l, vals_l = [], [], []
+        for blk in self.blocks:
+            r = blk.brow * b + blk.lrows.astype(np.int64)
+            c = blk.bcol * b + blk.lcols.astype(np.int64)
+            rows_l.append(r)
+            cols_l.append(c)
+            vals_l.append(blk.vals)
+            off = r != c
+            rows_l.append(c[off])
+            cols_l.append(r[off])
+            vals_l.append(blk.vals[off])
+        return COOMatrix(
+            self.shape,
+            np.concatenate(rows_l),
+            np.concatenate(cols_l),
+            np.concatenate(vals_l),
+            sum_duplicates=False,
+        )

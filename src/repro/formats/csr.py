@@ -1,0 +1,160 @@
+"""Compressed Sparse Row (CSR): the paper's baseline format.
+
+Size follows eq. (1): ``S_CSR = 12*NNZ + 4*(N+1)`` with 8-byte values and
+4-byte ``colind`` / ``rowptr`` entries.
+
+The SpM×V kernel is expressed with ``np.add.reduceat`` so a whole
+partition is computed in a handful of vectorized passes — the library's
+stand-in for the tight C loop of the original implementation (see
+DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import INDEX_BYTES, VALUE_BYTES, SparseFormat
+from .coo import COOMatrix
+
+__all__ = ["CSRMatrix", "csr_row_segment_sums"]
+
+
+def csr_row_segment_sums(
+    products: np.ndarray, rowptr: np.ndarray, row_start: int, row_end: int
+) -> np.ndarray:
+    """Sum ``products`` (ordered by row) into one value per row.
+
+    ``products[rowptr[r]-rowptr[row_start] : rowptr[r+1]-rowptr[row_start]]``
+    holds the per-element products of row ``r``. Empty rows yield 0.
+
+    Implemented as a prefix-sum difference: exact for any mix of empty
+    and non-empty rows (``np.add.reduceat`` mishandles empty segments
+    and out-of-range offsets).
+    """
+    n_local = row_end - row_start
+    if n_local <= 0:
+        return np.zeros(0, dtype=np.float64)
+    if products.size == 0:
+        return np.zeros(n_local, dtype=np.float64)
+    base = rowptr[row_start]
+    prefix = np.empty(products.size + 1, dtype=np.float64)
+    prefix[0] = 0.0
+    np.cumsum(products, out=prefix[1:])
+    lo = rowptr[row_start:row_end] - base
+    hi = rowptr[row_start + 1 : row_end + 1] - base
+    return prefix[hi] - prefix[lo]
+
+
+class CSRMatrix(SparseFormat):
+    """Compressed Sparse Row storage.
+
+    Parameters
+    ----------
+    shape : (int, int)
+    rowptr : int32 array of length ``n_rows + 1``
+    colind : int32 array of length ``nnz`` (column-sorted within rows)
+    values : float64 array of length ``nnz``
+    """
+
+    format_name = "csr"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        rowptr: np.ndarray,
+        colind: np.ndarray,
+        values: np.ndarray,
+    ):
+        super().__init__(shape)
+        rowptr = np.asarray(rowptr, dtype=np.int32)
+        colind = np.asarray(colind, dtype=np.int32)
+        values = np.asarray(values, dtype=np.float64)
+        if rowptr.shape != (self.n_rows + 1,):
+            raise ValueError(
+                f"rowptr length {rowptr.size} != n_rows+1 = {self.n_rows + 1}"
+            )
+        if rowptr[0] != 0 or rowptr[-1] != colind.size:
+            raise ValueError("rowptr must start at 0 and end at nnz")
+        if np.any(np.diff(rowptr) < 0):
+            raise ValueError("rowptr must be non-decreasing")
+        if colind.shape != values.shape:
+            raise ValueError("colind and values length mismatch")
+        if colind.size and (
+            colind.min() < 0 or colind.max() >= self.n_cols
+        ):
+            raise ValueError("column index out of bounds")
+        self.rowptr = rowptr
+        self.colind = colind
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        counts = np.bincount(coo.rows, minlength=coo.n_rows)
+        rowptr = np.zeros(coo.n_rows + 1, dtype=np.int32)
+        np.cumsum(counts, out=rowptr[1:])
+        # COOMatrix keeps entries row-major sorted, so cols/vals are ready.
+        return cls(coo.shape, rowptr, coo.cols, coo.vals)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # SparseFormat interface
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def stored_entries(self) -> int:
+        return int(self.values.size)
+
+    def size_bytes(self) -> int:
+        """Paper eq. (1): ``12*NNZ + 4*(N+1)``."""
+        return (
+            self.nnz * (VALUE_BYTES + INDEX_BYTES)
+            + (self.n_rows + 1) * INDEX_BYTES
+        )
+
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        x, y = self._check_spmv_args(x, y)
+        products = self.values * x[self.colind]
+        y[:] = csr_row_segment_sums(products, self.rowptr, 0, self.n_rows)
+        return y
+
+    def spmv_rows(
+        self, x: np.ndarray, y: np.ndarray, row_start: int, row_end: int
+    ) -> None:
+        """Partition kernel: compute rows ``[row_start, row_end)`` into
+        ``y[row_start:row_end]`` (the multithreaded CSR building block —
+        rows are independent, no reduction needed)."""
+        lo, hi = self.rowptr[row_start], self.rowptr[row_end]
+        products = self.values[lo:hi] * x[self.colind[lo:hi]]
+        y[row_start:row_end] = csr_row_segment_sums(
+            products, self.rowptr, row_start, row_end
+        )
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int32), np.diff(self.rowptr)
+        )
+        return COOMatrix(
+            self.shape, rows, self.colind, self.values, sum_duplicates=False
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.rowptr).astype(np.int64)
+
+    def row(self, r: int) -> tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of stored row ``r``."""
+        lo, hi = self.rowptr[r], self.rowptr[r + 1]
+        return self.colind[lo:hi], self.values[lo:hi]

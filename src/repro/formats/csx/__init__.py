@@ -1,0 +1,29 @@
+"""Compressed Sparse eXtended (CSX) and its symmetric variant CSX-Sym.
+
+Public entry points:
+
+* :class:`~repro.formats.csx.matrix.CSXMatrix` — unsymmetric CSX.
+* :class:`~repro.formats.csx.sym.CSXSymMatrix` — CSX-Sym.
+* :class:`~repro.formats.csx.detect.DetectionConfig` — preprocessing
+  tunables (pattern menu, sampling, thresholds).
+"""
+
+from .detect import DetectionConfig, DetectionReport, detect_and_encode
+from .matrix import CSXMatrix, CSXPartition
+from .plan import ExecutionPlan, compile_plan
+from .substructures import PatternKey, PatternType, Unit
+from .sym import CSXSymMatrix
+
+__all__ = [
+    "CSXMatrix",
+    "CSXSymMatrix",
+    "CSXPartition",
+    "DetectionConfig",
+    "DetectionReport",
+    "detect_and_encode",
+    "ExecutionPlan",
+    "compile_plan",
+    "PatternKey",
+    "PatternType",
+    "Unit",
+]

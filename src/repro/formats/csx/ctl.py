@@ -1,0 +1,215 @@
+"""The CSX ``ctl`` byte-array codec (paper Fig. 7).
+
+CSX discards ``rowptr``/``colind`` and stores all location metadata in a
+single byte stream of unit heads (+ bodies for delta units):
+
+* **flags byte** — bit 7 ``nr`` (unit starts a new row), bit 6 ``rjmp``
+  (the row jump is > 1 and follows as a varint), bits 0-5 the pattern id.
+* **size byte** — number of elements in the unit (1..255).
+* **rjmp varint** — present iff ``rjmp``: rows jumped (≥ 2).
+* **column-delta varint** — the unit anchor's column as a delta from the
+  previous unit's anchor column (reset to 0 on a new row).
+* **body** — delta units only: ``size - 1`` column gaps, each stored in
+  the unit's fixed byte width (8/16/32-bit little-endian).
+
+Substructure pattern ids above the three fixed delta ids index a small
+per-matrix *pattern table* mapping id → (pattern type, stride / block
+shape); the table is part of the encoded representation and its bytes
+are counted in the format size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .substructures import (
+    FIRST_DYNAMIC_ID,
+    FIXED_PATTERN_IDS,
+    MAX_PATTERN_ID,
+    PatternKey,
+    PatternType,
+    Unit,
+)
+from .varint import decode_varint, encode_varint
+
+__all__ = [
+    "build_pattern_table",
+    "encode_ctl",
+    "decode_ctl",
+    "encode_pattern_table",
+    "decode_pattern_table",
+]
+
+_NR_BIT = 0x80
+_RJMP_BIT = 0x40
+_ID_MASK = 0x3F
+
+
+def build_pattern_table(units: Sequence[Unit]) -> dict[PatternKey, int]:
+    """Assign ``ctl`` pattern ids: fixed ids for the delta widths, then
+    dynamic ids in first-appearance order for substructures."""
+    table = dict(FIXED_PATTERN_IDS)
+    next_id = FIRST_DYNAMIC_ID
+    for unit in units:
+        if unit.pattern in table:
+            continue
+        if next_id > MAX_PATTERN_ID:
+            raise ValueError(
+                "pattern table overflow: more than "
+                f"{MAX_PATTERN_ID - FIRST_DYNAMIC_ID + 1} substructure "
+                "instantiations"
+            )
+        table[unit.pattern] = next_id
+        next_id += 1
+    return table
+
+
+def encode_pattern_table(table: dict[PatternKey, int]) -> bytes:
+    """Serialize the dynamic part of the pattern table.
+
+    Layout: count byte, then per entry ``id, type, p0 varint, p1 varint``
+    (``p1`` only for blocks).
+    """
+    dynamic = sorted(
+        ((i, p) for p, i in table.items() if i >= FIRST_DYNAMIC_ID)
+    )
+    out = bytearray([len(dynamic)])
+    for pid, pattern in dynamic:
+        out.append(pid)
+        out.append(int(pattern.type))
+        encode_varint(pattern.params[0], out)
+        if pattern.type is PatternType.BLOCK:
+            encode_varint(pattern.params[1], out)
+    return bytes(out)
+
+
+def decode_pattern_table(buf: bytes) -> tuple[dict[int, PatternKey], int]:
+    """Inverse of :func:`encode_pattern_table`.
+
+    Returns ``(id -> pattern, bytes consumed)`` including the fixed ids.
+    """
+    table: dict[int, PatternKey] = {
+        i: p for p, i in FIXED_PATTERN_IDS.items()
+    }
+    if not buf:
+        raise ValueError("empty pattern table buffer")
+    count = buf[0]
+    pos = 1
+    for _ in range(count):
+        if pos + 2 > len(buf):
+            raise ValueError("truncated pattern table")
+        pid = buf[pos]
+        ptype = PatternType(buf[pos + 1])
+        pos += 2
+        p0, pos = decode_varint(buf, pos)
+        if ptype is PatternType.BLOCK:
+            p1, pos = decode_varint(buf, pos)
+            params: tuple = (p0, p1)
+        else:
+            params = (p0,)
+        table[pid] = PatternKey(ptype, params)
+    return table, pos
+
+
+def encode_ctl(
+    units: Sequence[Unit], table: dict[PatternKey, int]
+) -> bytes:
+    """Serialize a row-major-sorted unit list into the ctl byte stream."""
+    out = bytearray()
+    current_row = 0
+    prev_col = 0
+    for unit in units:
+        if unit.row < current_row:
+            raise ValueError("units must be sorted by row")
+        flags = table[unit.pattern]
+        jump = unit.row - current_row
+        if jump > 0:
+            flags |= _NR_BIT
+            prev_col = 0
+            if jump > 1:
+                flags |= _RJMP_BIT
+        delta = unit.col - prev_col
+        if delta < 0:
+            raise ValueError(
+                "units within a row must be sorted by anchor column"
+            )
+        out.append(flags)
+        out.append(unit.length)
+        if jump > 1:
+            encode_varint(jump, out)
+        encode_varint(delta, out)
+        if unit.pattern.is_delta and unit.length > 1:
+            width = unit.pattern.params[0]
+            gaps = np.diff(unit.cols)
+            if gaps.size and int(gaps.max()) >= (1 << (8 * width)):
+                raise ValueError(
+                    f"column gap overflows delta{8 * width} body"
+                )
+            dtype = {1: "<u1", 2: "<u2", 4: "<u4"}[width]
+            out.extend(gaps.astype(dtype).tobytes())
+        current_row = unit.row
+        prev_col = unit.col
+    return bytes(out)
+
+
+def decode_ctl(
+    buf: bytes, table: dict[int, PatternKey]
+) -> list[Unit]:
+    """Decode a ctl byte stream back into the unit list (without values).
+
+    Exact inverse of :func:`encode_ctl` — property-tested round trip.
+    """
+    units: list[Unit] = []
+    pos = 0
+    current_row = 0
+    prev_col = 0
+    n = len(buf)
+    while pos < n:
+        if pos + 2 > n:
+            raise ValueError("truncated unit head")
+        flags = buf[pos]
+        length = buf[pos + 1]
+        pos += 2
+        if length < 1:
+            raise ValueError("unit with zero length")
+        pid = flags & _ID_MASK
+        try:
+            pattern = table[pid]
+        except KeyError:
+            raise ValueError(f"unknown pattern id {pid}") from None
+        if flags & _NR_BIT:
+            if flags & _RJMP_BIT:
+                jump, pos = decode_varint(buf, pos)
+                if jump < 2:
+                    raise ValueError("rjmp must encode a jump >= 2")
+            else:
+                jump = 1
+            current_row += jump
+            prev_col = 0
+        elif flags & _RJMP_BIT:
+            raise ValueError("rjmp set without nr")
+        delta, pos = decode_varint(buf, pos)
+        col = prev_col + delta
+        if pattern.is_delta:
+            width = pattern.params[0]
+            body_len = (length - 1) * width
+            if pos + body_len > n:
+                raise ValueError("truncated delta body")
+            dtype = {1: "<u1", 2: "<u2", 4: "<u4"}[width]
+            gaps = np.frombuffer(
+                buf, dtype=dtype, count=length - 1, offset=pos
+            ).astype(np.int64)
+            pos += body_len
+            cols = np.empty(length, dtype=np.int64)
+            cols[0] = col
+            if length > 1:
+                np.cumsum(gaps, out=cols[1:])
+                cols[1:] += col
+            unit = Unit(pattern, current_row, col, length, cols=cols)
+        else:
+            unit = Unit(pattern, current_row, col, length)
+        units.append(unit)
+        prev_col = col
+    return units

@@ -1,0 +1,617 @@
+"""Substructure detection and encoding selection for CSX (Section IV-A).
+
+The pipeline mirrors the original CSX preprocessing:
+
+1. **Scan** the non-zero elements in four orientations (horizontal,
+   vertical, diagonal, anti-diagonal) plus row-aligned 2-D blocks and
+   collect, per pattern instantiation (type + stride / block shape), how
+   many elements it could cover.
+2. **Select** the instantiations whose estimated byte gain clears a
+   threshold, capped by the 6-bit ``ctl`` pattern-id space.
+3. **Encode** greedily in decreasing-gain order, marking elements as
+   consumed so each element belongs to exactly one unit; leftovers become
+   delta units of the narrowest sufficient width.
+
+Statistics may be computed on a sampled subset of row windows — the
+mechanism behind the contained preprocessing cost the paper reports in
+Section V-E.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .substructures import (
+    MAX_PATTERN_ID,
+    MAX_UNIT_LEN,
+    FIRST_DYNAMIC_ID,
+    PatternKey,
+    PatternType,
+    Unit,
+    delta_pattern_for,
+)
+from .varint import varint_sizes
+
+__all__ = [
+    "DetectionConfig",
+    "DetectionReport",
+    "PatternStats",
+    "detect_and_encode",
+    "collect_pattern_stats",
+]
+
+#: Approximate ctl head bytes per unit (flags + size + column delta).
+UNIT_HEAD_BYTES = 3
+
+
+@dataclass
+class DetectionConfig:
+    """Tunables of the CSX preprocessing pass.
+
+    Defaults follow the spirit of the original implementation: 1-D runs
+    must have at least 4 elements to beat a delta unit, small dense
+    blocks are probed, and at most a couple of stride instantiations per
+    orientation are kept so the pattern-id space is never exhausted.
+    """
+
+    min_run_len: int = 4
+    #: Orientations to scan. Disable entries for the ablation study.
+    enable_horizontal: bool = True
+    enable_vertical: bool = True
+    enable_diagonal: bool = True
+    enable_anti_diagonal: bool = True
+    enable_blocks: bool = True
+    #: Row-aligned dense block shapes probed, in probe order.
+    block_shapes: tuple[tuple[int, int], ...] = (
+        (3, 3),
+        (2, 2),
+        (2, 3),
+        (3, 2),
+        (2, 4),
+        (4, 2),
+    )
+    #: Keep at most this many stride instantiations per 1-D orientation.
+    max_deltas_per_type: int = 2
+    #: Largest stride considered for 1-D runs.
+    max_stride: int = 8
+    #: Minimum fraction of nnz an instantiation must cover to be encoded.
+    min_coverage: float = 0.005
+    #: Fraction of row windows sampled for statistics (1.0 = full scan).
+    sampling_fraction: float = 1.0
+    #: Row-window size used by the sampler.
+    sampling_window: int = 1024
+    #: Seed for the sampling RNG (determinism matters for tests).
+    sampling_seed: int = 0
+
+
+@dataclass
+class PatternStats:
+    """Scan statistics for one pattern instantiation."""
+
+    pattern: PatternKey
+    covered: int = 0
+    n_units: int = 0
+
+    @property
+    def gain_bytes(self) -> float:
+        """Estimated ctl bytes saved by encoding this instantiation.
+
+        Each covered element would otherwise carry roughly one delta
+        byte; each unit costs a head. Blocks additionally replace several
+        unit heads with one.
+        """
+        return float(self.covered) - UNIT_HEAD_BYTES * self.n_units
+
+
+@dataclass
+class DetectionReport:
+    """Preprocessing outcome: what was scanned, selected and encoded.
+
+    ``elements_scanned`` accumulates the number of (element, orientation)
+    visits — the work metric behind the preprocessing-cost model of
+    :mod:`repro.analysis.preproc`.
+    """
+
+    stats: dict[PatternKey, PatternStats] = field(default_factory=dict)
+    selected: list[PatternKey] = field(default_factory=list)
+    elements_scanned: int = 0
+    sampled_elements: int = 0
+    total_elements: int = 0
+    encoded_by_pattern: dict[PatternKey, int] = field(default_factory=dict)
+
+    def coverage_fraction(self) -> float:
+        """Fraction of elements encoded into (non-delta) substructures."""
+        if self.total_elements == 0:
+            return 0.0
+        covered = sum(
+            n
+            for p, n in self.encoded_by_pattern.items()
+            if not p.is_delta
+        )
+        return covered / self.total_elements
+
+
+# ----------------------------------------------------------------------
+# Run scanning
+# ----------------------------------------------------------------------
+def _runs_in_ordering(
+    group: np.ndarray, pos: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Given elements sorted by ``(group, pos)``, return
+    ``(valid, diffs)`` where ``valid[i]`` says elements ``i`` and ``i+1``
+    are in the same group and ``diffs[i]`` is their position gap."""
+    if group.size < 2:
+        return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+    same = group[1:] == group[:-1]
+    diffs = pos[1:] - pos[:-1]
+    return same, diffs
+
+
+def _extract_runs(
+    links: np.ndarray, min_len: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Find maximal runs of consecutive True ``links``.
+
+    A run of ``m`` links covers ``m + 1`` elements. Returns
+    ``(starts, lengths)`` in *element* units, keeping runs with at least
+    ``min_len`` elements.
+    """
+    if links.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    padded = np.concatenate(([False], links, [False]))
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    starts = changes[0::2]
+    ends = changes[1::2]
+    lengths = ends - starts + 1  # link count + 1 = element count
+    keep = lengths >= min_len
+    return starts[keep].astype(np.int64), lengths[keep].astype(np.int64)
+
+
+@dataclass
+class _Orientation:
+    """One scan orientation: a sort order plus grouping/position keys."""
+
+    type: PatternType
+    order: np.ndarray  # canonical element index, sorted by (group, pos)
+    group: np.ndarray  # in sorted order
+    pos: np.ndarray  # in sorted order
+
+
+def _build_orientations(
+    rows: np.ndarray, cols: np.ndarray, config: DetectionConfig
+) -> list[_Orientation]:
+    orientations: list[_Orientation] = []
+    r = rows.astype(np.int64)
+    c = cols.astype(np.int64)
+
+    def add(ptype: PatternType, group: np.ndarray, pos: np.ndarray) -> None:
+        order = np.lexsort((pos, group))
+        orientations.append(
+            _Orientation(ptype, order, group[order], pos[order])
+        )
+
+    if config.enable_horizontal:
+        add(PatternType.HORIZONTAL, r, c)
+    if config.enable_vertical:
+        add(PatternType.VERTICAL, c, r)
+    if config.enable_diagonal:
+        add(PatternType.DIAGONAL, r - c, r)
+    if config.enable_anti_diagonal:
+        add(PatternType.ANTI_DIAGONAL, r + c, r)
+    return orientations
+
+
+def _stride_candidates(
+    diffs: np.ndarray, valid: np.ndarray, config: DetectionConfig
+) -> list[int]:
+    """Most frequent strides among in-group gaps, small strides only."""
+    if diffs.size == 0:
+        return []
+    usable = valid & (diffs >= 1) & (diffs <= config.max_stride)
+    if not np.any(usable):
+        return []
+    values, counts = np.unique(diffs[usable], return_counts=True)
+    order = np.argsort(counts)[::-1]
+    return [int(values[i]) for i in order[: config.max_deltas_per_type]]
+
+
+# ----------------------------------------------------------------------
+# Block scanning
+# ----------------------------------------------------------------------
+def _block_candidates(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    n_cols: int,
+    shape: tuple[int, int],
+    consumed: Optional[np.ndarray] = None,
+) -> list[tuple[int, int]]:
+    """Anchors ``(r0, c0)`` of fully dense, non-overlapping ``r×c``
+    blocks, scanning greedily left-to-right / top-to-bottom.
+
+    Works on a sorted key array so membership tests are
+    ``O(log nnz)`` each, fully vectorized across candidates.
+    """
+    br, bc = shape
+    keys = rows.astype(np.int64) * n_cols + cols.astype(np.int64)
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+    if consumed is not None:
+        free_sorted = ~consumed[order]
+    else:
+        free_sorted = np.ones(keys.size, dtype=bool)
+
+    def present(qkeys: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(sorted_keys, qkeys)
+        ok = idx < sorted_keys.size
+        hit = np.zeros(qkeys.size, dtype=bool)
+        safe = np.where(ok, idx, 0)
+        hit[ok] = (sorted_keys[safe[ok]] == qkeys[ok]) & free_sorted[safe[ok]]
+        return hit
+
+    # Candidate anchors: every free element could be a block's top-left.
+    if consumed is not None:
+        anchor_mask = ~consumed
+    else:
+        anchor_mask = np.ones(rows.size, dtype=bool)
+    cand_r = rows[anchor_mask].astype(np.int64)
+    cand_c = cols[anchor_mask].astype(np.int64)
+    in_range = cand_c + bc <= n_cols
+    cand_r, cand_c = cand_r[in_range], cand_c[in_range]
+    if cand_r.size == 0:
+        return []
+
+    full = np.ones(cand_r.size, dtype=bool)
+    for dr in range(br):
+        for dc in range(bc):
+            if dr == 0 and dc == 0:
+                continue
+            q = (cand_r + dr) * n_cols + (cand_c + dc)
+            full &= present(q)
+            if not np.any(full):
+                return []
+    anchors_r = cand_r[full]
+    anchors_c = cand_c[full]
+
+    # Greedy non-overlap selection in (row, col) anchor order.
+    order2 = np.lexsort((anchors_c, anchors_r))
+    chosen: list[tuple[int, int]] = []
+    taken: set[tuple[int, int]] = set()
+    for i in order2:
+        r0, c0 = int(anchors_r[i]), int(anchors_c[i])
+        cells = [(r0 + dr, c0 + dc) for dr in range(br) for dc in range(bc)]
+        if any(cell in taken for cell in cells):
+            continue
+        taken.update(cells)
+        chosen.append((r0, c0))
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# Statistics (optionally sampled)
+# ----------------------------------------------------------------------
+def _sample_mask(
+    rows: np.ndarray, n_rows: int, config: DetectionConfig
+) -> np.ndarray:
+    """Boolean element mask selecting sampled row windows."""
+    if config.sampling_fraction >= 1.0:
+        return np.ones(rows.size, dtype=bool)
+    if not 0.0 < config.sampling_fraction < 1.0:
+        raise ValueError("sampling_fraction must be in (0, 1]")
+    window = max(1, config.sampling_window)
+    n_windows = max(1, -(-n_rows // window))
+    n_pick = max(1, int(round(config.sampling_fraction * n_windows)))
+    rng = np.random.default_rng(config.sampling_seed)
+    picked = rng.choice(n_windows, size=min(n_pick, n_windows), replace=False)
+    window_of = rows // window
+    return np.isin(window_of, picked)
+
+
+def collect_pattern_stats(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    n_cols: int,
+    config: DetectionConfig,
+    report: DetectionReport,
+) -> dict[PatternKey, PatternStats]:
+    """Scan (a sample of) the elements and tabulate per-instantiation
+    coverage. Populates and returns ``report.stats``."""
+    n_rows_est = int(rows.max()) + 1 if rows.size else 0
+    mask = _sample_mask(rows, n_rows_est, config)
+    s_rows, s_cols = rows[mask], cols[mask]
+    report.sampled_elements = int(s_rows.size)
+    report.total_elements = int(rows.size)
+    stats: dict[PatternKey, PatternStats] = {}
+
+    for orient in _build_orientations(s_rows, s_cols, config):
+        report.elements_scanned += int(s_rows.size)
+        valid, diffs = _runs_in_ordering(orient.group, orient.pos)
+        for stride in _stride_candidates(diffs, valid, config):
+            links = valid & (diffs == stride)
+            starts, lengths = _extract_runs(links, config.min_run_len)
+            if starts.size == 0:
+                continue
+            key = PatternKey(orient.type, (stride,))
+            # Long runs split into MAX_UNIT_LEN-sized units.
+            n_units = int(np.sum(-(-lengths // MAX_UNIT_LEN)))
+            stats[key] = PatternStats(
+                key, covered=int(lengths.sum()), n_units=n_units
+            )
+
+    if config.enable_blocks:
+        for shape in config.block_shapes:
+            report.elements_scanned += int(s_rows.size)
+            anchors = _block_candidates(s_rows, s_cols, n_cols, shape)
+            if not anchors:
+                continue
+            key = PatternKey(PatternType.BLOCK, shape)
+            stats[key] = PatternStats(
+                key,
+                covered=len(anchors) * shape[0] * shape[1],
+                n_units=len(anchors),
+            )
+
+    report.stats = stats
+    return stats
+
+
+def select_patterns(
+    stats: dict[PatternKey, PatternStats],
+    total_elements: int,
+    sampled_elements: int,
+    config: DetectionConfig,
+) -> list[PatternKey]:
+    """Rank instantiations by estimated gain and keep the worthwhile ones.
+
+    Sampled statistics are extrapolated to the full matrix before the
+    coverage threshold is applied.
+    """
+    if sampled_elements == 0:
+        return []
+    scale = total_elements / sampled_elements
+    ranked = sorted(
+        stats.values(), key=lambda s: s.gain_bytes * scale, reverse=True
+    )
+    selected: list[PatternKey] = []
+    budget = MAX_PATTERN_ID - FIRST_DYNAMIC_ID + 1
+    for s in ranked:
+        if len(selected) >= budget:
+            break
+        if s.gain_bytes <= 0:
+            continue
+        if s.covered * scale < config.min_coverage * total_elements:
+            continue
+        selected.append(s.pattern)
+    return selected
+
+
+# ----------------------------------------------------------------------
+# Greedy encoding
+# ----------------------------------------------------------------------
+def _encode_runs_for_pattern(
+    pattern: PatternKey,
+    orient: _Orientation,
+    consumed: np.ndarray,
+    min_run_len: int,
+    units: list[Unit],
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> int:
+    """Encode all maximal unconsumed runs of one 1-D instantiation.
+
+    Returns the number of elements consumed. Runs are recomputed against
+    the ``consumed`` mask so earlier (higher-gain) patterns win overlaps.
+    """
+    (stride,) = pattern.params
+    group, pos, order = orient.group, orient.pos, orient.order
+    if group.size < 2:
+        return 0
+    free = ~consumed[order]
+    links = (
+        (group[1:] == group[:-1])
+        & (pos[1:] - pos[:-1] == stride)
+        & free[1:]
+        & free[:-1]
+    )
+    starts, lengths = _extract_runs(links, min_run_len)
+    taken = 0
+    for start, length in zip(starts, lengths):
+        offset = 0
+        while offset < length:
+            chunk = min(int(length - offset), MAX_UNIT_LEN)
+            if chunk < min_run_len and offset > 0:
+                break  # tail too short to pay for a unit head
+            sel = order[start + offset : start + offset + chunk]
+            units.append(
+                Unit(
+                    pattern,
+                    row=int(rows[sel[0]]),
+                    col=int(cols[sel[0]]),
+                    length=chunk,
+                )
+            )
+            consumed[sel] = True
+            taken += chunk
+            offset += chunk
+    return taken
+
+
+def _encode_blocks_for_shape(
+    pattern: PatternKey,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    n_cols: int,
+    consumed: np.ndarray,
+    units: list[Unit],
+) -> int:
+    """Encode all unconsumed dense blocks of one shape."""
+    shape = pattern.params
+    anchors = _block_candidates(rows, cols, n_cols, shape, consumed=consumed)
+    if not anchors:
+        return 0
+    keys = rows.astype(np.int64) * n_cols + cols.astype(np.int64)
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+    br, bc = shape
+    taken = 0
+    for r0, c0 in anchors:
+        qr = r0 + np.repeat(np.arange(br, dtype=np.int64), bc)
+        qc = c0 + np.tile(np.arange(bc, dtype=np.int64), br)
+        idx = np.searchsorted(sorted_keys, qr * n_cols + qc)
+        sel = order[idx]
+        if np.any(consumed[sel]):
+            continue  # raced with an overlapping earlier block
+        units.append(
+            Unit(pattern, row=int(r0), col=int(c0), length=br * bc)
+        )
+        consumed[sel] = True
+        taken += br * bc
+    return taken
+
+
+def _encode_delta_leftovers(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    consumed: np.ndarray,
+    units: list[Unit],
+) -> int:
+    """Pack every unconsumed element into delta units (per row, grouped
+    by the narrowest byte width that fits the run's column gaps)."""
+    free_idx = np.flatnonzero(~consumed)
+    if free_idx.size == 0:
+        return 0
+    fr = rows[free_idx]
+    fc = cols[free_idx]
+    order = np.lexsort((fc, fr))
+    fr, fc = fr[order], fc[order]
+
+    # Width class of the gap *into* each element (first of a row: width 1,
+    # the head column delta is a varint and costs no body byte).
+    widths = np.ones(fr.size, dtype=np.int64)
+    if fr.size > 1:
+        same_row = fr[1:] == fr[:-1]
+        gaps = fc[1:] - fc[:-1]
+        w = np.ones(gaps.size, dtype=np.int64)
+        w[gaps >= (1 << 8)] = 2
+        w[gaps >= (1 << 16)] = 4
+        widths[1:][same_row] = w[same_row]
+
+    # Split points: new row, width change, or unit overflow.
+    split = np.zeros(fr.size, dtype=bool)
+    split[0] = True
+    if fr.size > 1:
+        split[1:] = (fr[1:] != fr[:-1]) | (widths[1:] != widths[:-1])
+    unit_starts = np.flatnonzero(split)
+    unit_ends = np.append(unit_starts[1:], fr.size)
+    taken = 0
+    for s, e in zip(unit_starts, unit_ends):
+        for off in range(int(s), int(e), MAX_UNIT_LEN):
+            end = min(off + MAX_UNIT_LEN, int(e))
+            width = int(widths[off if off > int(s) else min(off + 1, end - 1)])
+            pattern = PatternKey(PatternType.DELTA, (width,))
+            units.append(
+                Unit(
+                    pattern,
+                    row=int(fr[off]),
+                    col=int(fc[off]),
+                    length=end - off,
+                    cols=fc[off:end].copy(),
+                )
+            )
+            taken += end - off
+    return taken
+
+
+def detect_and_encode(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    n_cols: int,
+    config: Optional[DetectionConfig] = None,
+) -> tuple[list[Unit], DetectionReport]:
+    """Full CSX preprocessing: scan, select, and encode into units.
+
+    Elements must be unique coordinates. Returns the unit list sorted by
+    anchor (row-major) with per-unit values attached in execution order,
+    plus the :class:`DetectionReport`.
+    """
+    config = config or DetectionConfig()
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    report = DetectionReport(total_elements=int(rows.size))
+    if rows.size == 0:
+        return [], report
+
+    stats = collect_pattern_stats(rows, cols, n_cols, config, report)
+    selected = select_patterns(
+        stats, report.total_elements, report.sampled_elements, config
+    )
+    report.selected = selected
+
+    consumed = np.zeros(rows.size, dtype=bool)
+    units: list[Unit] = []
+    orientations = {
+        o.type: o for o in _build_orientations(rows, cols, config)
+    }
+    for pattern in selected:
+        report.elements_scanned += int(rows.size)
+        if pattern.type is PatternType.BLOCK:
+            n = _encode_blocks_for_shape(
+                pattern, rows, cols, n_cols, consumed, units
+            )
+        else:
+            n = _encode_runs_for_pattern(
+                pattern,
+                orientations[pattern.type],
+                consumed,
+                config.min_run_len,
+                units,
+                rows,
+                cols,
+            )
+        if n:
+            report.encoded_by_pattern[pattern] = n
+
+    n_delta = _encode_delta_leftovers(rows, cols, consumed, units)
+    if n_delta:
+        for u in units:
+            if u.pattern.is_delta:
+                key = u.pattern
+                report.encoded_by_pattern[key] = (
+                    report.encoded_by_pattern.get(key, 0) + u.length
+                )
+
+    # Row-major anchor order, then attach values in execution order.
+    units.sort(key=lambda u: (u.row, u.col, u.pattern))
+    _attach_values(units, rows, cols, vals, n_cols)
+    return units, report
+
+
+def _attach_values(
+    units: Sequence[Unit],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    n_cols: int,
+) -> None:
+    """Fill each unit's ``values`` by looking its coordinates up in the
+    element set (values are stored substructure-wise, Section IV-A)."""
+    from .substructures import unit_coordinates
+
+    keys = rows * n_cols + cols
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+    for unit in units:
+        ur, uc = unit_coordinates(unit)
+        idx = np.searchsorted(sorted_keys, ur * n_cols + uc)
+        if np.any(idx >= sorted_keys.size):
+            raise ValueError("unit references a missing element")
+        sel = order[idx]
+        if not (
+            np.array_equal(rows[sel], ur) and np.array_equal(cols[sel], uc)
+        ):
+            raise ValueError("unit references a missing element")
+        unit.values = vals[sel].copy()

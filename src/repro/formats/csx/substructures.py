@@ -1,0 +1,180 @@
+"""CSX substructure taxonomy (paper Section IV-A, Fig. 6).
+
+CSX represents a sparse matrix as a stream of *units*. A unit is either:
+
+* a **delta unit** — a run of same-row elements whose column deltas all
+  fit in 8, 16 or 32 bits (the generic fallback; every element can be
+  stored this way), or
+* a **substructure unit** — a run of elements following a regular
+  pattern (horizontal / vertical / diagonal / anti-diagonal with a
+  constant stride ``delta``, or a dense row-major ``r×c`` block) whose
+  per-element index information is therefore *zero* bytes.
+
+The module defines the pattern algebra: pattern keys, element coordinate
+generation, and the legality predicate CSX-Sym adds (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "PatternType",
+    "PatternKey",
+    "Unit",
+    "DELTA8",
+    "DELTA16",
+    "DELTA32",
+    "delta_pattern_for",
+    "unit_coordinates",
+]
+
+
+class PatternType(enum.IntEnum):
+    """Kinds of CSX units."""
+
+    DELTA = 0          # params: byte width of the encoded column deltas
+    HORIZONTAL = 1     # params: column stride
+    VERTICAL = 2       # params: row stride
+    DIAGONAL = 3       # params: stride along (+1, +1)
+    ANTI_DIAGONAL = 4  # params: stride along (+1, -1)
+    BLOCK = 5          # params: (block_rows, block_cols), row-aligned
+
+
+@dataclass(frozen=True, order=True)
+class PatternKey:
+    """Identity of a pattern instantiation, e.g. HORIZONTAL with stride 2.
+
+    ``params`` is the byte-width for DELTA, the stride for the four 1-D
+    run patterns, and the ``(r, c)`` shape tuple for BLOCK.
+    """
+
+    type: PatternType
+    params: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.type is PatternType.DELTA:
+            return f"delta{8 * self.params[0]}"
+        if self.type is PatternType.BLOCK:
+            return f"block{self.params[0]}x{self.params[1]}"
+        return f"{self.type.name.lower()}(d={self.params[0]})"
+
+    @property
+    def is_delta(self) -> bool:
+        return self.type is PatternType.DELTA
+
+
+DELTA8 = PatternKey(PatternType.DELTA, (1,))
+DELTA16 = PatternKey(PatternType.DELTA, (2,))
+DELTA32 = PatternKey(PatternType.DELTA, (4,))
+
+#: Fixed ``ctl`` pattern ids for the three delta widths; substructure
+#: instantiations get per-matrix ids from 3 upward (6-bit field → ≤ 64).
+FIXED_PATTERN_IDS = {DELTA8: 0, DELTA16: 1, DELTA32: 2}
+FIRST_DYNAMIC_ID = 3
+MAX_PATTERN_ID = 63
+
+#: Maximum unit length: the ctl size field is one byte.
+MAX_UNIT_LEN = 255
+
+
+def delta_pattern_for(max_delta: int) -> PatternKey:
+    """Smallest delta pattern whose width fits ``max_delta``."""
+    if max_delta < 0:
+        raise ValueError("column deltas must be non-negative")
+    if max_delta < (1 << 8):
+        return DELTA8
+    if max_delta < (1 << 16):
+        return DELTA16
+    if max_delta < (1 << 32):
+        return DELTA32
+    raise ValueError(f"column delta {max_delta} exceeds 32 bits")
+
+
+@dataclass
+class Unit:
+    """One CSX unit: a pattern instantiation anchored at ``(row, col)``.
+
+    ``length`` counts elements. Delta units additionally carry their
+    absolute column indices in ``cols`` (first entry equals ``col``).
+    ``values`` are attached at encode time in execution order.
+    """
+
+    pattern: PatternKey
+    row: int
+    col: int
+    length: int
+    cols: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("unit length must be >= 1")
+        if self.length > MAX_UNIT_LEN:
+            raise ValueError(
+                f"unit length {self.length} exceeds the 1-byte size field"
+            )
+        if self.pattern.is_delta:
+            if self.cols is None:
+                raise ValueError("delta units need explicit column indices")
+            self.cols = np.asarray(self.cols, dtype=np.int64)
+            if self.cols.size != self.length:
+                raise ValueError("cols length mismatch")
+            if self.cols[0] != self.col:
+                raise ValueError("first delta column must equal unit col")
+            if self.length > 1 and np.any(np.diff(self.cols) <= 0):
+                raise ValueError("delta columns must be strictly increasing")
+        elif self.pattern.type is PatternType.BLOCK:
+            r, c = self.pattern.params
+            if self.length != r * c:
+                raise ValueError(
+                    f"block unit length {self.length} != {r}*{c}"
+                )
+
+
+def unit_coordinates(unit: Unit) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a unit into its element coordinates ``(rows, cols)``.
+
+    Coordinates are produced in the unit's canonical (execution) order:
+    row-major for blocks, run order for everything else.
+    """
+    t = unit.pattern.type
+    k = np.arange(unit.length, dtype=np.int64)
+    if t is PatternType.DELTA:
+        rows = np.full(unit.length, unit.row, dtype=np.int64)
+        return rows, unit.cols.copy()
+    if t is PatternType.HORIZONTAL:
+        (d,) = unit.pattern.params
+        rows = np.full(unit.length, unit.row, dtype=np.int64)
+        return rows, unit.col + d * k
+    if t is PatternType.VERTICAL:
+        (d,) = unit.pattern.params
+        cols = np.full(unit.length, unit.col, dtype=np.int64)
+        return unit.row + d * k, cols
+    if t is PatternType.DIAGONAL:
+        (d,) = unit.pattern.params
+        return unit.row + d * k, unit.col + d * k
+    if t is PatternType.ANTI_DIAGONAL:
+        (d,) = unit.pattern.params
+        return unit.row + d * k, unit.col - d * k
+    if t is PatternType.BLOCK:
+        r, c = unit.pattern.params
+        rows = unit.row + np.repeat(np.arange(r, dtype=np.int64), c)
+        cols = unit.col + np.tile(np.arange(c, dtype=np.int64), r)
+        return rows, cols
+    raise AssertionError(f"unhandled pattern type {t!r}")
+
+
+def unit_column_span(unit: Unit) -> tuple[int, int]:
+    """Inclusive ``(min_col, max_col)`` of the unit's elements.
+
+    Used by CSX-Sym's legality filter: a substructure is only encoded if
+    its transposed writes fall entirely on one side of the thread's
+    local/direct boundary (Section IV-B, Fig. 8).
+    """
+    _, cols = unit_coordinates(unit)
+    return int(cols.min()), int(cols.max())

@@ -1,0 +1,289 @@
+"""CSX-Sym: the symmetric CSX variant (paper Section IV-B).
+
+CSX-Sym stores the main diagonal in a dense ``dvalues`` array (like SSS)
+and runs the CSX substructure machinery on the *strictly lower*
+triangle only. One restriction is added: a substructure whose transposed
+writes would hit both the thread's local vector and the output vector
+(i.e. whose column span straddles the partition's ``row_start``
+boundary, Fig. 8) is rejected and falls back to delta units — this
+avoids a per-element routing check inside the generated kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..base import VALUE_BYTES, SymmetricFormat
+from ..coo import COOMatrix
+from .ctl import build_pattern_table, decode_ctl, encode_ctl, encode_pattern_table
+from .detect import DetectionConfig, DetectionReport, detect_and_encode
+from .matrix import CSXPartition
+from .plan import compile_plan
+from .substructures import (
+    PatternType,
+    Unit,
+    delta_pattern_for,
+    unit_column_span,
+    unit_coordinates,
+)
+
+__all__ = ["CSXSymMatrix", "legalize_units"]
+
+
+def _unit_to_delta_units(unit: Unit) -> list[Unit]:
+    """Break a substructure unit into per-row delta units.
+
+    Used for substructures rejected by the legality filter; their
+    elements are stored as generic delta units instead.
+    """
+    rows, cols = unit_coordinates(unit)
+    out: list[Unit] = []
+    order = np.lexsort((cols, rows))
+    rows, cols = rows[order], cols[order]
+    values = unit.values[order] if unit.values is not None else None
+    start = 0
+    for i in range(1, rows.size + 1):
+        if i == rows.size or rows[i] != rows[start]:
+            ucols = cols[start:i]
+            gaps_max = int(np.diff(ucols).max()) if i - start > 1 else 0
+            u = Unit(
+                delta_pattern_for(gaps_max),
+                row=int(rows[start]),
+                col=int(ucols[0]),
+                length=i - start,
+                cols=ucols.copy(),
+            )
+            if values is not None:
+                u.values = values[start:i].copy()
+            out.append(u)
+            start = i
+    return out
+
+
+def legalize_units(
+    units: Sequence[Unit], boundary: int
+) -> tuple[list[Unit], int]:
+    """Apply the CSX-Sym legality filter for a partition starting at
+    ``boundary``.
+
+    A substructure is legal iff all its columns are on one side of
+    ``boundary`` (all-local or all-direct transposed writes). Returns
+    the legalized (re-sorted) unit list and the number of rejected
+    substructure units.
+    """
+    out: list[Unit] = []
+    rejected = 0
+    for unit in units:
+        if unit.pattern.is_delta:
+            out.append(unit)
+            continue
+        cmin, cmax = unit_column_span(unit)
+        if cmin < boundary <= cmax:
+            out.extend(_unit_to_delta_units(unit))
+            rejected += 1
+        else:
+            out.append(unit)
+    out.sort(key=lambda u: (u.row, u.col, u.pattern))
+    return out, rejected
+
+
+class CSXSymMatrix(SymmetricFormat):
+    """Symmetric CSX storage.
+
+    Parameters
+    ----------
+    coo : COOMatrix
+        Fully expanded symmetric matrix.
+    partitions : sequence of (row_start, row_end), optional
+        Thread partitions the matrix is preprocessed for (defaults to a
+        single serial partition). The legality filter and the
+        partitioned kernel both depend on these boundaries, exactly as
+        in the original implementation where CSX-Sym is built per
+        thread.
+    config : DetectionConfig, optional
+    check_symmetry : bool
+    """
+
+    format_name = "csx-sym"
+
+    def __init__(
+        self,
+        coo: COOMatrix,
+        partitions: Optional[Sequence[tuple[int, int]]] = None,
+        config: Optional[DetectionConfig] = None,
+        *,
+        check_symmetry: bool = True,
+        legality_filter: bool = True,
+    ):
+        super().__init__(coo.shape)
+        if check_symmetry and not coo.is_symmetric():
+            raise ValueError("CSX-Sym requires a symmetric matrix")
+        self.config = config or DetectionConfig()
+        self.legality_filter = legality_filter
+        if partitions is None:
+            partitions = [(0, self.n_rows)]
+        self._partition_bounds = [(int(s), int(e)) for s, e in partitions]
+        self._check_partitions()
+
+        self.dvalues = coo.diagonal()
+        lower = coo.lower_triangle(strict=True)
+        rows = lower.rows.astype(np.int64)
+        cols = lower.cols.astype(np.int64)
+
+        self.partitions: list[CSXPartition] = []
+        self.rejected_units = 0
+        for start, end in self._partition_bounds:
+            mask = (rows >= start) & (rows < end)
+            units, report = detect_and_encode(
+                rows[mask], cols[mask], lower.vals[mask], self.n_cols,
+                self.config,
+            )
+            if self.legality_filter:
+                units, nrej = legalize_units(units, start)
+                self.rejected_units += nrej
+            table = build_pattern_table(units)
+            ctl = encode_ctl(units, table)
+            decoded = decode_ctl(ctl, {i: p for p, i in table.items()})
+            for u_enc, u_dec in zip(units, decoded):
+                u_dec.values = u_enc.values
+            plan = compile_plan(decoded, self.n_rows)
+            self.partitions.append(
+                CSXPartition(
+                    start, end, decoded, ctl,
+                    encode_pattern_table(table), plan, report,
+                )
+            )
+        self._nnz_lower = int(lower.nnz)
+        total = sum(p.n_elements for p in self.partitions)
+        if total != self._nnz_lower:
+            raise AssertionError(
+                f"encoded {total} lower elements, expected {self._nnz_lower}"
+            )
+        self._part_index = {
+            (s, e): i for i, (s, e) in enumerate(self._partition_bounds)
+        }
+
+    def _check_partitions(self) -> None:
+        prev = 0
+        for start, end in self._partition_bounds:
+            if start != prev or end < start:
+                raise ValueError("partitions must tile [0, n_rows)")
+            prev = end
+        if prev != self.n_rows:
+            raise ValueError("partitions must cover all rows")
+
+    # ------------------------------------------------------------------
+    # SparseFormat interface
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(
+            2 * self._nnz_lower + np.count_nonzero(self.dvalues)
+        )
+
+    @property
+    def stored_entries(self) -> int:
+        return self.n_rows + self._nnz_lower
+
+    @property
+    def nnz_lower(self) -> int:
+        return self._nnz_lower
+
+    def size_bytes(self) -> int:
+        """dvalues + lower values + ctl streams + pattern tables."""
+        return (
+            self.n_rows * VALUE_BYTES
+            + self._nnz_lower * VALUE_BYTES
+            + sum(p.ctl_bytes() for p in self.partitions)
+        )
+
+    def ctl_size_bytes(self) -> int:
+        return sum(p.ctl_bytes() for p in self.partitions)
+
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Serial symmetric SpM×V through the compiled plans."""
+        x, y = self._check_spmv_args(x, y)
+        y += self.dvalues * x
+        dummy_local = np.zeros(0, dtype=np.float64)
+        for p in self.partitions:
+            p.plan.execute(x, y)
+            p.plan.execute_transposed_split(x, y, dummy_local, boundary=0)
+        return y
+
+    def spmv_partition(
+        self,
+        x: np.ndarray,
+        y_direct: np.ndarray,
+        y_local: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> None:
+        """One thread's multiplication phase (Alg. 3 lines 2-11) through
+        the partition's compiled plan. ``(row_start, row_end)`` must be
+        one of the partitions the matrix was preprocessed for."""
+        try:
+            i = self._part_index[(row_start, row_end)]
+        except KeyError:
+            raise ValueError(
+                f"({row_start}, {row_end}) is not a preprocessed partition; "
+                f"available: {self._partition_bounds}"
+            ) from None
+        p = self.partitions[i]
+        sl = slice(row_start, row_end)
+        y_direct[sl] += self.dvalues[sl] * x[sl]
+        p.plan.execute(x, y_direct)
+        p.plan.execute_transposed_split(x, y_direct, y_local, row_start)
+
+    def to_coo(self) -> COOMatrix:
+        rows_list, cols_list, vals_list = [], [], []
+        for p in self.partitions:
+            r, c = p.plan.element_coordinates()
+            v = (
+                np.concatenate([k.values.ravel() for k in p.plan.kernels])
+                if p.plan.kernels
+                else np.zeros(0)
+            )
+            rows_list += [r, c]
+            cols_list += [c, r]
+            vals_list += [v, v]
+        diag_rows = np.flatnonzero(self.dvalues).astype(np.int64)
+        rows_list.append(diag_rows)
+        cols_list.append(diag_rows)
+        vals_list.append(self.dvalues[diag_rows])
+        return COOMatrix(
+            self.shape,
+            np.concatenate(rows_list),
+            np.concatenate(cols_list),
+            np.concatenate(vals_list),
+            sum_duplicates=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Partition structure queries
+    # ------------------------------------------------------------------
+    @property
+    def partition_bounds(self) -> list[tuple[int, int]]:
+        return list(self._partition_bounds)
+
+    def partition_conflict_rows(self, row_start: int, row_end: int) -> np.ndarray:
+        """Unique output rows before ``row_start`` that the partition's
+        transposed writes touch (= non-zeros of its local vector)."""
+        i = self._part_index[(row_start, row_end)]
+        _, cols = self.partitions[i].plan.element_coordinates()
+        return np.unique(cols[cols < row_start]).astype(np.int64)
+
+    def detection_reports(self) -> list[DetectionReport]:
+        return [p.report for p in self.partitions]
+
+    def substructure_coverage(self) -> float:
+        """Fraction of stored lower elements inside non-delta units."""
+        if self._nnz_lower == 0:
+            return 0.0
+        covered = 0
+        for p in self.partitions:
+            for u in p.units:
+                if not u.pattern.is_delta:
+                    covered += u.length
+        return covered / self._nnz_lower

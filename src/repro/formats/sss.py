@@ -1,0 +1,202 @@
+"""Symmetric Sparse Skyline (SSS) storage (paper Section II-B).
+
+SSS stores a symmetric matrix as a separate dense main-diagonal array
+``dvalues`` plus the *strictly lower* triangle in CSR form. Size follows
+eq. (2): ``S_SSS = 6*(NNZ + N) + 4`` for a matrix with ``NNZ`` logical
+non-zeros (both triangles, full diagonal) of rank ``N``.
+
+The serial kernel is Alg. 2; the partition kernel used by the
+multithreaded algorithms (Alg. 3) routes transposed contributions either
+directly into the output vector (inside the thread's own row range) or
+into the thread's local vector (rows before the partition), which is the
+behaviour the three reduction methods of Section III build upon.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import INDEX_BYTES, VALUE_BYTES, SymmetricFormat
+from .coo import COOMatrix
+from .csr import csr_row_segment_sums
+
+__all__ = ["SSSMatrix"]
+
+
+class SSSMatrix(SymmetricFormat):
+    """Sparse Symmetric Skyline storage of a symmetric matrix.
+
+    Parameters
+    ----------
+    shape : (int, int) — must be square.
+    dvalues : float64 array of length ``N`` (dense main diagonal; zeros
+        allowed for structurally missing diagonal entries).
+    rowptr, colind, values : CSR triple of the strictly lower triangle.
+    """
+
+    format_name = "sss"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        dvalues: np.ndarray,
+        rowptr: np.ndarray,
+        colind: np.ndarray,
+        values: np.ndarray,
+    ):
+        super().__init__(shape)
+        dvalues = np.asarray(dvalues, dtype=np.float64)
+        rowptr = np.asarray(rowptr, dtype=np.int32)
+        colind = np.asarray(colind, dtype=np.int32)
+        values = np.asarray(values, dtype=np.float64)
+        if dvalues.shape != (self.n_rows,):
+            raise ValueError("dvalues must have length N")
+        if rowptr.shape != (self.n_rows + 1,):
+            raise ValueError("rowptr must have length N+1")
+        if rowptr[0] != 0 or rowptr[-1] != colind.size:
+            raise ValueError("rowptr must start at 0 and end at nnz(lower)")
+        if np.any(np.diff(rowptr) < 0):
+            raise ValueError("rowptr must be non-decreasing")
+        if colind.shape != values.shape:
+            raise ValueError("colind/values length mismatch")
+        self.dvalues = dvalues
+        self.rowptr = rowptr
+        self.colind = colind
+        self.values = values
+        # Row index of each stored (strictly lower) entry; an execution
+        # aid for the vectorized scatter, not counted in size_bytes().
+        self._rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int32), np.diff(rowptr)
+        )
+        if colind.size and np.any(colind >= self._rows):
+            raise ValueError("SSS off-diagonal entries must be strictly lower")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, check_symmetry: bool = True) -> "SSSMatrix":
+        """Build from an (expanded) symmetric COO matrix."""
+        if check_symmetry and not coo.is_symmetric():
+            raise ValueError("matrix is not symmetric; SSS requires symmetry")
+        lower = coo.lower_triangle(strict=True)
+        counts = np.bincount(lower.rows, minlength=coo.n_rows)
+        rowptr = np.zeros(coo.n_rows + 1, dtype=np.int32)
+        np.cumsum(counts, out=rowptr[1:])
+        return cls(coo.shape, coo.diagonal(), rowptr, lower.cols, lower.vals)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SSSMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # SparseFormat interface
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Logical non-zeros of the expanded matrix."""
+        return int(2 * self.values.size + np.count_nonzero(self.dvalues))
+
+    @property
+    def stored_entries(self) -> int:
+        """Explicit value entries: N diagonal slots + lower triangle."""
+        return int(self.n_rows + self.values.size)
+
+    @property
+    def nnz_lower(self) -> int:
+        """Stored strictly-lower entries, ``(NNZ - N) / 2`` in the paper."""
+        return int(self.values.size)
+
+    def size_bytes(self) -> int:
+        """Paper eq. (2): ``8N + 12*(NNZ-N)/2 + 4*(N+1) = 6(NNZ+N) + 4``."""
+        return (
+            self.n_rows * VALUE_BYTES
+            + self.nnz_lower * (VALUE_BYTES + INDEX_BYTES)
+            + (self.n_rows + 1) * INDEX_BYTES
+        )
+
+    def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Serial symmetric SpM×V (Alg. 2), vectorized."""
+        x, y = self._check_spmv_args(x, y)
+        y[:] = self.dvalues * x
+        if self.values.size:
+            products = self.values * x[self.colind]
+            y += csr_row_segment_sums(products, self.rowptr, 0, self.n_rows)
+            # Transposed (upper-triangle) contributions: y[c] += a_rc * x[r].
+            np.add.at(y, self.colind, self.values * x[self._rows])
+        return y
+
+    def spmv_partition(
+        self,
+        x: np.ndarray,
+        y_direct: np.ndarray,
+        y_local: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> None:
+        """Partition kernel for Alg. 3 (one thread's multiplication phase).
+
+        Stored rows ``[row_start, row_end)`` are computed. Row results and
+        transposed contributions landing inside the partition accumulate
+        into ``y_direct``; transposed contributions to rows before
+        ``row_start`` go to ``y_local``.
+        """
+        lo, hi = self.rowptr[row_start], self.rowptr[row_end]
+        sl = slice(row_start, row_end)
+        y_direct[sl] += self.dvalues[sl] * x[sl]
+        if hi == lo:
+            return
+        cols = self.colind[lo:hi]
+        vals = self.values[lo:hi]
+        products = vals * x[cols]
+        y_direct[sl] += csr_row_segment_sums(
+            products, self.rowptr, row_start, row_end
+        )
+        transposed = vals * x[self._rows[lo:hi]]
+        local_mask = cols < row_start
+        if np.any(local_mask):
+            np.add.at(y_local, cols[local_mask], transposed[local_mask])
+        direct_mask = ~local_mask
+        if np.any(direct_mask):
+            np.add.at(y_direct, cols[direct_mask], transposed[direct_mask])
+
+    def to_coo(self) -> COOMatrix:
+        """Expand to a full (both-triangle) COO matrix."""
+        diag_rows = np.flatnonzero(self.dvalues).astype(np.int32)
+        rows = np.concatenate([self._rows, self.colind, diag_rows])
+        cols = np.concatenate([self.colind, self._rows, diag_rows])
+        vals = np.concatenate(
+            [self.values, self.values, self.dvalues[diag_rows]]
+        )
+        return COOMatrix(self.shape, rows, cols, vals, sum_duplicates=False)
+
+    # ------------------------------------------------------------------
+    # Partition structure queries (used by the reduction machinery)
+    # ------------------------------------------------------------------
+    def partition_conflict_rows(self, row_start: int, row_end: int) -> np.ndarray:
+        """Sorted unique output rows *before* ``row_start`` that the
+        partition's transposed contributions write to.
+
+        These are exactly the non-zero elements of the partition's local
+        vector — the quantity the local-vectors indexing scheme of
+        Section III-C indexes.
+        """
+        lo, hi = self.rowptr[row_start], self.rowptr[row_end]
+        cols = self.colind[lo:hi]
+        return np.unique(cols[cols < row_start]).astype(np.int64)
+
+    def row_nnz_lower(self) -> np.ndarray:
+        """Stored (strictly lower) entries per row."""
+        return np.diff(self.rowptr).astype(np.int64)
+
+    def expanded_row_nnz(self) -> np.ndarray:
+        """Logical non-zeros per row of the expanded matrix (used by the
+        nnz-balanced partitioner so thread loads match the real work)."""
+        counts = np.diff(self.rowptr).astype(np.int64)
+        counts += np.bincount(
+            self.colind, minlength=self.n_rows
+        ).astype(np.int64)
+        counts += (self.dvalues != 0.0).astype(np.int64)
+        return counts

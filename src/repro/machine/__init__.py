@@ -1,0 +1,34 @@
+"""Multicore machine performance model.
+
+Replaces the paper's hardware testbeds (Table II) with an explicit
+roofline model driven by exactly measured per-thread traffic; see
+DESIGN.md for the substitution rationale.
+"""
+
+from .cache import estimate_x_misses, reuse_window_lines, x_traffic_bytes
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .numa import AllocationPolicy, effective_bandwidth, remote_access_factor
+from .perfmodel import PredictedTime, gflops, predict_serial_csr, predict_spmv
+from .platforms import DUNNINGTON, GAINESTOWN, PLATFORMS, Platform
+from .roofline import PhaseLoad, phase_time
+
+__all__ = [
+    "Platform",
+    "DUNNINGTON",
+    "GAINESTOWN",
+    "PLATFORMS",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "PredictedTime",
+    "predict_spmv",
+    "predict_serial_csr",
+    "gflops",
+    "PhaseLoad",
+    "phase_time",
+    "estimate_x_misses",
+    "reuse_window_lines",
+    "x_traffic_bytes",
+    "AllocationPolicy",
+    "effective_bandwidth",
+    "remote_access_factor",
+]

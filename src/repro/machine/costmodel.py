@@ -1,0 +1,57 @@
+"""Kernel cost constants for the performance model.
+
+Per-element cycle costs approximate the instruction footprint of the
+tight C/LLVM loops of the original implementation. They are *relative*
+costs — the experiments compare formats and methods against each other,
+so what matters is the ordering and rough magnitude: CSX substructure
+elements are cheapest (no column-index load, unrolled), CSR elements
+carry an index load, symmetric elements pay for the second (transposed)
+update, and delta elements pay for the inline decode.
+
+All constants live in one dataclass so the ablation benchmarks can vary
+them and so calibration is explicit rather than buried in formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the machine performance model."""
+
+    # -- compute: cycles per processed element ---------------------------
+    csr_cycles_per_nnz: float = 2.6
+    csr_cycles_per_row: float = 6.0
+    #: Two FMAs + an indirect read-modify-write per stored element: the
+    #: store-to-load dependency chain makes this the most expensive
+    #: element kind (calibrated against the paper's Gainestown ratios,
+    #: where the symmetric kernels run near the compute ceiling).
+    sss_cycles_per_lower: float = 9.5
+    sss_cycles_per_diag: float = 1.5
+    csx_cycles_per_sub_elem: float = 1.4
+    csx_cycles_per_delta_elem: float = 2.8
+    csx_cycles_per_unit: float = 7.0
+    csx_sym_extra_cycles_per_elem: float = 6.5  # transposed update chain
+    reduce_cycles_per_element: float = 2.0
+
+    # -- memory: write-allocate factor for scattered stores --------------
+    scatter_write_factor: float = 2.0  # fetch line + write it back
+
+    # -- cache sharing ----------------------------------------------------
+    #: Fraction of the available LLC the input vector retains.
+    x_cache_share: float = 0.5
+    #: Fraction retained by the scattered-output working set.
+    y_cache_share: float = 0.25
+    #: Floor on the x share under heavy reduction working-set pressure.
+    min_x_share: float = 0.05
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        """A copy with selected constants replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_COST_MODEL = CostModel()

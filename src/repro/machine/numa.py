@@ -1,0 +1,84 @@
+"""NUMA memory-allocation policies (paper §V-A).
+
+The paper's NUMA-aware implementations use *numactl* plus a "low-level
+interleaved allocator" — because on a NUMA machine like Gainestown the
+placement of the matrix pages decides how much aggregate bandwidth the
+kernel can actually draw:
+
+* ``FIRST_TOUCH_SERIAL`` — the matrix is built by the main thread, so
+  first-touch places every page on socket 0; all remote sockets then
+  stream through one memory controller (plus the interconnect penalty).
+  The naive baseline the paper's allocator exists to avoid.
+* ``INTERLEAVED`` — pages round-robin across sockets: every controller
+  serves an equal share regardless of which thread asks. The paper's
+  choice for shared data (the input vector).
+* ``LOCAL`` — partition-aware placement: each thread's share of the
+  matrix lives on its own socket; all accesses are local. Best case for
+  the (thread-private) matrix arrays.
+
+:func:`effective_bandwidth` turns a policy into the sustainable
+aggregate bandwidth for ``p`` threads, which `predict_spmv`-style
+consumers can use in place of the default (= ``LOCAL``/``INTERLEAVED``)
+behaviour. SMP machines with a shared bus (Dunnington) are unaffected
+by placement.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .platforms import Platform
+
+__all__ = ["AllocationPolicy", "effective_bandwidth", "remote_access_factor"]
+
+
+class AllocationPolicy(enum.Enum):
+    """Where matrix/vector pages land on a NUMA machine."""
+
+    FIRST_TOUCH_SERIAL = "first-touch-serial"
+    INTERLEAVED = "interleaved"
+    LOCAL = "local"
+
+
+#: Bandwidth efficiency of a remote (cross-socket) stream relative to a
+#: local one (QPI hop latency + contention on Nehalem-class machines).
+REMOTE_EFFICIENCY = 0.7
+
+
+def remote_access_factor(platform: Platform, p: int,
+                         policy: AllocationPolicy) -> float:
+    """Fraction-weighted efficiency of the memory streams under
+    ``policy`` (1.0 = all local)."""
+    if platform.bw_shared_across_sockets or platform.n_sockets == 1:
+        return 1.0
+    placement = platform.thread_placement(p)
+    sockets_used = sum(1 for t in placement if t)
+    if policy is AllocationPolicy.LOCAL:
+        return 1.0
+    if policy is AllocationPolicy.INTERLEAVED:
+        # 1/sockets of every stream is local, the rest remote.
+        local_share = 1.0 / platform.n_sockets
+        return local_share + (1 - local_share) * REMOTE_EFFICIENCY
+    if policy is AllocationPolicy.FIRST_TOUCH_SERIAL:
+        # Threads on socket 0 are local; everyone else fully remote.
+        local_threads = placement[0]
+        share_local = local_threads / p
+        return share_local + (1 - share_local) * REMOTE_EFFICIENCY
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def effective_bandwidth(
+    platform: Platform, p: int, policy: AllocationPolicy
+) -> float:
+    """Sustainable aggregate bandwidth (GB/s) for ``p`` threads when the
+    matrix pages are placed by ``policy``."""
+    base = platform.bandwidth_gbps(p)
+    if platform.bw_shared_across_sockets or platform.n_sockets == 1:
+        return base
+    factor = remote_access_factor(platform, p, policy)
+    if policy is AllocationPolicy.FIRST_TOUCH_SERIAL:
+        # All pages live on socket 0: its controller is the ceiling, no
+        # matter how many threads stream.
+        ceiling = platform.sustained_bw_gbps_per_socket
+        return min(base, ceiling) * factor
+    return base * factor

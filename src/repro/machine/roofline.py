@@ -1,0 +1,65 @@
+"""Roofline time composition.
+
+Each SpM×V phase is characterized by per-thread compute cycles and
+total memory traffic; its execution time is the slower of the compute
+ceiling and the bandwidth ceiling — the standard roofline argument the
+paper itself uses to reason about the kernel (flop:byte ratios,
+Section I and III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .platforms import Platform
+
+__all__ = ["PhaseLoad", "phase_time"]
+
+
+@dataclass
+class PhaseLoad:
+    """Work of one phase across threads.
+
+    Attributes
+    ----------
+    cycles_per_thread : list of per-thread compute cycles
+    bytes_total : total memory traffic of the phase
+    flops_total : floating point operations (for Gflop/s reporting)
+    """
+
+    cycles_per_thread: Sequence[float]
+    bytes_total: float
+    flops_total: float
+
+    @property
+    def max_cycles(self) -> float:
+        return max(self.cycles_per_thread) if self.cycles_per_thread else 0.0
+
+
+def smt_compute_factor(platform: Platform, p: int) -> float:
+    """Compute-time inflation when SMT threads share physical cores.
+
+    ``p`` threads on ``cores_used`` cores each progress at
+    ``cores_used / p`` of a full core; the critical thread's cycles
+    stretch accordingly.
+    """
+    cores = platform.cores_used(p)
+    return p / cores if cores else 1.0
+
+
+def phase_time(load: PhaseLoad, platform: Platform, p: int) -> tuple[float, float, float]:
+    """``(time_seconds, t_compute, t_memory)`` for one phase.
+
+    Compute time is the slowest thread's cycles at the platform clock
+    (inflated under SMT sharing); memory time is total traffic over the
+    aggregate sustainable bandwidth for ``p`` threads. The phase runs at
+    the binding ceiling.
+    """
+    t_comp = (
+        load.max_cycles * smt_compute_factor(platform, p)
+        / (platform.clock_ghz * 1e9)
+    )
+    bw = platform.bandwidth_gbps(p) * 1e9
+    t_mem = load.bytes_total / bw if bw > 0 else float("inf")
+    return max(t_comp, t_mem), t_comp, t_mem

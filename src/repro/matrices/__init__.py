@@ -1,0 +1,34 @@
+"""Matrix suite (Table I stand-ins), generators and MatrixMarket I/O."""
+
+from .generators import (
+    banded_random,
+    block_structural,
+    circuit_like,
+    dense_clustered,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    make_spd,
+    permute_random,
+    rmat,
+)
+from .mmio import read_matrix_market, write_matrix_market
+from .suite import DEFAULT_SCALE, SUITE, SuiteEntry, build_suite, get_entry
+
+__all__ = [
+    "SUITE",
+    "SuiteEntry",
+    "build_suite",
+    "get_entry",
+    "DEFAULT_SCALE",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "banded_random",
+    "block_structural",
+    "dense_clustered",
+    "circuit_like",
+    "rmat",
+    "permute_random",
+    "make_spd",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,323 @@
+"""Synthetic symmetric sparse matrix generators.
+
+The paper evaluates on 12 matrices from the University of Florida
+collection (Table I). With no network access, each suite entry is
+replaced by a generator that reproduces the *pattern statistics that
+drive the experiments*: rows, non-zeros per row, bandwidth profile
+(banded vs. scattered), substructure content (dense blocks, contiguous
+runs) and positive definiteness. See DESIGN.md's substitution table.
+
+All generators return an expanded symmetric :class:`COOMatrix` made
+positive definite by diagonal dominance, with deterministic output for
+a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+
+__all__ = [
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "banded_random",
+    "block_structural",
+    "dense_clustered",
+    "circuit_like",
+    "rmat",
+    "permute_random",
+    "make_spd",
+]
+
+
+def _symmetric_from_lower(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+) -> COOMatrix:
+    """Expand strictly-lower entries into a full SPD matrix.
+
+    Duplicate coordinates are summed by the COO constructor; the
+    diagonal is set afterwards by :func:`make_spd`.
+    """
+    keep = (rows > cols) & (cols >= 0) & (rows < n)
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    lower = COOMatrix((n, n), rows, cols, vals)
+    full = COOMatrix(
+        (n, n),
+        np.concatenate([lower.rows, lower.cols]),
+        np.concatenate([lower.cols, lower.rows]),
+        np.concatenate([lower.vals, lower.vals]),
+        sum_duplicates=False,
+    )
+    return make_spd(full)
+
+
+def make_spd(coo: COOMatrix) -> COOMatrix:
+    """Return a copy with the diagonal replaced by ``1 + Σ|row|``.
+
+    Strict diagonal dominance with positive diagonal ⇒ symmetric
+    positive definite (Gershgorin), which the CG experiments require.
+    """
+    n = coo.n_rows
+    off = coo.rows != coo.cols
+    rows, cols, vals = coo.rows[off], coo.cols[off], coo.vals[off]
+    row_sums = np.zeros(n, dtype=np.float64)
+    np.add.at(row_sums, rows, np.abs(vals))
+    diag = 1.0 + row_sums
+    return COOMatrix(
+        (n, n),
+        np.concatenate([rows, np.arange(n, dtype=np.int32)]),
+        np.concatenate([cols, np.arange(n, dtype=np.int32)]),
+        np.concatenate([vals, diag]),
+        sum_duplicates=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Structured meshes
+# ----------------------------------------------------------------------
+def grid_laplacian_2d(nx: int, ny: int, stencil: int = 5) -> COOMatrix:
+    """5- or 9-point Laplacian on an ``nx × ny`` grid (row-major nodes).
+
+    Banded: bandwidth ``≈ nx``. ≈ ``stencil`` non-zeros per row.
+    """
+    if stencil not in (5, 9):
+        raise ValueError("stencil must be 5 or 9")
+    n = nx * ny
+    idx = np.arange(n, dtype=np.int64)
+    gx = idx % nx
+    gy = idx // nx
+    rows_list, cols_list = [], []
+
+    def connect(mask: np.ndarray, offset: int) -> None:
+        src = idx[mask]
+        rows_list.append(src)
+        cols_list.append(src - offset)
+
+    connect(gx > 0, 1)  # west
+    connect(gy > 0, nx)  # south
+    if stencil == 9:
+        connect((gx > 0) & (gy > 0), nx + 1)  # south-west
+        connect((gx < nx - 1) & (gy > 0), nx - 1)  # south-east
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = -np.ones(rows.size, dtype=np.float64)
+    return _symmetric_from_lower(n, rows, cols, vals)
+
+
+def grid_laplacian_3d(nx: int, ny: int, nz: int) -> COOMatrix:
+    """7-point Laplacian on an ``nx × ny × nz`` grid.
+
+    ≈ 7 non-zeros per row with three band distances (1, nx, nx·ny) —
+    the pattern family of *parabolic_fem* / *thermal2*.
+    """
+    n = nx * ny * nz
+    idx = np.arange(n, dtype=np.int64)
+    gx = idx % nx
+    gy = (idx // nx) % ny
+    gz = idx // (nx * ny)
+    rows_list, cols_list = [], []
+    for mask, off in (
+        (gx > 0, 1),
+        (gy > 0, nx),
+        (gz > 0, nx * ny),
+    ):
+        src = idx[mask]
+        rows_list.append(src)
+        cols_list.append(src - off)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = -np.ones(rows.size, dtype=np.float64)
+    return _symmetric_from_lower(n, rows, cols, vals)
+
+
+# ----------------------------------------------------------------------
+# Randomized families
+# ----------------------------------------------------------------------
+def banded_random(
+    n: int,
+    nnz_per_row: float,
+    band: int,
+    rng: np.random.Generator,
+) -> COOMatrix:
+    """Random symmetric matrix with entries inside a band.
+
+    ``nnz_per_row`` counts the expanded matrix including the diagonal;
+    ``(nnz_per_row - 1) / 2`` strictly-lower entries per row are drawn
+    uniformly within ``band`` of the diagonal (offshore / thermal-style
+    unstructured meshes after a bandwidth-reducing ordering).
+    """
+    k = max(1, int(round((nnz_per_row - 1) / 2)))
+    band = max(1, min(band, n - 1))
+    rows = np.repeat(np.arange(n, dtype=np.int64), k)
+    offsets = rng.integers(1, band + 1, size=rows.size)
+    cols = rows - offsets
+    vals = rng.uniform(0.1, 1.0, size=rows.size)
+    return _symmetric_from_lower(n, rows, cols, vals)
+
+
+def block_structural(
+    n_nodes: int,
+    dof: int,
+    nnz_per_row: float,
+    band_nodes: int,
+    rng: np.random.Generator,
+) -> COOMatrix:
+    """FEM structural matrix: banded node graph with dense ``dof×dof``
+    coupling blocks (the bmw*/hood/inline/ldoor family, dof = 3).
+
+    Every node edge expands into a fully dense block, so the matrix is
+    rich in the 2-D block substructures CSX detects. With ``e`` lower
+    node edges per node, the expanded matrix has
+    ``2·dof·e + dof`` non-zeros per row; ``e`` is derived from the
+    requested ``nnz_per_row``.
+    """
+    if dof < 1:
+        raise ValueError("dof must be >= 1")
+    k = max(1, int(round((nnz_per_row - dof) / (2 * dof))))
+    band_nodes = max(1, min(band_nodes, n_nodes - 1))
+    src = np.repeat(np.arange(n_nodes, dtype=np.int64), k)
+    offsets = rng.integers(1, band_nodes + 1, size=src.size)
+    dst = src - offsets
+    keep = dst >= 0
+    src, dst = src[keep], dst[keep]
+    # Deduplicate node edges so blocks do not overlap.
+    keys = src * n_nodes + dst
+    keys = np.unique(keys)
+    src = keys // n_nodes
+    dst = keys % n_nodes
+
+    # Off-diagonal blocks: dense dof×dof at (src, dst) — strictly lower
+    # because dst < src.
+    a = np.repeat(np.arange(dof, dtype=np.int64), dof)
+    b = np.tile(np.arange(dof, dtype=np.int64), dof)
+    rows = (src[:, None] * dof + a[None, :]).ravel()
+    cols = (dst[:, None] * dof + b[None, :]).ravel()
+    # Node-diagonal blocks: strictly-lower part of each dof×dof block.
+    da, db = np.tril_indices(dof, k=-1)
+    nodes = np.arange(n_nodes, dtype=np.int64)
+    rows_d = (nodes[:, None] * dof + da[None, :]).ravel()
+    cols_d = (nodes[:, None] * dof + db[None, :]).ravel()
+
+    all_rows = np.concatenate([rows, rows_d])
+    all_cols = np.concatenate([cols, cols_d])
+    vals = rng.uniform(0.1, 1.0, size=all_rows.size)
+    return _symmetric_from_lower(n_nodes * dof, all_rows, all_cols, vals)
+
+
+def dense_clustered(
+    n: int,
+    nnz_per_row: float,
+    band: int,
+    run_len: int,
+    rng: np.random.Generator,
+) -> COOMatrix:
+    """Rows dominated by contiguous column runs (consph / crankseg /
+    nd12k family: very dense rows, long horizontal unit-stride runs).
+
+    Each row receives ``≈ nnz_per_row / (2·run_len)`` runs of
+    ``run_len`` consecutive columns placed within ``band`` of the
+    diagonal.
+    """
+    run_len = max(2, run_len)
+    runs_per_row = max(1, int(round((nnz_per_row - 1) / (2 * run_len))))
+    band = max(run_len + 1, min(band, n - 1))
+    rows = np.repeat(np.arange(n, dtype=np.int64), runs_per_row)
+    start_off = rng.integers(run_len, band + 1, size=rows.size)
+    starts = rows - start_off
+    rows = np.repeat(rows, run_len)
+    cols = np.repeat(starts, run_len) + np.tile(
+        np.arange(run_len, dtype=np.int64), starts.size
+    )
+    vals = rng.uniform(0.1, 1.0, size=rows.size)
+    return _symmetric_from_lower(n, rows, cols, vals)
+
+
+def circuit_like(
+    n: int,
+    nnz_per_row: float,
+    long_range_fraction: float,
+    rng: np.random.Generator,
+) -> COOMatrix:
+    """Circuit-simulation matrix (*G3_circuit* family): very sparse,
+    chain-like local structure plus a fraction of unbounded long-range
+    connections that give the matrix its large bandwidth.
+    """
+    k = max(1, int(round((nnz_per_row - 1) / 2)))
+    # Local: chain neighbours.
+    rows_local = np.repeat(np.arange(1, n, dtype=np.int64), 1)
+    cols_local = rows_local - 1
+    # Extra edges: short with prob (1 - long_range_fraction), long else.
+    n_extra = max(0, (k - 1) * n)
+    if n_extra:
+        src = rng.integers(1, n, size=n_extra)
+        is_long = rng.random(n_extra) < long_range_fraction
+        short_off = rng.integers(1, np.minimum(src, 64) + 1)
+        long_target = (rng.random(n_extra) * src).astype(np.int64)
+        dst = np.where(is_long, long_target, src - short_off)
+        rows = np.concatenate([rows_local, src])
+        cols = np.concatenate([cols_local, dst])
+    else:
+        rows, cols = rows_local, cols_local
+    vals = rng.uniform(0.1, 1.0, size=rows.size)
+    return _symmetric_from_lower(n, rows, cols, vals)
+
+
+def rmat(
+    scale: int,
+    edge_factor: float,
+    rng: np.random.Generator,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> COOMatrix:
+    """Symmetric R-MAT (Kronecker) matrix: ``2**scale`` rows with
+    ``edge_factor`` edges per row.
+
+    The scale-free pattern family the CSB evaluation uses; a stress
+    test for every method here (power-law row degrees defeat block
+    detection, load balancing *and* locality at once).
+
+    ``(a, b, c)`` are the standard R-MAT quadrant probabilities
+    (``d = 1 - a - b - c``).
+    """
+    if scale < 1 or scale > 24:
+        raise ValueError("scale must be in [1, 24]")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be a distribution")
+    n = 1 << scale
+    n_edges = int(edge_factor * n)
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for bit in range(scale - 1, -1, -1):
+        r = rng.random(n_edges)
+        south = (r >= a + b) & (r < a + b + c) | (r >= a + b + c)
+        east = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        rows |= south.astype(np.int64) << bit
+        cols |= east.astype(np.int64) << bit
+    # Symmetrize: keep as lower triangle (swap where needed), drop
+    # self-loops.
+    swap = cols > rows
+    rows2 = np.where(swap, cols, rows)
+    cols2 = np.where(swap, rows, cols)
+    keep = rows2 != cols2
+    vals = rng.uniform(0.1, 1.0, size=n_edges)
+    return _symmetric_from_lower(n, rows2[keep], cols2[keep], vals[keep])
+
+
+def permute_random(coo: COOMatrix, rng: np.random.Generator) -> COOMatrix:
+    """Apply a random symmetric permutation.
+
+    Destroys banded locality — simulating the high-bandwidth native
+    orderings of the paper's four corner-case matrices, which RCM
+    reordering (Section V-D) subsequently repairs.
+    """
+    perm = rng.permutation(coo.n_rows)
+    return coo.permute_symmetric(perm)

@@ -1,0 +1,103 @@
+"""Minimal MatrixMarket coordinate I/O.
+
+Supports the subset the experiments need: ``matrix coordinate real``
+with ``general`` or ``symmetric`` qualifiers. Symmetric files store the
+lower triangle (MatrixMarket convention) and are expanded on read, so a
+round trip through :func:`write_matrix_market` /
+:func:`read_matrix_market` is exact for our symmetric suite.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate real"
+
+
+def write_matrix_market(
+    path: Union[str, Path, io.TextIOBase],
+    coo: COOMatrix,
+    *,
+    symmetric: bool = False,
+) -> None:
+    """Write a COO matrix in MatrixMarket coordinate format.
+
+    With ``symmetric=True`` the matrix must be symmetric and only the
+    lower triangle (diagonal included) is stored.
+    """
+    if symmetric:
+        if not coo.is_symmetric():
+            raise ValueError("matrix is not symmetric")
+        out = coo.lower_triangle(strict=False)
+    else:
+        out = coo
+    qualifier = "symmetric" if symmetric else "general"
+    lines = [f"{_HEADER} {qualifier}\n"]
+    lines.append(f"{coo.n_rows} {coo.n_cols} {out.nnz}\n")
+    for r, c, v in zip(out.rows, out.cols, out.vals):
+        lines.append(f"{r + 1} {c + 1} {float(v)!r}\n")
+    data = "".join(lines)
+    if isinstance(path, (str, Path)):
+        Path(path).write_text(data)
+    else:
+        path.write(data)
+
+
+def read_matrix_market(path: Union[str, Path, io.TextIOBase]) -> COOMatrix:
+    """Read a MatrixMarket coordinate file into a COO matrix.
+
+    Symmetric files are expanded to both triangles.
+    """
+    if isinstance(path, (str, Path)):
+        text = Path(path).read_text()
+    else:
+        text = path.read()
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError("empty MatrixMarket file")
+    header = lines[0].strip().lower()
+    if not header.startswith("%%matrixmarket matrix coordinate real"):
+        raise ValueError(f"unsupported MatrixMarket header: {lines[0]!r}")
+    symmetric = header.endswith("symmetric")
+    if not (symmetric or header.endswith("general")):
+        raise ValueError(f"unsupported qualifier in header: {lines[0]!r}")
+
+    body = [ln for ln in lines[1:] if ln.strip() and not ln.startswith("%")]
+    if not body:
+        raise ValueError("missing size line")
+    dims = body[0].split()
+    if len(dims) != 3:
+        raise ValueError(f"malformed size line: {body[0]!r}")
+    n_rows, n_cols, nnz = (int(t) for t in dims)
+    entries = body[1:]
+    if len(entries) != nnz:
+        raise ValueError(
+            f"expected {nnz} entries, found {len(entries)}"
+        )
+    if nnz:
+        data = np.array(
+            [ln.split() for ln in entries], dtype=np.float64
+        )
+        rows = data[:, 0].astype(np.int64) - 1
+        cols = data[:, 1].astype(np.int64) - 1
+        vals = data[:, 2]
+    else:
+        rows = cols = np.zeros(0, dtype=np.int64)
+        vals = np.zeros(0)
+
+    if symmetric and nnz:
+        off = rows != cols
+        rows, cols, vals = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+            np.concatenate([vals, vals[off]]),
+        )
+    return COOMatrix((n_rows, n_cols), rows, cols, vals, sum_duplicates=False)

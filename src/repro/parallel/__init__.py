@@ -1,0 +1,48 @@
+"""Thread partitioning, local-vector reduction methods and the
+multithreaded SpM×V orchestration of Section III."""
+
+from .coloring import (
+    ColoredSymmetricSpMV,
+    coloring_stats,
+    distance2_coloring,
+    predict_colored_time,
+)
+from .csb_spmv import ParallelCSBSymSpMV, predict_csb_sym_time
+from .executor import Executor
+from .partition import (
+    partition_nnz_balanced,
+    partition_rows_equal,
+    validate_partitions,
+)
+from .reduction import (
+    REDUCTION_METHODS,
+    EffectiveRangesReduction,
+    IndexedReduction,
+    NaiveReduction,
+    ReductionFootprint,
+    ReductionMethod,
+    make_reduction,
+)
+from .spmv import ParallelSpMV, ParallelSymmetricSpMV
+
+__all__ = [
+    "Executor",
+    "partition_nnz_balanced",
+    "partition_rows_equal",
+    "validate_partitions",
+    "REDUCTION_METHODS",
+    "NaiveReduction",
+    "EffectiveRangesReduction",
+    "IndexedReduction",
+    "ReductionMethod",
+    "ReductionFootprint",
+    "make_reduction",
+    "ParallelSpMV",
+    "ParallelSymmetricSpMV",
+    "ColoredSymmetricSpMV",
+    "distance2_coloring",
+    "coloring_stats",
+    "predict_colored_time",
+    "ParallelCSBSymSpMV",
+    "predict_csb_sym_time",
+]

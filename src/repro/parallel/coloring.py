@@ -1,0 +1,263 @@
+"""The "colorful" conflict-free symmetric SpM×V (related work, §VI).
+
+Batista et al. avoid the reduction phase entirely: rows are colored so
+that no two rows of the same color write a common output element, and
+the kernel processes one color class at a time — each class fully
+parallel with *direct* output writes, classes separated by barriers.
+
+A thread processing row ``r`` writes ``y[r]`` and ``y[c]`` for every
+stored lower element ``(r, c)``; two rows conflict iff their write sets
+intersect, i.e. iff they are within distance 2 in the adjacency graph.
+We implement a greedy distance-2 coloring (optionally via networkx for
+cross-checking) and the color-class execution schedule.
+
+The paper's observation — "the geometry of the graphs limits the
+potential of this approach" — falls out naturally: the number of colors
+grows with the squared degree, so dense matrices serialize into many
+barrier-separated steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..formats.sss import SSSMatrix
+from ..machine.platforms import Platform
+from ..machine.roofline import smt_compute_factor
+
+__all__ = [
+    "distance2_coloring",
+    "ColoredSymmetricSpMV",
+    "coloring_stats",
+    "predict_colored_time",
+]
+
+
+def _adjacency_csr(sss: SSSMatrix) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetrized adjacency (indptr, indices) from the stored lower
+    triangle, self-loops excluded."""
+    n = sss.n_rows
+    rows = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(sss.rowptr)
+    )
+    cols = sss.colind.astype(np.int64)
+    src = np.concatenate([rows, cols])
+    dst = np.concatenate([cols, rows])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return indptr, dst
+
+
+def distance2_coloring(sss: SSSMatrix) -> np.ndarray:
+    """Greedy distance-2 coloring of the row-conflict graph.
+
+    Returns an int array ``color[row]``. Guarantees that any two rows
+    within distance 2 of each other (sharing an output write) receive
+    different colors.
+    """
+    n = sss.n_rows
+    indptr, indices = _adjacency_csr(sss)
+    colors = np.full(n, -1, dtype=np.int64)
+    for r in range(n):
+        neigh = indices[indptr[r] : indptr[r + 1]]
+        if neigh.size:
+            # Distance-2 neighbourhood: neighbours + their neighbours.
+            spans = [
+                indices[indptr[v] : indptr[v + 1]] for v in neigh
+            ]
+            d2 = np.concatenate([neigh] + spans)
+        else:
+            d2 = neigh
+        used = colors[d2]
+        used = used[used >= 0]
+        if used.size == 0:
+            colors[r] = 0
+            continue
+        used_set = np.unique(used)
+        # First gap in the used color sequence.
+        candidate = np.flatnonzero(
+            used_set != np.arange(used_set.size)
+        )
+        colors[r] = (
+            int(candidate[0]) if candidate.size else int(used_set.size)
+        )
+    return colors
+
+
+def verify_coloring(sss: SSSMatrix, colors: np.ndarray) -> bool:
+    """True iff no two same-colored rows share an output write."""
+    n = sss.n_rows
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(sss.rowptr))
+    cols = sss.colind.astype(np.int64)
+    # Writers of each output element: row r writes y[r] and y[c].
+    writer = np.concatenate([rows, cols, np.arange(n, dtype=np.int64)])
+    target = np.concatenate([cols, rows, np.arange(n, dtype=np.int64)])
+    order = np.lexsort((colors[writer], target))
+    t_sorted = target[order]
+    w_sorted = writer[order]
+    c_sorted = colors[writer][order]
+    same = (t_sorted[1:] == t_sorted[:-1]) & (
+        c_sorted[1:] == c_sorted[:-1]
+    )
+    conflict = same & (w_sorted[1:] != w_sorted[:-1])
+    return not bool(np.any(conflict))
+
+
+@dataclass
+class ColoringStats:
+    """Structure of one coloring (the method's scalability limiter)."""
+
+    n_colors: int
+    largest_class: int
+    smallest_class: int
+    mean_class: float
+
+    @property
+    def parallelism_bound(self) -> float:
+        """Average rows concurrently processable (upper bound)."""
+        return self.mean_class
+
+
+def coloring_stats(colors: np.ndarray) -> ColoringStats:
+    counts = np.bincount(colors)
+    return ColoringStats(
+        n_colors=int(counts.size),
+        largest_class=int(counts.max()),
+        smallest_class=int(counts.min()),
+        mean_class=float(counts.mean()),
+    )
+
+
+class ColoredSymmetricSpMV:
+    """Barrier-per-color symmetric SpM×V kernel.
+
+    All rows of one color are processed (vectorized) with direct writes
+    to the shared output vector — provably race-free by the coloring —
+    then a barrier, then the next color.
+    """
+
+    def __init__(self, sss: SSSMatrix, colors: Optional[np.ndarray] = None):
+        self.sss = sss
+        self.colors = (
+            colors if colors is not None else distance2_coloring(sss)
+        )
+        if self.colors.shape != (sss.n_rows,):
+            raise ValueError("colors must assign one color per row")
+        order = np.argsort(self.colors, kind="stable")
+        counts = np.bincount(self.colors)
+        self.class_offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.class_offsets[1:])
+        self.rows_by_color = order
+
+    @property
+    def n_colors(self) -> int:
+        return int(self.class_offsets.size - 1)
+
+    def __call__(
+        self, x: np.ndarray, y: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        sss = self.sss
+        x = np.asarray(x, dtype=np.float64)
+        if y is None:
+            y = np.zeros(sss.n_rows, dtype=np.float64)
+        else:
+            y[:] = 0.0
+        rowptr, colind, values = sss.rowptr, sss.colind, sss.values
+        for k in range(self.n_colors):
+            rows = self.rows_by_color[
+                self.class_offsets[k] : self.class_offsets[k + 1]
+            ]
+            y[rows] += sss.dvalues[rows] * x[rows]
+            # Gather the class's stored elements.
+            lo = rowptr[rows]
+            hi = rowptr[rows + 1]
+            lens = (hi - lo).astype(np.int64)
+            if lens.sum() == 0:
+                continue
+            idx = np.concatenate(
+                [np.arange(a, b, dtype=np.int64) for a, b in zip(lo, hi)]
+            )
+            erows = np.repeat(rows, lens)
+            c = colind[idx].astype(np.int64)
+            v = values[idx]
+            np.add.at(y, erows, v * x[c])
+            np.add.at(y, c, v * x[erows])
+        return y
+
+
+def predict_colored_time(
+    sss: SSSMatrix,
+    colors: np.ndarray,
+    platform: Platform,
+    n_threads: int,
+    *,
+    barrier_cycles: float = 20_000.0,
+    cycles_per_element: float = 9.5,
+    machine_scale: float = 1.0,
+) -> float:
+    """Roofline-style time for the colored kernel.
+
+    Accounts the same traffic classes as
+    :func:`repro.machine.perfmodel.predict_spmv`, but on the *color
+    ordered* element stream: rows of one class are scattered across the
+    matrix, so the matrix arrays are fetched at row granularity (partial
+    cache lines wasted on short rows) and the input-vector gathers lose
+    row-to-row locality. Classes are separated by barriers whose cost
+    grows with the thread count. This combination — not any single
+    term — is what keeps the method behind the local-vectors approach.
+    """
+    from ..machine.cache import x_traffic_bytes
+    from ..machine.costmodel import DEFAULT_COST_MODEL as COST
+    from ..machine.platforms import CACHE_LINE_BYTES
+
+    counts = np.bincount(colors)
+    rowptr = sss.rowptr
+    lens = np.diff(rowptr).astype(np.int64)
+    class_elems = np.zeros(counts.size, dtype=np.float64)
+    np.add.at(class_elems, colors, lens)
+    clock = platform.clock_ghz * 1e9
+    smt = smt_compute_factor(platform, n_threads)
+    t_compute = 0.0
+    for k in range(counts.size):
+        work = cycles_per_element * class_elems[k] + 2.0 * counts[k]
+        t_compute += work * smt / (n_threads * clock)
+    # Barriers are serialization points: they overlap with neither the
+    # compute nor the memory stream (a 24-thread pthread barrier on a
+    # 2008-era SMP costs tens of microseconds).
+    t_barriers = (
+        counts.size * barrier_cycles * n_threads ** 0.5 / clock
+    )
+
+    # Color-ordered element stream for the cache model.
+    order = np.argsort(colors, kind="stable")
+    if sss.colind.size:
+        col_stream = np.concatenate(
+            [
+                sss.colind[rowptr[r] : rowptr[r + 1]].astype(np.int64)
+                for r in order
+                if rowptr[r + 1] > rowptr[r]
+            ]
+        )
+    else:
+        col_stream = np.zeros(0, dtype=np.int64)
+    cache = platform.cache_bytes_per_thread(n_threads) * machine_scale
+    x_bytes = x_traffic_bytes(col_stream, cache, COST.x_cache_share)
+    scatter_bytes = COST.scatter_write_factor * x_traffic_bytes(
+        col_stream, cache, COST.y_cache_share
+    )
+    # Row-granular matrix fetches: short scattered rows waste partial
+    # lines of the values/colind arrays (half a line per row per array
+    # on average).
+    n_nonempty = int(np.count_nonzero(lens))
+    row_waste = n_nonempty * CACHE_LINE_BYTES
+    bw = platform.bandwidth_gbps(n_threads) * 1e9
+    t_memory = (
+        sss.size_bytes() + row_waste + x_bytes + scatter_bytes
+        + 8.0 * sss.n_rows
+    ) / bw
+    return max(t_compute, t_memory) + t_barriers

@@ -1,0 +1,75 @@
+"""Thread-task execution backends.
+
+The library needs to run "one task per thread" twice per SpM×V (the
+multiplication phase and the reduction phase). Two backends exist:
+
+* ``serial`` (default) — tasks run sequentially in deterministic order.
+  Correctness and the traffic instrumentation are identical to a
+  parallel run (the algorithms are data-race-free by construction);
+  this is the reproducible backend the experiments use, with timing
+  supplied by the machine model (see DESIGN.md's hardware substitution).
+* ``threads`` — a real ``ThreadPoolExecutor``. NumPy releases the GIL
+  inside its kernels, so this demonstrates genuine concurrency, but
+  wall-clock scaling on the host says nothing about the paper's
+  platforms and is only used by the sanity benchmarks.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Runs a batch of thread tasks with a chosen backend.
+
+    Parameters
+    ----------
+    mode : {"serial", "threads"}
+    max_workers : int, optional
+        Worker count for the ``threads`` backend (defaults to the task
+        count of each batch).
+    """
+
+    def __init__(self, mode: str = "serial", max_workers: Optional[int] = None):
+        if mode not in ("serial", "threads"):
+            raise ValueError(f"unknown executor mode {mode!r}")
+        self.mode = mode
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def run_batch(self, tasks: Sequence[Callable[[], None]]) -> None:
+        """Execute all tasks; returns when every task has finished.
+
+        Tasks must be mutually data-race-free (they are: each writes
+        disjoint array regions or thread-private buffers).
+        """
+        if not tasks:
+            return
+        if self.mode == "serial":
+            for task in tasks:
+                task()
+            return
+        pool = self._ensure_pool(len(tasks))
+        futures = [pool.submit(task) for task in tasks]
+        for f in futures:
+            f.result()  # propagate exceptions
+
+    def _ensure_pool(self, n_tasks: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self.max_workers or n_tasks
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,90 @@
+"""Row-wise thread partitioning (paper Fig. 3a).
+
+The matrix is split row-wise, either into equal row counts or — the
+scheme all the paper's experiments use — into partitions with an
+approximately equal number of non-zero elements, so the multiplication
+work is balanced.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "partition_rows_equal",
+    "partition_nnz_balanced",
+    "partition_bounds_to_starts",
+    "validate_partitions",
+]
+
+
+def partition_rows_equal(n_rows: int, n_threads: int) -> list[tuple[int, int]]:
+    """Split ``[0, n_rows)`` into ``n_threads`` near-equal row ranges."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    if n_rows < 0:
+        raise ValueError("negative row count")
+    bounds = np.linspace(0, n_rows, n_threads + 1).round().astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_threads)]
+
+
+def partition_nnz_balanced(
+    row_weights: np.ndarray, n_threads: int
+) -> list[tuple[int, int]]:
+    """Split rows so each partition carries ≈ equal total weight.
+
+    ``row_weights`` is typically the per-row non-zero count of the
+    *expanded* matrix (so symmetric formats balance their real work,
+    including transposed contributions).
+
+    The split points are the positions where the cumulative weight
+    crosses each ``k/p`` quantile; partitions may be empty for very
+    skewed matrices, which downstream code must tolerate.
+    """
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    weights = np.asarray(row_weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise ValueError("row_weights must be 1-D")
+    if weights.size and weights.min() < 0:
+        raise ValueError("row weights must be non-negative")
+    n_rows = weights.size
+    if n_rows == 0:
+        return [(0, 0)] * n_threads
+    cum = np.cumsum(weights)
+    total = cum[-1]
+    if total == 0:
+        return partition_rows_equal(n_rows, n_threads)
+    targets = total * np.arange(1, n_threads) / n_threads
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds = np.concatenate(([0], np.minimum(cuts, n_rows), [n_rows]))
+    bounds = np.maximum.accumulate(bounds)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_threads)]
+
+
+def partition_bounds_to_starts(
+    partitions: Sequence[tuple[int, int]]
+) -> np.ndarray:
+    """The ``start[i]`` array of Alg. 3 from partition bounds."""
+    return np.asarray([s for s, _ in partitions], dtype=np.int64)
+
+
+def validate_partitions(
+    partitions: Sequence[tuple[int, int]], n_rows: int
+) -> None:
+    """Raise unless the partitions tile ``[0, n_rows)`` contiguously."""
+    prev = 0
+    for start, end in partitions:
+        if start != prev:
+            raise ValueError(
+                f"partition gap/overlap at row {prev}: got start {start}"
+            )
+        if end < start:
+            raise ValueError(f"negative partition ({start}, {end})")
+        prev = end
+    if prev != n_rows:
+        raise ValueError(
+            f"partitions end at {prev}, expected n_rows = {n_rows}"
+        )

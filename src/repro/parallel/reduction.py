@@ -1,0 +1,323 @@
+"""The three local-vector reduction methods of Section III.
+
+Multithreaded symmetric SpM×V writes transposed contributions into
+per-thread local vectors; the methods differ in how much of those
+vectors the final reduction phase must touch:
+
+* :class:`NaiveReduction` — every thread owns a full-length local
+  vector, all of it reduced (Fig. 3b, eq. 3: ``ws = 8pN``).
+* :class:`EffectiveRangesReduction` — Batista et al.'s scheme: thread
+  ``i`` writes rows ``[start_i, end_i)`` straight into the output and
+  only the *effective region* ``[0, start_i)`` of its local vector is
+  reduced (Fig. 3c, eq. 4: ``ws ≈ 4(p-1)N``).
+* :class:`IndexedReduction` — the paper's contribution: a ``(vid, idx)``
+  index enumerates the non-zero local-vector elements so the reduction
+  touches only genuinely conflicting entries (Fig. 3d, eqs. 5-6:
+  ``ws ≈ 8(p-1)N·d`` with ``d`` the effective-region density).
+
+All methods are observationally equivalent (same final output vector);
+property tests assert this. Each also exposes its working-set footprint,
+both the closed-form paper equation and the exact measured counterpart,
+which the machine model converts into reduction-phase time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..formats.base import SymmetricFormat
+
+__all__ = [
+    "ReductionMethod",
+    "NaiveReduction",
+    "EffectiveRangesReduction",
+    "IndexedReduction",
+    "ReductionFootprint",
+    "REDUCTION_METHODS",
+    "make_reduction",
+]
+
+#: Bytes per double-precision vector element.
+_F8 = 8
+#: Bytes per (vid, idx) index pair — the paper uses 4 + 4 (Section III-C).
+INDEX_PAIR_BYTES = 8
+
+
+@dataclass
+class ReductionFootprint:
+    """Memory footprint of one reduction configuration.
+
+    ``ws_model_bytes`` is the paper's closed-form equation;
+    ``ws_measured_bytes`` is computed from the actual data structures.
+    ``reduction_reads/writes`` count the vector elements the reduction
+    phase itself streams (inputs to the machine model).
+    """
+
+    method: str
+    n_threads: int
+    n_rows: int
+    ws_model_bytes: float
+    ws_measured_bytes: float
+    reduction_reads: int
+    reduction_writes: int
+    index_pairs: int = 0
+    effective_density: float = float("nan")
+
+
+class ReductionMethod(abc.ABC):
+    """A local-vectors strategy bound to one (matrix, partitions) pair."""
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        matrix: SymmetricFormat,
+        partitions: Sequence[tuple[int, int]],
+    ):
+        self.matrix = matrix
+        self.partitions = [(int(s), int(e)) for s, e in partitions]
+        self.n_threads = len(self.partitions)
+        self.n_rows = matrix.n_rows
+        self._prepare()
+
+    def _prepare(self) -> None:
+        """Hook for per-method preprocessing (index construction)."""
+
+    # -- multiplication-phase wiring -----------------------------------
+    @abc.abstractmethod
+    def allocate_locals(self) -> list[Optional[np.ndarray]]:
+        """One local vector per thread (``None`` where a thread writes
+        directly and needs no local vector)."""
+
+    @abc.abstractmethod
+    def thread_targets(
+        self, tid: int, y: np.ndarray, locals_: list[Optional[np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(y_direct, y_local)`` for thread ``tid``'s
+        :meth:`~repro.formats.base.SymmetricFormat.spmv_partition` call."""
+
+    # -- reduction phase ------------------------------------------------
+    @abc.abstractmethod
+    def reduce(
+        self, y: np.ndarray, locals_: list[Optional[np.ndarray]]
+    ) -> None:
+        """Fold the local vectors into ``y``."""
+
+    @abc.abstractmethod
+    def footprint(self) -> ReductionFootprint:
+        """Working-set accounting for this configuration."""
+
+    # -- parallel reduction structure ------------------------------------
+    def reduction_splits(self, n_chunks: int) -> list[tuple[int, int]]:
+        """Row ranges assigned to each reducer thread.
+
+        Default: equal row split of the output vector (Alg. 3 lines
+        12-16). The indexing method overrides this to split its sorted
+        index stream instead.
+        """
+        bounds = np.linspace(0, self.n_rows, n_chunks + 1).round().astype(int)
+        return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_chunks)]
+
+
+class NaiveReduction(ReductionMethod):
+    """Full-length local vector per thread, full-range reduction."""
+
+    name = "naive"
+
+    def allocate_locals(self) -> list[Optional[np.ndarray]]:
+        return [
+            np.zeros(self.n_rows, dtype=np.float64)
+            for _ in range(self.n_threads)
+        ]
+
+    def thread_targets(self, tid, y, locals_):
+        # Everything — own rows included — goes to the local vector.
+        buf = locals_[tid]
+        return buf, buf
+
+    def reduce(self, y, locals_):
+        for buf in locals_:
+            y += buf
+
+    def footprint(self) -> ReductionFootprint:
+        p, n = self.n_threads, self.n_rows
+        ws = float(_F8 * p * n)  # eq. (3)
+        return ReductionFootprint(
+            method=self.name,
+            n_threads=p,
+            n_rows=n,
+            ws_model_bytes=ws,
+            ws_measured_bytes=ws,
+            reduction_reads=p * n,
+            reduction_writes=n,
+        )
+
+
+class EffectiveRangesReduction(ReductionMethod):
+    """Local writes only below ``start_i``; direct writes elsewhere."""
+
+    name = "effective"
+
+    def allocate_locals(self) -> list[Optional[np.ndarray]]:
+        # Thread 0 has an empty effective region: no local vector.
+        # Buffers are full-length for indexing simplicity; only
+        # [0, start_i) is ever touched, and only that range is counted.
+        out: list[Optional[np.ndarray]] = []
+        for start, _ in self.partitions:
+            out.append(
+                np.zeros(self.n_rows, dtype=np.float64) if start > 0 else None
+            )
+        return out
+
+    def thread_targets(self, tid, y, locals_):
+        local = locals_[tid]
+        return y, (local if local is not None else y)
+
+    def reduce(self, y, locals_):
+        for (start, _), buf in zip(self.partitions, locals_):
+            if buf is not None and start > 0:
+                y[:start] += buf[:start]
+
+    def footprint(self) -> ReductionFootprint:
+        p, n = self.n_threads, self.n_rows
+        sum_starts = sum(start for start, _ in self.partitions)
+        ws_measured = float(_F8 * sum_starts)
+        ws_model = 4.0 * (p - 1) * n  # eq. (4)
+        return ReductionFootprint(
+            method=self.name,
+            n_threads=p,
+            n_rows=n,
+            ws_model_bytes=ws_model,
+            ws_measured_bytes=ws_measured,
+            reduction_reads=sum_starts,
+            reduction_writes=n,
+        )
+
+
+class IndexedReduction(ReductionMethod):
+    """The paper's local-vectors indexing scheme (Section III-C).
+
+    At preparation time the conflicting output rows of every partition
+    are enumerated into ``(vid, idx)`` pairs sorted by ``idx`` — this is
+    the index whose size (``INDEX_PAIR_BYTES`` each) plus touched local
+    elements constitute eq. (5). The reduction visits only those pairs.
+    """
+
+    name = "indexed"
+
+    def _prepare(self) -> None:
+        vids: list[np.ndarray] = []
+        idxs: list[np.ndarray] = []
+        self._per_thread_conflicts: list[np.ndarray] = []
+        for tid, (start, end) in enumerate(self.partitions):
+            conflicts = self.matrix.partition_conflict_rows(start, end)
+            self._per_thread_conflicts.append(conflicts)
+            if conflicts.size:
+                vids.append(np.full(conflicts.size, tid, dtype=np.int32))
+                idxs.append(conflicts.astype(np.int32))
+        if idxs:
+            vid = np.concatenate(vids)
+            idx = np.concatenate(idxs)
+            order = np.argsort(idx, kind="stable")
+            self.index_vid = vid[order]
+            self.index_idx = idx[order]
+        else:
+            self.index_vid = np.zeros(0, dtype=np.int32)
+            self.index_idx = np.zeros(0, dtype=np.int32)
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.index_idx.size)
+
+    def allocate_locals(self) -> list[Optional[np.ndarray]]:
+        out: list[Optional[np.ndarray]] = []
+        for start, _ in self.partitions:
+            out.append(
+                np.zeros(self.n_rows, dtype=np.float64) if start > 0 else None
+            )
+        return out
+
+    def thread_targets(self, tid, y, locals_):
+        local = locals_[tid]
+        return y, (local if local is not None else y)
+
+    def reduce(self, y, locals_):
+        # Grouped by vid (addition commutes, result identical to pair
+        # order); each group is one vectorized gather-accumulate.
+        for tid, conflicts in enumerate(self._per_thread_conflicts):
+            if conflicts.size:
+                buf = locals_[tid]
+                y[conflicts] += buf[conflicts]
+
+    def reduction_splits(self, n_chunks: int) -> list[tuple[int, int]]:
+        """Split the sorted index into ``n_chunks`` contiguous slices
+        such that no ``idx`` value is shared between two slices (the
+        independence restriction of Section III-C)."""
+        m = self.n_pairs
+        if m == 0:
+            return [(0, 0)] * n_chunks
+        targets = (m * np.arange(1, n_chunks)) // n_chunks
+        cuts = []
+        for t in targets:
+            c = int(t)
+            # Move the cut forward until the idx value changes.
+            while 0 < c < m and self.index_idx[c] == self.index_idx[c - 1]:
+                c += 1
+            cuts.append(c)
+        bounds = [0] + cuts + [m]
+        bounds = list(np.maximum.accumulate(bounds))
+        return [(bounds[i], bounds[i + 1]) for i in range(n_chunks)]
+
+    def effective_density(self) -> float:
+        """Measured density ``d`` of the effective regions: indexed
+        pairs over total effective-region length (Fig. 4's metric)."""
+        sum_starts = sum(start for start, _ in self.partitions)
+        if sum_starts == 0:
+            return 0.0
+        return self.n_pairs / sum_starts
+
+    def footprint(self) -> ReductionFootprint:
+        p, n = self.n_threads, self.n_rows
+        d = self.effective_density()
+        # eq. (5): touched local elements + the index itself.
+        ws_model = 4.0 * (p - 1) * n * d + INDEX_PAIR_BYTES * (p - 1) * n * d / 2
+        ws_measured = float(
+            _F8 * self.n_pairs + INDEX_PAIR_BYTES * self.n_pairs
+        )
+        return ReductionFootprint(
+            method=self.name,
+            n_threads=p,
+            n_rows=n,
+            ws_model_bytes=ws_model,
+            ws_measured_bytes=ws_measured,
+            reduction_reads=2 * self.n_pairs,  # pair + local element
+            reduction_writes=self.n_pairs,
+            index_pairs=self.n_pairs,
+            effective_density=d,
+        )
+
+
+REDUCTION_METHODS = {
+    cls.name: cls
+    for cls in (NaiveReduction, EffectiveRangesReduction, IndexedReduction)
+}
+
+
+def make_reduction(
+    name: str,
+    matrix: SymmetricFormat,
+    partitions: Sequence[tuple[int, int]],
+) -> ReductionMethod:
+    """Factory: ``name`` in {"naive", "effective", "indexed"}."""
+    try:
+        cls = REDUCTION_METHODS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction method {name!r}; "
+            f"choose from {sorted(REDUCTION_METHODS)}"
+        ) from None
+    return cls(matrix, partitions)

@@ -1,0 +1,159 @@
+"""Multithreaded SpM×V orchestration (paper Alg. 3 and Section III).
+
+:class:`ParallelSymmetricSpMV` wires a symmetric format (SSS or
+CSX-Sym), a thread partitioning and a reduction method into the
+two-phase kernel: per-thread multiplication into direct/local targets,
+then the reduction of local vectors into the output.
+
+:class:`ParallelSpMV` is the unsymmetric counterpart (CSR / CSX): rows
+are independent, so there is no reduction phase at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..formats.base import SymmetricFormat
+from ..formats.csr import CSRMatrix
+from ..formats.csx.matrix import CSXMatrix
+from .executor import Executor
+from .partition import validate_partitions
+from .reduction import ReductionFootprint, ReductionMethod, make_reduction
+
+__all__ = ["ParallelSymmetricSpMV", "ParallelSpMV"]
+
+
+class ParallelSymmetricSpMV:
+    """Two-phase multithreaded symmetric SpM×V.
+
+    Parameters
+    ----------
+    matrix : SymmetricFormat
+        SSS or CSX-Sym matrix. For CSX-Sym the partitions must match
+        the ones the matrix was preprocessed for.
+    partitions : sequence of (row_start, row_end)
+    reduction : str or ReductionMethod
+        ``"naive"``, ``"effective"`` or ``"indexed"`` (Section III), or
+        a prebuilt method instance.
+    executor : Executor, optional
+    """
+
+    def __init__(
+        self,
+        matrix: SymmetricFormat,
+        partitions: Sequence[tuple[int, int]],
+        reduction: Union[str, ReductionMethod] = "indexed",
+        executor: Optional[Executor] = None,
+    ):
+        validate_partitions(partitions, matrix.n_rows)
+        self.matrix = matrix
+        self.partitions = [(int(s), int(e)) for s, e in partitions]
+        if isinstance(reduction, str):
+            reduction = make_reduction(reduction, matrix, self.partitions)
+        self.reduction = reduction
+        self.executor = executor or Executor("serial")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.partitions)
+
+    def __call__(
+        self, x: np.ndarray, y: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Compute ``y = A @ x`` with the configured thread layout."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.matrix.n_cols,):
+            raise ValueError(
+                f"x has shape {x.shape}, expected ({self.matrix.n_cols},)"
+            )
+        if y is None:
+            y = np.zeros(self.matrix.n_rows, dtype=np.float64)
+        else:
+            y[:] = 0.0
+
+        locals_ = self.reduction.allocate_locals()
+
+        # Phase 1 — multiplication (Alg. 3 lines 2-11), one task/thread.
+        def make_mult_task(tid: int):
+            start, end = self.partitions[tid]
+            y_direct, y_local = self.reduction.thread_targets(tid, y, locals_)
+
+            def task() -> None:
+                self.matrix.spmv_partition(x, y_direct, y_local, start, end)
+
+            return task
+
+        self.executor.run_batch(
+            [make_mult_task(tid) for tid in range(self.n_threads)]
+        )
+
+        # Phase 2 — reduction (Alg. 3 lines 12-16 / Section III-C).
+        self.reduction.reduce(y, locals_)
+        return y
+
+    def footprint(self) -> ReductionFootprint:
+        """Working-set accounting of the configured reduction."""
+        return self.reduction.footprint()
+
+
+class ParallelSpMV:
+    """Row-partitioned multithreaded *unsymmetric* SpM×V (CSR / CSX).
+
+    Output rows are exclusive to their thread, so phase 2 is empty —
+    the baseline the symmetric kernels are compared against.
+    """
+
+    def __init__(
+        self,
+        matrix: Union[CSRMatrix, CSXMatrix],
+        partitions: Sequence[tuple[int, int]],
+        executor: Optional[Executor] = None,
+    ):
+        validate_partitions(partitions, matrix.n_rows)
+        self.matrix = matrix
+        self.partitions = [(int(s), int(e)) for s, e in partitions]
+        self.executor = executor or Executor("serial")
+        if isinstance(matrix, CSXMatrix):
+            want = [(p.row_start, p.row_end) for p in matrix.partitions]
+            if want != self.partitions:
+                raise ValueError(
+                    "CSX matrix was preprocessed for different partitions"
+                )
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.partitions)
+
+    def __call__(
+        self, x: np.ndarray, y: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if y is None:
+            y = np.zeros(self.matrix.n_rows, dtype=np.float64)
+        else:
+            y[:] = 0.0
+
+        if isinstance(self.matrix, CSXMatrix):
+
+            def make_task(tid: int):
+                def task() -> None:
+                    self.matrix.spmv_partition_only(x, y, tid)
+
+                return task
+
+        else:
+
+            def make_task(tid: int):
+                start, end = self.partitions[tid]
+
+                def task() -> None:
+                    self.matrix.spmv_rows(x, y, start, end)
+
+                return task
+
+        self.executor.run_batch(
+            [make_task(tid) for tid in range(self.n_threads)]
+        )
+        return y

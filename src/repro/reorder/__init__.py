@@ -1,0 +1,12 @@
+"""Bandwidth-reduction reordering (RCM) and bandwidth statistics."""
+
+from .bandwidth import BandwidthStats, bandwidth_stats
+from .rcm import cuthill_mckee, rcm_reorder, reverse_cuthill_mckee
+
+__all__ = [
+    "cuthill_mckee",
+    "reverse_cuthill_mckee",
+    "rcm_reorder",
+    "BandwidthStats",
+    "bandwidth_stats",
+]

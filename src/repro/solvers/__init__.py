@@ -1,0 +1,14 @@
+"""Iterative solvers: instrumented non-preconditioned CG (Alg. 1)."""
+
+from .cg import CGResult, conjugate_gradient
+from .pcg import jacobi_preconditioner, preconditioned_conjugate_gradient
+from .vecops import OpCounter, VectorOps
+
+__all__ = [
+    "CGResult",
+    "conjugate_gradient",
+    "jacobi_preconditioner",
+    "preconditioned_conjugate_gradient",
+    "OpCounter",
+    "VectorOps",
+]

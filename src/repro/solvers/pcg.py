@@ -1,0 +1,117 @@
+"""Jacobi-preconditioned Conjugate Gradient.
+
+The paper evaluates a *non-preconditioned* CG and notes that
+"improving the performance of a preconditioner is orthogonal to the
+SpM×V optimization examined" (§II-C). This module supplies the natural
+extension: CG preconditioned with ``M = diag(A)`` — the cheapest
+preconditioner, whose application is a vector multiply and therefore
+keeps SpM×V the dominant kernel, preserving the paper's conclusions
+while usually cutting the iteration count on ill-conditioned systems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .cg import CGResult
+from .vecops import OpCounter, VectorOps
+
+__all__ = ["jacobi_preconditioner", "preconditioned_conjugate_gradient"]
+
+
+def jacobi_preconditioner(diagonal: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+    """``M⁻¹`` application for ``M = diag(A)``.
+
+    Raises if the diagonal has zeros (Jacobi undefined).
+    """
+    diagonal = np.asarray(diagonal, dtype=np.float64)
+    if np.any(diagonal == 0.0):
+        raise ValueError("Jacobi preconditioner needs a zero-free diagonal")
+    inv = 1.0 / diagonal
+
+    def apply(r: np.ndarray) -> np.ndarray:
+        return inv * r
+
+    return apply
+
+
+def preconditioned_conjugate_gradient(
+    spmv: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    precond: Callable[[np.ndarray], np.ndarray],
+    x0: Optional[np.ndarray] = None,
+    *,
+    tol: float = 1e-8,
+    max_iter: Optional[int] = None,
+    counter: Optional[OpCounter] = None,
+) -> CGResult:
+    """Solve ``A x = b`` with left-preconditioned CG.
+
+    Same contract as :func:`repro.solvers.cg.conjugate_gradient`; the
+    preconditioner application is counted as one vector op per
+    iteration (3n element traffic, n flops for Jacobi).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = b.size
+    ops = VectorOps(counter)
+    if max_iter is None:
+        max_iter = max(1, 10 * n)
+
+    x = (
+        np.zeros(n, dtype=np.float64)
+        if x0 is None
+        else np.array(x0, dtype=np.float64)
+    )
+    n_spmv = 0
+    if x0 is None or not np.any(x):
+        r = b.copy()
+        ops.counter.add(0.0, 16.0 * n)
+    else:
+        r = b - spmv(x)
+        n_spmv += 1
+        ops.counter.add(float(n), 24.0 * n)
+
+    b_norm = float(np.linalg.norm(b))
+    threshold = tol * (b_norm if b_norm > 0 else 1.0)
+
+    z = precond(r)
+    ops.counter.add(float(n), 24.0 * n)
+    rz = ops.dot(r, z)
+    res_norm = float(np.linalg.norm(r))
+    if res_norm <= threshold:
+        return CGResult(
+            x, True, 0, res_norm, n_spmv,
+            ops.counter.flops, ops.counter.bytes,
+        )
+
+    p = z.copy()
+    ops.counter.add(0.0, 16.0 * n)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        q = spmv(p)
+        n_spmv += 1
+        pq = ops.dot(p, q)
+        if pq <= 0:
+            break
+        alpha = rz / pq
+        ops.axpy(alpha, p, x)
+        ops.axpy(-alpha, q, r)
+        res_norm = float(np.linalg.norm(r))
+        ops.counter.add(2.0 * n, 8.0 * n)
+        if res_norm <= threshold:
+            converged = True
+            break
+        z = precond(r)
+        ops.counter.add(float(n), 24.0 * n)
+        rz_new = ops.dot(r, z)
+        beta = rz_new / rz
+        ops.xpay(z, beta, p)
+        rz = rz_new
+
+    return CGResult(
+        x, converged, it, res_norm, n_spmv,
+        ops.counter.flops, ops.counter.bytes,
+    )

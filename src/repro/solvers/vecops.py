@@ -1,0 +1,86 @@
+"""Instrumented dense vector operations for the CG solver.
+
+CG interleaves one SpM×V with several level-1 BLAS operations per
+iteration (Alg. 1); on small matrices the vector operations dominate
+the multithreaded solver (Fig. 14's first observation). Every operation
+here updates an :class:`OpCounter` with its flop count and streamed
+bytes so the machine model can time the vector phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["OpCounter", "VectorOps"]
+
+_F8 = 8  # bytes per double
+
+
+@dataclass
+class OpCounter:
+    """Accumulated floating-point and memory-traffic counts."""
+
+    flops: float = 0.0
+    bytes: float = 0.0
+    n_ops: int = 0
+
+    def add(self, flops: float, bytes_: float) -> None:
+        self.flops += flops
+        self.bytes += bytes_
+        self.n_ops += 1
+
+    def reset(self) -> None:
+        self.flops = 0.0
+        self.bytes = 0.0
+        self.n_ops = 0
+
+
+class VectorOps:
+    """Dense vector kernels with traffic accounting.
+
+    All kernels are numpy-vectorized and in-place where the CG
+    algorithm allows (the guides' "in place operations" rule).
+    """
+
+    def __init__(self, counter: OpCounter | None = None):
+        self.counter = counter or OpCounter()
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Inner product ``aᵀ b`` (2n flops; reads both operands —
+        n doubles once when they alias)."""
+        n = a.size
+        reads = n if a is b else 2 * n
+        self.counter.add(2.0 * n, _F8 * reads)
+        return float(np.dot(a, b))
+
+    def norm2(self, a: np.ndarray) -> float:
+        """Euclidean norm ``‖a‖₂``."""
+        return float(np.sqrt(self.dot(a, a)))
+
+    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> None:
+        """``y ← y + alpha·x`` in place (2n flops, 3n element traffic:
+        read x, read y, write y)."""
+        n = x.size
+        self.counter.add(2.0 * n, _F8 * 3 * n)
+        y += alpha * x
+
+    def xpay(self, x: np.ndarray, beta: float, y: np.ndarray) -> None:
+        """``y ← x + beta·y`` in place (the CG direction update)."""
+        n = x.size
+        self.counter.add(2.0 * n, _F8 * 3 * n)
+        y *= beta
+        y += x
+
+    def copy(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """``dst ← src`` (pure traffic, no flops)."""
+        n = src.size
+        self.counter.add(0.0, _F8 * 2 * n)
+        dst[:] = src
+
+    def scale(self, alpha: float, x: np.ndarray) -> None:
+        """``x ← alpha·x`` in place."""
+        n = x.size
+        self.counter.add(float(n), _F8 * 2 * n)
+        x *= alpha

@@ -1,0 +1,64 @@
+"""Shared fixtures: deterministic random symmetric SPD matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+
+
+def random_symmetric_dense(
+    n: int,
+    density: float = 0.05,
+    seed: int = 0,
+    band: int | None = None,
+    with_runs: bool = False,
+) -> np.ndarray:
+    """Random symmetric positive-definite dense matrix.
+
+    ``band`` restricts entries near the diagonal; ``with_runs`` plants
+    contiguous diagonals so CSX has substructures to find.
+    """
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n, n))
+    mask = np.triu(rng.random((n, n)) < density, k=1)
+    if band is not None:
+        rows, cols = np.indices((n, n))
+        mask &= np.abs(rows - cols) <= band
+    dense[mask] = rng.uniform(0.1, 1.0, int(mask.sum()))
+    if with_runs:
+        for off in (1, 2, 3):
+            idx = np.arange(n - off)
+            dense[idx, idx + off] = rng.uniform(0.1, 1.0, n - off)
+    dense = np.triu(dense)
+    dense = dense + dense.T
+    np.fill_diagonal(dense, 1.0 + np.abs(dense).sum(axis=1))
+    return dense
+
+
+@pytest.fixture(scope="session")
+def sym_dense_small() -> np.ndarray:
+    """64×64 symmetric SPD with runs (fast unit-test workhorse)."""
+    return random_symmetric_dense(64, density=0.08, seed=1, with_runs=True)
+
+
+@pytest.fixture(scope="session")
+def sym_dense_medium() -> np.ndarray:
+    """300×300 symmetric SPD with banded + scattered structure."""
+    return random_symmetric_dense(300, density=0.02, seed=2, with_runs=True)
+
+
+@pytest.fixture(scope="session")
+def sym_coo_small(sym_dense_small) -> COOMatrix:
+    return COOMatrix.from_dense(sym_dense_small)
+
+
+@pytest.fixture(scope="session")
+def sym_coo_medium(sym_dense_medium) -> COOMatrix:
+    return COOMatrix.from_dense(sym_dense_medium)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,141 @@
+"""Unit tests for the analysis layer (density, traffic, breakdowns,
+preprocessing cost, report rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_density,
+    average_overhead,
+    build_format,
+    cg_breakdown,
+    density_sweep,
+    effective_region_density,
+    preprocessing_cost,
+    reduction_overhead_sweep,
+    render_series,
+    render_table,
+    spmv_reduction_breakdown,
+    ws_effective,
+    ws_indexed,
+    ws_naive,
+)
+from repro.formats import COOMatrix, CSRMatrix, SSSMatrix
+from repro.machine import DUNNINGTON, GAINESTOWN
+from repro.matrices import banded_random
+
+
+@pytest.fixture(scope="module")
+def mats():
+    rng = np.random.default_rng(1)
+    return {
+        "banded": banded_random(3000, 8.0, 60, rng),
+        "wide": banded_random(3000, 8.0, 1500, rng),
+    }
+
+
+def test_ws_equations():
+    assert ws_naive(4, 100) == 3200
+    assert ws_effective(4, 100) == 1200
+    assert ws_indexed(4, 100, 0.1) == pytest.approx(240)
+
+
+def test_density_decreases_with_threads(mats):
+    sss = SSSMatrix.from_coo(mats["banded"])
+    d4, _ = effective_region_density(sss, 4)
+    d32, _ = effective_region_density(sss, 32)
+    assert 0 < d32 < d4 <= 1.0
+
+
+def test_density_sweep_and_average(mats):
+    pts = density_sweep(mats, [2, 8, 32])
+    assert len(pts) == 6
+    avg = average_density(pts)
+    assert set(avg) == {2, 8, 32}
+    assert avg[32] < avg[2]
+
+
+def test_density_sweep_skips_single_thread(mats):
+    pts = density_sweep(mats, [1, 4])
+    assert all(p.n_threads == 4 for p in pts)
+
+
+def test_overhead_sweep_shapes(mats):
+    pts = reduction_overhead_sweep(mats, [2, 8, 24])
+    avg = average_overhead(pts)
+    # Naive and effective grow linearly; indexed flattens (Fig. 5).
+    naive_growth = avg["naive"][24] / avg["naive"][8]
+    idx_growth = avg["indexed"][24] / avg["indexed"][8]
+    assert naive_growth == pytest.approx(3.0, rel=0.01)
+    assert idx_growth < naive_growth
+    for p in (2, 8, 24):
+        assert avg["indexed"][p] < avg["naive"][p]
+
+
+def test_spmv_breakdown_reduce_ordering(mats):
+    rows = spmv_reduction_breakdown(mats, DUNNINGTON, 16)
+    by = {(r.matrix, r.method): r for r in rows}
+    for name in mats:
+        assert (
+            by[(name, "indexed")].t_reduce
+            < by[(name, "effective")].t_reduce
+            < by[(name, "naive")].t_reduce
+        )
+        assert by[(name, "indexed")].reduce_fraction < 0.5
+
+
+def test_cg_breakdown_components(mats):
+    rows = cg_breakdown(
+        {"banded": mats["banded"]}, DUNNINGTON, 8, iterations=128
+    )
+    assert {r.config for r in rows} == {"csr", "csx", "sss", "csx-sym"}
+    for r in rows:
+        assert r.total > 0
+        if r.config in ("csr", "csx"):
+            assert r.t_spmv_reduce == 0.0
+        if r.config in ("csx", "csx-sym"):
+            assert r.t_preproc > 0.0
+        else:
+            assert r.t_preproc == 0.0
+        assert r.t_vector > 0
+
+
+def test_preprocessing_cost_in_paper_range(mats):
+    """§V-E: tens to ~hundred serial CSR SpM×V equivalents."""
+    coo = mats["banded"]
+    csr = CSRMatrix.from_coo(coo)
+    csx, _ = build_format(coo, "csx", n_threads=16)
+    cost_d = preprocessing_cost(csx, csr, DUNNINGTON, 24)
+    cost_g = preprocessing_cost(csx, csr, GAINESTOWN, 16)
+    assert 5 < cost_d.csr_spmv_equivalents < 500
+    # NUMA preprocessing is more expensive (paper: 49 vs 94).
+    assert cost_g.csr_spmv_equivalents > cost_d.csr_spmv_equivalents
+
+
+def test_build_format_all_names(mats):
+    coo = mats["banded"]
+    for name in ("csr", "csx", "sss", "csx-sym"):
+        m, parts = build_format(coo, name, n_threads=4)
+        assert m.format_name == name
+        assert len(parts) == 4
+    with pytest.raises(ValueError):
+        build_format(coo, "bsr")
+
+
+def test_render_table_alignment():
+    out = render_table(
+        ["name", "value"], [["a", 1.5], ["bb", 2.25]], title="T"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.500" in out and "2.250" in out
+
+
+def test_render_series_grid():
+    out = render_series(
+        "p",
+        {"a": {1: 0.5, 2: 1.0}, "b": {2: 2.0}},
+    )
+    assert "nan" in out  # missing (1, "b") cell
+    assert out.splitlines()[0].startswith("p")

@@ -1,0 +1,67 @@
+"""Additional analysis-layer tests: breakdown dataclasses, platform
+cache accounting, configuration consistency."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_format, thread_partitions
+from repro.analysis.breakdown import CGBreakdown, SpmvBreakdown
+from repro.machine import DUNNINGTON, GAINESTOWN
+from repro.matrices import banded_random
+from repro.parallel import validate_partitions
+
+
+def test_spmv_breakdown_properties():
+    b = SpmvBreakdown("m", "indexed", t_mult=3.0, t_reduce=1.0)
+    assert b.total == 4.0
+    assert b.reduce_fraction == pytest.approx(0.25)
+    zero = SpmvBreakdown("m", "indexed", 0.0, 0.0)
+    assert zero.reduce_fraction == 0.0
+
+
+def test_cg_breakdown_total():
+    b = CGBreakdown(
+        "m", "csx-sym", iterations=10,
+        t_spmv_mult=1.0, t_spmv_reduce=0.5, t_vector=2.0, t_preproc=0.25,
+    )
+    assert b.total == pytest.approx(3.75)
+
+
+def test_cache_bytes_per_thread_includes_l2():
+    # Dunnington: 64 MiB LLC / 24 + 3 MiB L2 per 2 cores.
+    per_thread = DUNNINGTON.cache_bytes_per_thread(24)
+    llc_share = DUNNINGTON.llc_bytes_available(24) / 24
+    l2_share = 3 * 1024 * 1024 / 2
+    assert per_thread == pytest.approx(llc_share + l2_share)
+
+
+def test_cache_bytes_gainestown_private_l2():
+    per_thread = GAINESTOWN.cache_bytes_per_thread(8)
+    assert per_thread == pytest.approx(
+        GAINESTOWN.llc_bytes_available(8) / 8 + 256 * 1024
+    )
+
+
+def test_thread_partitions_cover(rng):
+    coo = banded_random(500, 8.0, 40, rng)
+    for p in (1, 3, 7, 16):
+        parts = thread_partitions(coo, p, symmetric=True)
+        validate_partitions(parts, coo.n_rows)
+        parts_u = thread_partitions(coo, p, symmetric=False)
+        validate_partitions(parts_u, coo.n_rows)
+
+
+def test_build_format_partitions_match_matrix(rng):
+    """CSX formats bake partitions in; build_format must return the
+    exact ones the matrix was preprocessed for."""
+    coo = banded_random(400, 8.0, 30, rng)
+    csx, parts = build_format(coo, "csx", 5)
+    assert [(p.row_start, p.row_end) for p in csx.partitions] == parts
+    csxs, parts_s = build_format(coo, "csx-sym", 5)
+    assert csxs.partition_bounds == parts_s
+
+
+def test_build_format_single_thread_default(rng):
+    coo = banded_random(300, 6.0, 20, rng)
+    matrix, parts = build_format(coo, "sss")
+    assert parts == [(0, coo.n_rows)]

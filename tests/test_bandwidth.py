@@ -1,0 +1,52 @@
+"""Unit tests for bandwidth statistics."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.reorder import bandwidth_stats
+
+
+def test_diagonal_matrix():
+    coo = COOMatrix.from_dense(np.diag([1.0, 2.0, 3.0]))
+    s = bandwidth_stats(coo)
+    assert s.bandwidth == 0
+    assert s.avg_distance == 0.0
+    assert s.profile == 0
+
+
+def test_tridiagonal():
+    n = 5
+    dense = np.eye(n) * 2
+    for i in range(n - 1):
+        dense[i, i + 1] = dense[i + 1, i] = -1
+    s = bandwidth_stats(COOMatrix.from_dense(dense))
+    assert s.bandwidth == 1
+    assert s.profile == n - 1
+
+
+def test_single_far_entry():
+    dense = np.eye(6)
+    dense[5, 0] = dense[0, 5] = 1.0
+    s = bandwidth_stats(COOMatrix.from_dense(dense))
+    assert s.bandwidth == 5
+    assert s.normalized_bandwidth == pytest.approx(5 / 6)
+    assert s.profile == 5  # only row 5 has an envelope
+
+
+def test_empty_matrix():
+    s = bandwidth_stats(COOMatrix.empty((4, 4)))
+    assert s.bandwidth == 0 and s.profile == 0
+
+
+def test_rejects_rectangular():
+    with pytest.raises(ValueError):
+        bandwidth_stats(COOMatrix((2, 3), [0], [1], [1.0]))
+
+
+def test_avg_distance(sym_coo_small):
+    s = bandwidth_stats(sym_coo_small)
+    dist = np.abs(
+        sym_coo_small.rows.astype(int) - sym_coo_small.cols.astype(int)
+    )
+    assert s.avg_distance == pytest.approx(dist.mean())

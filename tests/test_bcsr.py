@@ -1,0 +1,105 @@
+"""Unit tests for the BCSR comparator format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSRMatrix, COOMatrix
+from repro.formats.bcsr import autotune_block_shape, bcsr_fill_ratio
+from repro.matrices import block_structural
+
+
+@pytest.fixture(scope="module")
+def block_coo():
+    rng = np.random.default_rng(5)
+    return block_structural(
+        80, dof=3, nnz_per_row=24.0, band_nodes=10, rng=rng
+    )
+
+
+def test_spmv_matches_dense(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    for shape in ((1, 1), (2, 2), (3, 3), (2, 3), (4, 4)):
+        bcsr = BCSRMatrix(coo, shape)
+        x = rng.standard_normal(coo.n_cols)
+        assert np.allclose(bcsr.spmv(x), sym_dense_medium @ x), shape
+
+
+def test_spmv_ragged_edge(rng):
+    dense = rng.random((7, 7))
+    dense[dense < 0.5] = 0.0
+    coo = COOMatrix.from_dense(dense)
+    bcsr = BCSRMatrix(coo, (3, 3))  # 7 not divisible by 3
+    x = rng.standard_normal(7)
+    assert np.allclose(bcsr.spmv(x), dense @ x)
+
+
+def test_unit_blocks_equal_csr_nnz(sym_coo_small):
+    bcsr = BCSRMatrix(sym_coo_small, (1, 1))
+    assert bcsr.stored_entries == sym_coo_small.nnz
+    assert bcsr.fill_ratio == 1.0
+
+
+def test_fill_ratio_grows_with_blocks(sym_coo_small):
+    r1 = BCSRMatrix(sym_coo_small, (1, 1)).fill_ratio
+    r4 = BCSRMatrix(sym_coo_small, (4, 4)).fill_ratio
+    assert r1 <= r4
+    assert r4 > 1.0  # scattered fixture must have fill-in
+
+
+def test_block_structural_matrix_has_low_fill(block_coo):
+    """3-dof structural matrices tile perfectly with 3x3 blocks."""
+    bcsr = BCSRMatrix(block_coo, (3, 3))
+    assert bcsr.fill_ratio < 1.2
+
+
+def test_autotune_picks_3x3_for_3dof(block_coo):
+    shape = autotune_block_shape(block_coo)
+    assert shape == (3, 3)
+    auto = BCSRMatrix(block_coo, autotune=True)
+    assert auto.block_shape == (3, 3)
+
+
+def test_autotune_picks_1x1_for_scattered(rng):
+    dense = np.zeros((60, 60))
+    idx = rng.choice(3600, 100, replace=False)
+    dense[idx // 60, idx % 60] = 1.0
+    coo = COOMatrix.from_dense(dense)
+    assert autotune_block_shape(coo) == (1, 1)
+
+
+def test_autotune_empty_candidates_rejected(sym_coo_small):
+    with pytest.raises(ValueError):
+        autotune_block_shape(sym_coo_small, candidates=[])
+
+
+def test_size_accounts_fill(block_coo):
+    bcsr = BCSRMatrix(block_coo, (3, 3))
+    expected = (
+        8 * bcsr.stored_entries
+        + 4 * bcsr.n_blocks
+        + 4 * (bcsr.n_brows + 1)
+    )
+    assert bcsr.size_bytes() == expected
+
+
+def test_fill_ratio_helper_matches(block_coo):
+    bcsr = BCSRMatrix(block_coo, (2, 2))
+    assert bcsr_fill_ratio(block_coo, (2, 2)) == pytest.approx(
+        bcsr.fill_ratio
+    )
+
+
+def test_to_coo_roundtrip(block_coo):
+    bcsr = BCSRMatrix(block_coo, (3, 3))
+    assert np.allclose(bcsr.to_coo().to_dense(), block_coo.to_dense())
+
+
+def test_invalid_block_shape(sym_coo_small):
+    with pytest.raises(ValueError):
+        BCSRMatrix(sym_coo_small, (0, 2))
+
+
+def test_empty_matrix():
+    bcsr = BCSRMatrix(COOMatrix.empty((5, 5)), (2, 2))
+    assert bcsr.n_blocks == 0
+    assert np.array_equal(bcsr.spmv(np.ones(5)), np.zeros(5))

@@ -1,0 +1,71 @@
+"""Unit tests for the reuse-window cache traffic estimator."""
+
+import numpy as np
+
+from repro.machine import estimate_x_misses, reuse_window_lines, x_traffic_bytes
+from repro.machine.platforms import CACHE_LINE_BYTES
+
+
+def test_window_lines():
+    assert reuse_window_lines(0) == 1
+    assert reuse_window_lines(64 * 100, x_share=1.0) == 100
+    assert reuse_window_lines(64 * 100, x_share=0.5) == 50
+
+
+def test_sequential_stream_one_miss_per_line():
+    cols = np.arange(800)  # 100 cache lines of 8 doubles
+    misses = estimate_x_misses(cols, window_lines=1000)
+    assert misses == 100
+
+
+def test_repeated_access_hits_in_window():
+    cols = np.tile(np.arange(8), 50)  # one line, touched repeatedly
+    assert estimate_x_misses(cols, window_lines=10) == 1
+
+
+def test_repeated_access_misses_outside_window():
+    # Alternate between two far-apart lines with a tiny window.
+    cols = np.empty(100, dtype=np.int64)
+    cols[0::2] = 0
+    cols[1::2] = 8000
+    misses = estimate_x_misses(cols, window_lines=0)
+    assert misses == 100  # every access evicted before reuse
+
+
+def test_banded_beats_scattered(rng):
+    n = 20000
+    banded = (np.arange(5000) % 512).astype(np.int64)
+    scattered = rng.integers(0, n, size=5000)
+    window = reuse_window_lines(32 * 1024)  # 32 KiB cache
+    assert estimate_x_misses(banded, window) < estimate_x_misses(
+        scattered, window
+    )
+
+
+def test_misses_monotone_in_cache_size(rng):
+    cols = rng.integers(0, 100000, size=20000)
+    m_small = estimate_x_misses(cols, window_lines=64)
+    m_big = estimate_x_misses(cols, window_lines=8192)
+    assert m_big <= m_small
+
+
+def test_empty_stream():
+    assert estimate_x_misses(np.zeros(0, dtype=np.int64), 10) == 0
+    assert x_traffic_bytes(np.zeros(0, dtype=np.int64), 1 << 20) == 0
+
+
+def test_traffic_bytes_is_misses_times_line():
+    cols = np.arange(80)
+    window = reuse_window_lines(1 << 20, x_share=1.0)
+    assert x_traffic_bytes(cols, 1 << 20, x_share=1.0) == (
+        estimate_x_misses(cols, window) * CACHE_LINE_BYTES
+    )
+
+
+def test_consecutive_duplicates_compressed():
+    cols = np.repeat(np.arange(0, 80, 8), 100)  # long dwell per line
+    assert estimate_x_misses(cols, window_lines=2) == 10
+
+
+def test_single_access():
+    assert estimate_x_misses(np.array([42]), window_lines=1) == 1

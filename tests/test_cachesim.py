@@ -1,0 +1,125 @@
+"""Unit + validation tests for the exact cache simulator.
+
+Besides testing the simulator itself, this file *validates the analytic
+reuse-window estimator* of :mod:`repro.machine.cache` against exact LRU
+simulation: the estimator must rank access patterns identically and
+land within a reasonable factor on miss counts — that is what makes the
+performance model's locality terms trustworthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import estimate_x_misses, reuse_window_lines
+from repro.machine.cachesim import CacheConfig, CacheSim, simulate_misses
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(0)
+    with pytest.raises(ValueError):
+        CacheConfig(64, associativity=0)
+    with pytest.raises(ValueError):
+        CacheConfig(32)  # smaller than a line
+    with pytest.raises(ValueError):
+        CacheConfig(64 * 10, associativity=4)  # 10 lines % 4 != 0
+
+
+def test_geometry():
+    c = CacheConfig(64 * 1024, associativity=8)
+    assert c.n_lines == 1024
+    assert c.n_sets == 128
+
+
+def test_cold_misses_only():
+    sim = CacheSim(CacheConfig(64 * 64, associativity=8))
+    lines = np.arange(16)
+    sim.access_lines(lines)
+    assert sim.misses == 16
+    sim.access_lines(lines)  # everything fits: all hits
+    assert sim.misses == 16
+    assert sim.accesses == 32
+
+
+def test_lru_eviction_order():
+    # Direct-mapped-ish: 1 set, 2 ways.
+    sim = CacheSim(CacheConfig(128, associativity=2))
+    sim.access_lines(np.array([0, 1]))  # fill
+    sim.access_lines(np.array([0]))  # touch 0 (1 becomes LRU)
+    sim.access_lines(np.array([2]))  # evicts 1
+    assert sim.misses == 3
+    sim.access_lines(np.array([0]))  # still resident
+    assert sim.misses == 3
+    sim.access_lines(np.array([1]))  # was evicted
+    assert sim.misses == 4
+
+
+def test_set_conflicts():
+    # 2 sets × 1 way: lines 0 and 2 collide, 1 and 3 collide.
+    sim = CacheSim(CacheConfig(128, associativity=1))
+    sim.access_lines(np.array([0, 2, 0, 2]))
+    assert sim.misses == 4  # ping-pong
+    sim.reset()
+    sim.access_lines(np.array([0, 1, 0, 1]))
+    assert sim.misses == 2  # different sets: no conflict
+
+
+def test_reset():
+    sim = CacheSim(CacheConfig(64 * 8, associativity=8))
+    sim.access_lines(np.arange(4))
+    sim.reset()
+    assert sim.misses == 0 and sim.accesses == 0
+    sim.access_lines(np.arange(4))
+    assert sim.misses == 4
+
+
+def test_simulate_misses_element_granularity():
+    # 8 doubles per line: columns 0..7 share a line.
+    misses = simulate_misses(np.arange(8), cache_bytes=64 * 64)
+    assert misses == 1
+
+
+def test_miss_rate():
+    sim = CacheSim(CacheConfig(64 * 8))
+    sim.access_lines(np.array([0, 0, 0, 1]))
+    assert sim.miss_rate == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Estimator validation against exact simulation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cache_kib", [32, 256])
+def test_estimator_orders_patterns_like_simulator(cache_kib, rng):
+    cache = cache_kib * 1024
+    n = 200_000
+    streams = {
+        "sequential": np.tile(np.arange(2000), 10),
+        "banded": (np.arange(30_000) % 4096),
+        "random": rng.integers(0, n, size=30_000),
+    }
+    window = reuse_window_lines(cache, x_share=1.0)
+    est = {k: estimate_x_misses(v, window) for k, v in streams.items()}
+    sim = {k: simulate_misses(v, cache) for k, v in streams.items()}
+    # Same ordering: sequential < banded < random in both models.
+    assert est["sequential"] <= est["banded"] <= est["random"]
+    assert sim["sequential"] <= sim["banded"] <= sim["random"]
+
+
+def test_estimator_within_factor_of_simulator(rng):
+    """On random streams both models are dominated by capacity misses;
+    the analytic estimate must land within ~2× of exact LRU."""
+    cache = 64 * 1024
+    stream = rng.integers(0, 100_000, size=40_000)
+    window = reuse_window_lines(cache, x_share=1.0)
+    est = estimate_x_misses(stream, window)
+    sim = simulate_misses(stream, cache)
+    assert 0.5 * sim <= est <= 2.0 * sim
+
+
+def test_estimator_exact_on_streaming(rng):
+    """Pure streaming (no reuse): both models count one miss per line."""
+    stream = np.arange(0, 80_000, 8)  # one access per line
+    window = reuse_window_lines(32 * 1024, x_share=1.0)
+    est = estimate_x_misses(stream, window)
+    sim = simulate_misses(stream, 32 * 1024)
+    assert est == sim == stream.size

@@ -1,0 +1,138 @@
+"""Unit tests for the instrumented Conjugate Gradient solver."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix, CSXSymMatrix, SSSMatrix
+from repro.parallel import ParallelSymmetricSpMV, partition_rows_equal
+from repro.solvers import OpCounter, conjugate_gradient
+
+
+@pytest.fixture(scope="session")
+def spd_system(sym_dense_medium, ):
+    rng = np.random.default_rng(42)
+    x_true = rng.standard_normal(sym_dense_medium.shape[0])
+    b = sym_dense_medium @ x_true
+    return sym_dense_medium, x_true, b
+
+
+def test_converges_on_spd(spd_system):
+    dense, x_true, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(csr.spmv, b, tol=1e-12)
+    assert res.converged
+    assert np.allclose(res.x, x_true, atol=1e-6)
+    assert res.residual_norm <= 1e-12 * np.linalg.norm(b)
+
+
+def test_iteration_count_reasonable(spd_system):
+    """Diagonally dominant fixtures are well conditioned: far fewer
+    iterations than the dimension."""
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(csr.spmv, b, tol=1e-10)
+    assert res.iterations < dense.shape[0] / 2
+
+
+def test_spmv_count_matches_iterations(spd_system):
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(csr.spmv, b, tol=1e-10)
+    assert res.n_spmv == res.iterations  # zero x0: no initial SpM×V
+
+
+def test_nonzero_initial_guess(spd_system):
+    dense, x_true, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    x0 = x_true + 0.01 * np.ones_like(x_true)
+    res = conjugate_gradient(csr.spmv, b, x0=x0, tol=1e-12)
+    assert res.converged
+    assert res.n_spmv == res.iterations + 1  # one extra for r0
+    assert np.allclose(res.x, x_true, atol=1e-6)
+
+
+def test_exact_initial_guess_returns_immediately(spd_system):
+    dense, x_true, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(csr.spmv, b, x0=x_true, tol=1e-8)
+    assert res.converged and res.iterations == 0
+
+
+def test_max_iter_cap(spd_system):
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(csr.spmv, b, tol=1e-300, max_iter=3)
+    assert not res.converged
+    assert res.iterations == 3
+
+
+def test_residual_history_monotone_overall(spd_system):
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(csr.spmv, b, tol=1e-10, record_history=True)
+    hist = res.residual_history
+    assert hist is not None and hist[-1] < hist[0] * 1e-8
+
+
+def test_counter_accumulates(spd_system):
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    counter = OpCounter()
+    res = conjugate_gradient(csr.spmv, b, tol=1e-10, counter=counter)
+    assert counter.flops == res.vector_flops > 0
+    assert counter.bytes == res.vector_bytes > 0
+
+
+def test_vector_counts_match_closed_form(spd_system):
+    """Per-iteration vector flops must match the Fig. 14 closed form."""
+    from repro.analysis import cg_vector_counts_per_iter
+
+    dense, _, b = spd_system
+    n = dense.shape[0]
+    csr = CSRMatrix.from_dense(dense)
+    r5 = conjugate_gradient(csr.spmv, b, tol=1e-300, max_iter=5)
+    r10 = conjugate_gradient(csr.spmv, b, tol=1e-300, max_iter=10)
+    flops_per_iter = (r10.vector_flops - r5.vector_flops) / 5
+    bytes_per_iter = (r10.vector_bytes - r5.vector_bytes) / 5
+    cf_flops, cf_bytes = cg_vector_counts_per_iter(n)
+    assert flops_per_iter == pytest.approx(cf_flops)
+    assert bytes_per_iter == pytest.approx(cf_bytes)
+
+
+def test_works_with_parallel_symmetric_kernel(spd_system):
+    dense, x_true, b = spd_system
+    coo = COOMatrix.from_dense(dense)
+    sss = SSSMatrix.from_coo(coo)
+    parts = partition_rows_equal(coo.n_rows, 4)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    res = conjugate_gradient(kernel, b, tol=1e-12)
+    assert res.converged
+    assert np.allclose(res.x, x_true, atol=1e-6)
+
+
+def test_works_with_csx_sym(spd_system):
+    dense, x_true, b = spd_system
+    coo = COOMatrix.from_dense(dense)
+    parts = partition_rows_equal(coo.n_rows, 3)
+    csxs = CSXSymMatrix(coo, partitions=parts)
+    kernel = ParallelSymmetricSpMV(csxs, parts, "indexed")
+    res = conjugate_gradient(kernel, b, tol=1e-12)
+    assert res.converged
+    assert np.allclose(res.x, x_true, atol=1e-6)
+
+
+def test_same_answer_across_formats(spd_system):
+    dense, _, b = spd_system
+    coo = COOMatrix.from_dense(dense)
+    csr = CSRMatrix.from_coo(coo)
+    sss = SSSMatrix.from_coo(coo)
+    ra = conjugate_gradient(csr.spmv, b, tol=1e-12)
+    rb = conjugate_gradient(sss.spmv, b, tol=1e-12)
+    assert np.allclose(ra.x, rb.x, atol=1e-8)
+
+
+def test_indefinite_direction_bails():
+    dense = np.array([[1.0, 0.0], [0.0, -1.0]])  # not SPD
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(csr.spmv, np.array([0.0, 1.0]), tol=1e-12)
+    assert not res.converged

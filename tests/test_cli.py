@@ -1,0 +1,102 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_suite_command(capsys):
+    rc = main(["suite", "--scale", "0.004"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "parabolic_fem" in out and "ldoor" in out
+    assert "corner" in out
+
+
+def test_spmv_command(capsys):
+    rc = main(
+        [
+            "spmv", "--matrix", "consph", "--format", "sss",
+            "--threads", "4", "--scale", "0.005",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "correct=True" in out
+    assert "Gflop/s" in out
+
+
+def test_spmv_csx_sym(capsys):
+    rc = main(
+        [
+            "spmv", "--matrix", "bmw7st_1", "--format", "csx-sym",
+            "--threads", "2", "--scale", "0.005",
+            "--platform", "gainestown",
+        ]
+    )
+    assert rc == 0
+    assert "Gainestown" in capsys.readouterr().out
+
+
+def test_spmv_unsymmetric_format(capsys):
+    rc = main(
+        [
+            "spmv", "--matrix", "consph", "--format", "csr",
+            "--threads", "2", "--scale", "0.005",
+        ]
+    )
+    assert rc == 0
+
+
+def test_sweep_command(capsys):
+    rc = main(
+        [
+            "sweep", "--matrix", "consph", "--scale", "0.005",
+            "--platform", "gainestown",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "threads" in out and "csx-sym" in out
+
+
+def test_cg_command(capsys):
+    rc = main(
+        [
+            "cg", "--matrix", "consph", "--format", "sss",
+            "--threads", "2", "--scale", "0.005",
+        ]
+    )
+    assert rc == 0
+    assert "converged" in capsys.readouterr().out
+
+
+def test_stats_command(capsys):
+    rc = main(["stats", "--matrix", "consph", "--scale", "0.005"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "native" in out and "SSS CR %" in out
+
+
+def test_stats_with_rcm(capsys):
+    rc = main(
+        ["stats", "--matrix", "thermal2", "--scale", "0.004", "--rcm"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rcm" in out
+
+
+def test_unknown_matrix_rejected():
+    with pytest.raises(SystemExit):
+        main(["spmv", "--matrix", "not_a_matrix"])
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(SystemExit):
+        main(["spmv", "--format", "ellpack"])

@@ -1,0 +1,108 @@
+"""Unit tests for the colorful (conflict-free) symmetric SpM×V."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, SSSMatrix
+from repro.machine import DUNNINGTON
+from repro.matrices import banded_random, dense_clustered
+from repro.parallel import (
+    ColoredSymmetricSpMV,
+    coloring_stats,
+    distance2_coloring,
+    predict_colored_time,
+)
+from repro.parallel.coloring import verify_coloring
+
+
+@pytest.fixture(scope="module")
+def sparse_sss():
+    rng = np.random.default_rng(3)
+    return SSSMatrix.from_coo(banded_random(600, 6.0, 25, rng))
+
+
+def test_coloring_is_valid(sparse_sss):
+    colors = distance2_coloring(sparse_sss)
+    assert colors.min() >= 0
+    assert verify_coloring(sparse_sss, colors)
+
+
+def test_coloring_valid_on_scattered(rng):
+    coo = banded_random(400, 8.0, 399, np.random.default_rng(9))
+    sss = SSSMatrix.from_coo(coo)
+    colors = distance2_coloring(sss)
+    assert verify_coloring(sss, colors)
+
+
+def test_invalid_coloring_detected(sparse_sss):
+    """verify_coloring must actually catch conflicts."""
+    all_same = np.zeros(sparse_sss.n_rows, dtype=np.int64)
+    assert not verify_coloring(sparse_sss, all_same)
+
+
+def test_diagonal_matrix_needs_one_color():
+    sss = SSSMatrix.from_dense(np.diag(np.arange(1.0, 9.0)))
+    colors = distance2_coloring(sss)
+    assert coloring_stats(colors).n_colors == 1
+
+
+def test_color_count_grows_with_degree(rng):
+    rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+    sparse = SSSMatrix.from_coo(banded_random(500, 5.0, 30, rng1))
+    dense = SSSMatrix.from_coo(
+        dense_clustered(500, 40.0, 60, 8, rng2)
+    )
+    n_sparse = coloring_stats(distance2_coloring(sparse)).n_colors
+    n_dense = coloring_stats(distance2_coloring(dense)).n_colors
+    assert n_dense > 2 * n_sparse  # "geometry limits the potential"
+
+
+def test_colored_spmv_matches_dense(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ColoredSymmetricSpMV(sss)
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), sym_dense_medium @ x)
+
+
+def test_colored_spmv_with_precomputed_colors(sparse_sss, rng):
+    colors = distance2_coloring(sparse_sss)
+    kernel = ColoredSymmetricSpMV(sparse_sss, colors)
+    x = rng.standard_normal(sparse_sss.n_cols)
+    assert np.allclose(kernel(x), sparse_sss.spmv(x))
+
+
+def test_colored_output_reuse(sparse_sss, rng):
+    kernel = ColoredSymmetricSpMV(sparse_sss)
+    x = rng.standard_normal(sparse_sss.n_cols)
+    y = np.full(sparse_sss.n_rows, 7.0)
+    out = kernel(x, y)
+    assert out is y
+    assert np.allclose(y, sparse_sss.spmv(x))
+
+
+def test_bad_colors_shape_rejected(sparse_sss):
+    with pytest.raises(ValueError):
+        ColoredSymmetricSpMV(sparse_sss, np.zeros(3, dtype=np.int64))
+
+
+def test_stats_fields(sparse_sss):
+    stats = coloring_stats(distance2_coloring(sparse_sss))
+    assert stats.n_colors >= 1
+    assert stats.smallest_class <= stats.mean_class <= stats.largest_class
+    assert stats.parallelism_bound == stats.mean_class
+
+
+def test_predicted_time_worse_than_indexed(sparse_sss):
+    """The paper: the colorful method 'could not achieve a performance
+    gain over the typical local vectors method'."""
+    from repro.machine import predict_spmv
+    from repro.parallel import partition_nnz_balanced
+
+    colors = distance2_coloring(sparse_sss)
+    t_colored = predict_colored_time(sparse_sss, colors, DUNNINGTON, 24)
+    parts = partition_nnz_balanced(sparse_sss.expanded_row_nnz(), 24)
+    t_indexed = predict_spmv(
+        sparse_sss, parts, DUNNINGTON, reduction="indexed"
+    ).total
+    assert t_colored > t_indexed

@@ -1,0 +1,160 @@
+"""Unit tests for the CSB / CSB-Sym comparator formats."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSBMatrix, CSBSymMatrix, COOMatrix, CSRMatrix
+from repro.formats.csb import default_beta
+from repro.matrices import banded_random
+from repro.parallel import ParallelCSBSymSpMV, predict_csb_sym_time
+from repro.machine import DUNNINGTON
+
+
+def test_default_beta_power_of_two():
+    for n in (1, 5, 100, 4097, 10**6):
+        beta = default_beta(n)
+        assert beta & (beta - 1) == 0
+        assert beta * beta >= n or beta == 1 << 16
+
+
+def test_csb_spmv_matches_dense(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    for beta in (16, 64, 256):
+        csb = CSBMatrix(coo, beta=beta)
+        x = rng.standard_normal(coo.n_cols)
+        assert np.allclose(csb.spmv(x), sym_dense_medium @ x), beta
+
+
+def test_csb_unsymmetric_matrix(rng):
+    dense = rng.random((50, 50))
+    dense[dense < 0.8] = 0.0
+    coo = COOMatrix.from_dense(dense)
+    csb = CSBMatrix(coo, beta=16)
+    x = rng.standard_normal(50)
+    assert np.allclose(csb.spmv(x), dense @ x)
+
+
+def test_csb_roundtrip(sym_coo_medium):
+    csb = CSBMatrix(sym_coo_medium, beta=32)
+    assert np.allclose(
+        csb.to_coo().to_dense(), sym_coo_medium.to_dense()
+    )
+
+
+def test_csb_size_smaller_than_csr(sym_coo_medium):
+    csr = CSRMatrix.from_coo(sym_coo_medium)
+    csb = CSBMatrix(sym_coo_medium, beta=64)
+    assert csb.size_bytes() < csr.size_bytes()  # 12 B/elem vs ~12+
+
+
+def test_csb_invalid_beta(sym_coo_small):
+    with pytest.raises(ValueError):
+        CSBMatrix(sym_coo_small, beta=0)
+    with pytest.raises(ValueError):
+        CSBMatrix(sym_coo_small, beta=1 << 17)
+
+
+def test_csb_sym_spmv_matches_dense(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csbs = CSBSymMatrix(coo, beta=32)
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(csbs.spmv(x), sym_dense_medium @ x)
+
+
+def test_csb_sym_rejects_unsymmetric():
+    coo = COOMatrix((2, 2), [0], [1], [1.0])
+    with pytest.raises(ValueError):
+        CSBSymMatrix(coo)
+
+
+def test_csb_sym_roundtrip(sym_coo_medium):
+    csbs = CSBSymMatrix(sym_coo_medium, beta=64)
+    assert np.allclose(
+        csbs.to_coo().to_dense(), sym_coo_medium.to_dense()
+    )
+
+
+def test_csb_sym_stores_about_half(sym_coo_medium):
+    csb = CSBMatrix(sym_coo_medium, beta=64)
+    csbs = CSBSymMatrix(sym_coo_medium, beta=64)
+    assert csbs.size_bytes() < 0.65 * csb.size_bytes()
+
+
+def test_csb_sym_generic_partition_interface(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csbs = CSBSymMatrix(coo, beta=64)
+    parts = csbs.block_row_partitions(4)
+    x = rng.standard_normal(coo.n_cols)
+    y = np.zeros(coo.n_rows)
+    for s, e in parts:
+        local = np.zeros(coo.n_rows)
+        csbs.spmv_partition(x, y, local, s, e)
+        y += local
+    assert np.allclose(y, sym_dense_medium @ x)
+
+
+def test_csb_sym_partition_alignment_enforced(sym_coo_medium, rng):
+    csbs = CSBSymMatrix(sym_coo_medium, beta=64)
+    with pytest.raises(ValueError):
+        csbs.spmv_partition(
+            np.zeros(csbs.n_cols), np.zeros(csbs.n_rows),
+            np.zeros(csbs.n_rows), 10, csbs.n_rows,
+        )
+
+
+def test_parallel_csb_sym_correct(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csbs = CSBSymMatrix(coo, beta=32)
+    kernel = ParallelCSBSymSpMV(csbs, n_threads=4)
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), sym_dense_medium @ x)
+    assert kernel.last_stats is not None
+    assert kernel.last_stats.n_threads == 4
+
+
+def test_atomics_appear_on_wide_matrices(rng):
+    """Blocks beyond the three innermost diagonals trigger atomics —
+    the bandwidth sensitivity the paper points out for [27]."""
+    narrow = banded_random(2000, 8.0, 30, np.random.default_rng(0))
+    wide = narrow.permute_symmetric(
+        np.random.default_rng(1).permutation(2000)
+    )
+    csbs_narrow = CSBSymMatrix(narrow, beta=64)
+    csbs_wide = CSBSymMatrix(wide, beta=64)
+    parts_n = csbs_narrow.block_row_partitions(4)
+    parts_w = csbs_wide.block_row_partitions(4)
+    a_narrow = csbs_narrow.count_atomic_updates(parts_n)
+    a_wide = csbs_wide.count_atomic_updates(parts_w)
+    assert a_narrow == 0
+    assert a_wide > 0.5 * csbs_wide.stored_entries
+
+    # The kernel's measured atomics match the static count.
+    x = np.random.default_rng(2).standard_normal(2000)
+    kernel = ParallelCSBSymSpMV(csbs_wide, parts_w)
+    y = kernel(x)
+    assert np.allclose(y, wide.to_scipy() @ x)
+    assert kernel.last_stats.atomic_updates == a_wide
+
+
+def test_predicted_time_penalizes_atomics(rng):
+    narrow = banded_random(2000, 8.0, 30, np.random.default_rng(0))
+    wide = narrow.permute_symmetric(
+        np.random.default_rng(1).permutation(2000)
+    )
+    t_narrow = predict_csb_sym_time(
+        CSBSymMatrix(narrow, beta=64),
+        CSBSymMatrix(narrow, beta=64).block_row_partitions(8),
+        DUNNINGTON,
+    )
+    t_wide = predict_csb_sym_time(
+        CSBSymMatrix(wide, beta=64),
+        CSBSymMatrix(wide, beta=64).block_row_partitions(8),
+        DUNNINGTON,
+    )
+    assert t_wide > 1.5 * t_narrow
+
+
+def test_csb_sym_empty_matrix():
+    csbs = CSBSymMatrix(COOMatrix.empty((8, 8)))
+    assert np.array_equal(csbs.spmv(np.ones(8)), np.zeros(8))
+    assert csbs.to_coo().nnz == 0

@@ -1,0 +1,119 @@
+"""Unit tests for the CSR baseline format (paper eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.formats.csr import csr_row_segment_sums
+
+
+def test_from_coo_matches_dense(sym_dense_small):
+    csr = CSRMatrix.from_dense(sym_dense_small)
+    assert np.array_equal(csr.to_dense(), sym_dense_small)
+
+
+def test_spmv_matches_dense(sym_dense_medium, rng):
+    csr = CSRMatrix.from_dense(sym_dense_medium)
+    x = rng.standard_normal(csr.n_cols)
+    assert np.allclose(csr.spmv(x), sym_dense_medium @ x)
+
+
+def test_spmv_into_provided_output(sym_dense_small, rng):
+    csr = CSRMatrix.from_dense(sym_dense_small)
+    x = rng.standard_normal(csr.n_cols)
+    y = np.full(csr.n_rows, 99.0)
+    out = csr.spmv(x, y)
+    assert out is y
+    assert np.allclose(y, sym_dense_small @ x)
+
+
+def test_size_bytes_equation_1(sym_coo_small):
+    """S_CSR = 12*NNZ + 4*(N+1)."""
+    csr = CSRMatrix.from_coo(sym_coo_small)
+    assert csr.size_bytes() == 12 * csr.nnz + 4 * (csr.n_rows + 1)
+
+
+def test_empty_rows_handled(rng):
+    dense = np.zeros((6, 6))
+    dense[0, 3] = 2.0
+    dense[5, 1] = 3.0  # rows 1-4 empty
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.standard_normal(6)
+    assert np.allclose(csr.spmv(x), dense @ x)
+
+
+def test_all_empty_matrix():
+    csr = CSRMatrix.from_coo(COOMatrix.empty((4, 4)))
+    assert np.array_equal(csr.spmv(np.ones(4)), np.zeros(4))
+
+
+def test_spmv_rows_partition(sym_dense_medium, rng):
+    csr = CSRMatrix.from_dense(sym_dense_medium)
+    x = rng.standard_normal(csr.n_cols)
+    y = np.zeros(csr.n_rows)
+    for start, end in [(0, 100), (100, 207), (207, 300)]:
+        csr.spmv_rows(x, y, start, end)
+    assert np.allclose(y, sym_dense_medium @ x)
+
+
+def test_spmv_rows_trailing_empty(rng):
+    dense = np.zeros((5, 5))
+    dense[0, 0] = 1.0
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.standard_normal(5)
+    y = np.zeros(5)
+    csr.spmv_rows(x, y, 3, 5)  # all-empty partition
+    assert np.array_equal(y, np.zeros(5))
+
+
+def test_invalid_rowptr_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix((2, 2), [0, 1], [0], [1.0])  # rowptr too short
+    with pytest.raises(ValueError):
+        CSRMatrix((2, 2), [1, 1, 1], [0], [1.0])  # doesn't start at 0
+    with pytest.raises(ValueError):
+        CSRMatrix((2, 2), [0, 2, 1], [0], [1.0])  # decreasing / bad end
+
+
+def test_column_out_of_bounds_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+
+def test_row_access(sym_dense_small):
+    csr = CSRMatrix.from_dense(sym_dense_small)
+    cols, vals = csr.row(3)
+    expected_cols = np.nonzero(sym_dense_small[3])[0]
+    assert np.array_equal(cols, expected_cols)
+    assert np.array_equal(vals, sym_dense_small[3][expected_cols])
+
+
+def test_row_nnz(sym_dense_small):
+    csr = CSRMatrix.from_dense(sym_dense_small)
+    assert np.array_equal(csr.row_nnz(), (sym_dense_small != 0).sum(axis=1))
+
+
+def test_to_coo_roundtrip(sym_coo_medium):
+    csr = CSRMatrix.from_coo(sym_coo_medium)
+    back = csr.to_coo()
+    assert np.array_equal(back.to_dense(), sym_coo_medium.to_dense())
+
+
+def test_segment_sums_empty_rows():
+    rowptr = np.array([0, 2, 2, 3], dtype=np.int32)
+    products = np.array([1.0, 2.0, 5.0])
+    sums = csr_row_segment_sums(products, rowptr, 0, 3)
+    assert np.array_equal(sums, [3.0, 0.0, 5.0])
+
+
+def test_segment_sums_empty_products():
+    rowptr = np.array([0, 0, 0], dtype=np.int32)
+    sums = csr_row_segment_sums(np.zeros(0), rowptr, 0, 2)
+    assert np.array_equal(sums, [0.0, 0.0])
+
+
+def test_spmv_against_scipy(sym_coo_medium, rng):
+    csr = CSRMatrix.from_coo(sym_coo_medium)
+    sp = sym_coo_medium.to_scipy()
+    x = rng.standard_normal(csr.n_cols)
+    assert np.allclose(csr.spmv(x), sp @ x)

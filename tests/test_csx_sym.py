@@ -1,0 +1,183 @@
+"""Unit tests for CSX-Sym (paper Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix, CSXSymMatrix, SSSMatrix
+from repro.formats.csx.substructures import (
+    PatternKey,
+    PatternType,
+    Unit,
+    unit_coordinates,
+)
+from repro.formats.csx.sym import legalize_units
+
+
+def test_spmv_matches_dense(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csxs = CSXSymMatrix(coo)
+    x = rng.standard_normal(csxs.n_cols)
+    assert np.allclose(csxs.spmv(x), sym_dense_medium @ x)
+
+
+def test_rejects_unsymmetric():
+    coo = COOMatrix((2, 2), [0], [1], [1.0])
+    with pytest.raises(ValueError):
+        CSXSymMatrix(coo)
+
+
+def test_compresses_beyond_sss(sym_coo_medium):
+    sss = SSSMatrix.from_coo(sym_coo_medium)
+    csxs = CSXSymMatrix(sym_coo_medium)
+    assert csxs.size_bytes() < sss.size_bytes()
+
+
+def test_compression_ratio_bounds(sym_coo_medium):
+    """CR must sit between SSS's (~50%) and the indexless maximum."""
+    csr = CSRMatrix.from_coo(sym_coo_medium)
+    csxs = CSXSymMatrix(sym_coo_medium)
+    cr = csxs.compression_ratio_vs(csr)
+    n, nnz = csxs.n_rows, csxs.nnz
+    ideal = 8 * n + 8 * (nnz - n) / 2  # values only, no indexing
+    cr_max = 1 - ideal / csr.size_bytes()
+    assert 0.45 < cr <= cr_max + 1e-9
+
+
+def test_partitioned_spmv(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    parts = [(0, 60), (60, 170), (170, 300)]
+    csxs = CSXSymMatrix(coo, partitions=parts)
+    x = rng.standard_normal(coo.n_cols)
+    y = np.zeros(coo.n_rows)
+    for s, e in parts:
+        local = np.zeros(coo.n_rows)
+        csxs.spmv_partition(x, y, local, s, e)
+        y += local
+    assert np.allclose(y, sym_dense_medium @ x)
+
+
+def test_partition_local_direct_routing(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    parts = [(0, 150), (150, 300)]
+    csxs = CSXSymMatrix(coo, partitions=parts)
+    x = rng.standard_normal(coo.n_cols)
+    direct = np.zeros(coo.n_rows)
+    local = np.zeros(coo.n_rows)
+    csxs.spmv_partition(x, direct, local, 150, 300)
+    assert np.all(local[150:] == 0.0)
+    assert np.all(direct[:150] == 0.0)
+
+
+def test_unknown_partition_rejected(sym_coo_medium, rng):
+    csxs = CSXSymMatrix(sym_coo_medium, partitions=[(0, 150), (150, 300)])
+    x = rng.standard_normal(csxs.n_cols)
+    with pytest.raises(ValueError):
+        csxs.spmv_partition(
+            x, np.zeros(300), np.zeros(300), 0, 100
+        )
+
+
+def test_legality_filter_rejects_straddling_units(sym_dense_medium):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    parts = [(0, 100), (100, 200), (200, 300)]
+    filtered = CSXSymMatrix(coo, partitions=parts)
+    unfiltered = CSXSymMatrix(
+        coo, partitions=parts, legality_filter=False
+    )
+    # The filter can only lower (or keep) substructure coverage.
+    assert (
+        filtered.substructure_coverage()
+        <= unfiltered.substructure_coverage() + 1e-12
+    )
+    # And no surviving substructure may straddle its boundary.
+    for p in filtered.partitions:
+        for u in p.units:
+            if u.pattern.is_delta:
+                continue
+            _, cols = unit_coordinates(u)
+            straddles = cols.min() < p.row_start <= cols.max()
+            assert not straddles
+
+
+def test_legalize_units_splits_straddler():
+    u = Unit(
+        PatternKey(PatternType.HORIZONTAL, (1,)),
+        row=20, col=8, length=5, values=np.arange(5.0),
+    )
+    out, rejected = legalize_units([u], boundary=10)
+    assert rejected == 1
+    assert all(v.pattern.is_delta for v in out)
+    rows = np.concatenate([unit_coordinates(v)[0] for v in out])
+    cols = np.concatenate([unit_coordinates(v)[1] for v in out])
+    assert np.array_equal(np.sort(cols), [8, 9, 10, 11, 12])
+    assert np.all(rows == 20)
+    vals = np.concatenate([v.values for v in out])
+    assert np.array_equal(np.sort(vals), np.arange(5.0))
+
+
+def test_legalize_units_keeps_legal():
+    legal = Unit(
+        PatternKey(PatternType.HORIZONTAL, (1,)),
+        row=20, col=12, length=5, values=np.ones(5),
+    )
+    out, rejected = legalize_units([legal], boundary=10)
+    assert rejected == 0 and out == [legal]
+
+
+def test_legalize_vertical_unit_never_straddles():
+    # A vertical unit touches a single column: always on one side.
+    u = Unit(
+        PatternKey(PatternType.VERTICAL, (1,)),
+        row=20, col=9, length=4, values=np.arange(4.0),
+    )
+    out, rejected = legalize_units([u], boundary=10)
+    assert rejected == 0 and out == [u]
+
+
+def test_legalize_diagonal_unit_split_per_row():
+    u = Unit(
+        PatternKey(PatternType.DIAGONAL, (1,)),
+        row=20, col=8, length=4, values=np.arange(4.0),
+    )
+    out, rejected = legalize_units([u], boundary=10)
+    assert rejected == 1
+    assert len(out) == 4  # one single-element delta unit per row
+    assert all(v.length == 1 for v in out)
+    rows = np.concatenate([unit_coordinates(v)[0] for v in out])
+    assert np.array_equal(np.sort(rows), [20, 21, 22, 23])
+
+
+def test_nnz_and_sizes(sym_coo_medium):
+    csxs = CSXSymMatrix(sym_coo_medium)
+    assert csxs.nnz == sym_coo_medium.nnz
+    assert (
+        csxs.size_bytes()
+        == 8 * csxs.n_rows + 8 * csxs.nnz_lower + csxs.ctl_size_bytes()
+    )
+
+
+def test_partition_conflict_rows(sym_coo_medium):
+    parts = [(0, 150), (150, 300)]
+    csxs = CSXSymMatrix(sym_coo_medium, partitions=parts)
+    sss = SSSMatrix.from_coo(sym_coo_medium)
+    assert np.array_equal(
+        csxs.partition_conflict_rows(150, 300),
+        sss.partition_conflict_rows(150, 300),
+    )
+
+
+def test_to_coo_roundtrip(sym_coo_medium):
+    csxs = CSXSymMatrix(
+        sym_coo_medium, partitions=[(0, 100), (100, 300)]
+    )
+    assert np.array_equal(
+        csxs.to_coo().to_dense(), sym_coo_medium.to_dense()
+    )
+
+
+def test_spmv_equals_sss(sym_coo_medium, rng):
+    """CSX-Sym and SSS are different encodings of the same operator."""
+    sss = SSSMatrix.from_coo(sym_coo_medium)
+    csxs = CSXSymMatrix(sym_coo_medium)
+    x = rng.standard_normal(csxs.n_cols)
+    assert np.allclose(csxs.spmv(x), sss.spmv(x))

@@ -1,0 +1,207 @@
+"""Unit + property tests for the CSX ctl byte-stream codec (Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.csx.ctl import (
+    build_pattern_table,
+    decode_ctl,
+    decode_pattern_table,
+    encode_ctl,
+    encode_pattern_table,
+)
+from repro.formats.csx.substructures import (
+    DELTA8,
+    DELTA16,
+    PatternKey,
+    PatternType,
+    Unit,
+    delta_pattern_for,
+)
+
+
+def _invert(table):
+    return {i: p for p, i in table.items()}
+
+
+def make_horizontal(row, col, length, stride=1):
+    return Unit(PatternKey(PatternType.HORIZONTAL, (stride,)), row, col, length)
+
+
+def make_delta(row, cols):
+    cols = np.asarray(cols, dtype=np.int64)
+    gaps_max = int(np.diff(cols).max()) if cols.size > 1 else 0
+    return Unit(
+        delta_pattern_for(gaps_max), row, int(cols[0]), len(cols), cols=cols
+    )
+
+
+def test_fixed_ids_for_delta_patterns():
+    table = build_pattern_table([])
+    assert table[DELTA8] == 0
+    assert table[DELTA16] == 1
+
+
+def test_dynamic_ids_in_appearance_order():
+    units = [
+        make_horizontal(0, 0, 4, stride=2),
+        make_horizontal(1, 0, 4, stride=1),
+        make_horizontal(2, 0, 4, stride=2),
+    ]
+    table = build_pattern_table(units)
+    assert table[PatternKey(PatternType.HORIZONTAL, (2,))] == 3
+    assert table[PatternKey(PatternType.HORIZONTAL, (1,))] == 4
+
+
+def test_pattern_table_roundtrip():
+    units = [
+        make_horizontal(0, 0, 4),
+        Unit(PatternKey(PatternType.BLOCK, (2, 3)), 1, 0, 6),
+        Unit(PatternKey(PatternType.DIAGONAL, (2,)), 3, 0, 4),
+    ]
+    table = build_pattern_table(units)
+    buf = encode_pattern_table(table)
+    decoded, consumed = decode_pattern_table(buf)
+    assert consumed == len(buf)
+    assert decoded == _invert(table)
+
+
+def test_empty_pattern_table_decode_rejected():
+    with pytest.raises(ValueError):
+        decode_pattern_table(b"")
+
+
+def test_basic_roundtrip():
+    units = [
+        make_delta(0, [0, 5, 9]),
+        make_horizontal(0, 20, 4),
+        make_horizontal(2, 3, 5),
+        make_delta(5, [100, 400]),
+    ]
+    table = build_pattern_table(units)
+    ctl = encode_ctl(units, table)
+    decoded = decode_ctl(ctl, _invert(table))
+    assert len(decoded) == len(units)
+    for u, d in zip(units, decoded):
+        assert (u.pattern, u.row, u.col, u.length) == (
+            d.pattern, d.row, d.col, d.length,
+        )
+        if u.pattern.is_delta:
+            assert np.array_equal(u.cols, d.cols)
+
+
+def test_row_jump_encoding():
+    units = [make_horizontal(0, 0, 4), make_horizontal(100, 0, 4)]
+    table = build_pattern_table(units)
+    ctl = encode_ctl(units, table)
+    decoded = decode_ctl(ctl, _invert(table))
+    assert decoded[1].row == 100
+
+
+def test_first_unit_not_at_row_zero():
+    units = [make_horizontal(7, 3, 4)]
+    table = build_pattern_table(units)
+    decoded = decode_ctl(encode_ctl(units, table), _invert(table))
+    assert decoded[0].row == 7 and decoded[0].col == 3
+
+
+def test_units_must_be_row_sorted():
+    units = [make_horizontal(5, 0, 4), make_horizontal(2, 0, 4)]
+    table = build_pattern_table(units)
+    with pytest.raises(ValueError):
+        encode_ctl(units, table)
+
+
+def test_units_must_be_col_sorted_within_row():
+    units = [make_horizontal(5, 10, 4), make_horizontal(5, 0, 4)]
+    table = build_pattern_table(units)
+    with pytest.raises(ValueError):
+        encode_ctl(units, table)
+
+
+def test_wide_delta_body():
+    cols = np.array([0, 70000, 140000])
+    units = [make_delta(0, cols)]
+    assert units[0].pattern.params[0] == 4  # needs 32-bit gaps
+    table = build_pattern_table(units)
+    decoded = decode_ctl(encode_ctl(units, table), _invert(table))
+    assert np.array_equal(decoded[0].cols, cols)
+
+
+def test_gap_overflow_rejected():
+    # Force an 8-bit delta unit whose gaps exceed one byte.
+    cols = np.array([0, 300])
+    bad = Unit(DELTA8, 0, 0, 2, cols=cols)
+    table = build_pattern_table([bad])
+    with pytest.raises(ValueError):
+        encode_ctl([bad], table)
+
+
+def test_truncated_ctl_raises():
+    units = [make_delta(0, [0, 5, 9])]
+    table = build_pattern_table(units)
+    ctl = encode_ctl(units, table)
+    with pytest.raises(ValueError):
+        decode_ctl(ctl[:-1], _invert(table))
+
+
+def test_unknown_pattern_id_raises():
+    units = [make_horizontal(0, 0, 4)]
+    table = build_pattern_table(units)
+    ctl = encode_ctl(units, table)
+    with pytest.raises(ValueError):
+        decode_ctl(ctl, {0: DELTA8})  # table missing the dynamic id
+
+
+# ----------------------------------------------------------------------
+# Property: encode→decode is the identity on sorted unit streams.
+# ----------------------------------------------------------------------
+@st.composite
+def unit_streams(draw):
+    n_units = draw(st.integers(1, 20))
+    units = []
+    row = 0
+    for _ in range(n_units):
+        row += draw(st.integers(0, 5))
+        first_in_row = not units or units[-1].row != row
+        base_col = 0 if first_in_row else units[-1].col
+        col = base_col + draw(st.integers(0 if first_in_row else 1, 1000))
+        kind = draw(st.sampled_from(["delta", "horizontal", "block"]))
+        if kind == "delta":
+            length = draw(st.integers(1, 6))
+            gaps = draw(
+                st.lists(
+                    st.integers(1, 5000), min_size=length - 1,
+                    max_size=length - 1,
+                )
+            )
+            cols = np.concatenate(([col], col + np.cumsum(gaps))).astype(
+                np.int64
+            ) if gaps else np.array([col], dtype=np.int64)
+            units.append(make_delta(row, cols))
+        elif kind == "horizontal":
+            stride = draw(st.integers(1, 4))
+            units.append(make_horizontal(row, col, draw(st.integers(2, 8)), stride))
+        else:
+            r, c = draw(st.sampled_from([(2, 2), (2, 3), (3, 3)]))
+            units.append(
+                Unit(PatternKey(PatternType.BLOCK, (r, c)), row, col, r * c)
+            )
+    return units
+
+
+@given(unit_streams())
+@settings(max_examples=60, deadline=None)
+def test_ctl_roundtrip_property(units):
+    table = build_pattern_table(units)
+    ctl = encode_ctl(units, table)
+    decoded = decode_ctl(ctl, _invert(table))
+    assert len(decoded) == len(units)
+    for u, d in zip(units, decoded):
+        assert (u.pattern, u.row, u.col, u.length) == (
+            d.pattern, d.row, d.col, d.length,
+        )
+        if u.pattern.is_delta:
+            assert np.array_equal(u.cols, d.cols)

@@ -1,0 +1,225 @@
+"""Unit tests for CSX substructure detection and greedy encoding."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csx.detect import (
+    DetectionConfig,
+    DetectionReport,
+    collect_pattern_stats,
+    detect_and_encode,
+)
+from repro.formats.csx.substructures import (
+    PatternKey,
+    PatternType,
+    unit_coordinates,
+)
+
+
+def coords_of(units):
+    rows, cols = [], []
+    for u in units:
+        r, c = unit_coordinates(u)
+        rows.append(r)
+        cols.append(c)
+    return np.concatenate(rows), np.concatenate(cols)
+
+
+def assert_exact_cover(units, rows, cols):
+    """Every element encoded exactly once."""
+    ur, uc = coords_of(units)
+    n_cols = int(max(cols.max(), uc.max())) + 1
+    want = np.sort(rows * n_cols + cols)
+    got = np.sort(ur * n_cols + uc)
+    assert np.array_equal(want, got)
+
+
+def test_horizontal_run_detected():
+    rows = np.zeros(10, dtype=np.int64)
+    cols = np.arange(10, dtype=np.int64)
+    vals = np.ones(10)
+    units, report = detect_and_encode(rows, cols, vals, 100)
+    assert any(
+        u.pattern.type is PatternType.HORIZONTAL and u.length == 10
+        for u in units
+    )
+    assert_exact_cover(units, rows, cols)
+    assert report.coverage_fraction() == 1.0
+
+
+def test_vertical_run_detected():
+    rows = np.arange(8, dtype=np.int64)
+    cols = np.full(8, 3, dtype=np.int64)
+    units, _ = detect_and_encode(rows, cols, np.ones(8), 100)
+    assert any(
+        u.pattern.type is PatternType.VERTICAL and u.length == 8
+        for u in units
+    )
+    assert_exact_cover(units, rows, cols)
+
+
+def test_diagonal_run_detected():
+    k = np.arange(8, dtype=np.int64)
+    units, _ = detect_and_encode(10 + k, 2 + k, np.ones(8), 100)
+    assert any(u.pattern.type is PatternType.DIAGONAL for u in units)
+
+
+def test_anti_diagonal_run_detected():
+    k = np.arange(8, dtype=np.int64)
+    units, _ = detect_and_encode(10 + k, 30 - k, np.ones(8), 100)
+    assert any(u.pattern.type is PatternType.ANTI_DIAGONAL for u in units)
+
+
+def test_strided_run_detected():
+    rows = np.zeros(8, dtype=np.int64)
+    cols = np.arange(0, 24, 3, dtype=np.int64)
+    units, _ = detect_and_encode(rows, cols, np.ones(8), 100)
+    horiz = [u for u in units if u.pattern.type is PatternType.HORIZONTAL]
+    assert horiz and horiz[0].pattern.params == (3,)
+
+
+def test_block_detected():
+    rr = np.repeat(np.arange(3, dtype=np.int64), 3) + 5
+    cc = np.tile(np.arange(3, dtype=np.int64), 3) + 7
+    units, _ = detect_and_encode(rr, cc, np.ones(9), 100)
+    assert any(
+        u.pattern == PatternKey(PatternType.BLOCK, (3, 3)) for u in units
+    )
+    assert_exact_cover(units, rr, cc)
+
+
+def test_scattered_elements_become_delta_units():
+    rng = np.random.default_rng(3)
+    rows = np.repeat(np.arange(20, dtype=np.int64), 2)
+    cols = np.concatenate(
+        [np.sort(rng.choice(1000, 2, replace=False)) for _ in range(20)]
+    ).astype(np.int64)
+    units, report = detect_and_encode(rows, cols, np.ones(40), 1000)
+    assert all(u.pattern.is_delta for u in units)
+    assert_exact_cover(units, rows, cols)
+
+
+def test_values_attached_in_unit_order():
+    rows = np.zeros(6, dtype=np.int64)
+    cols = np.arange(6, dtype=np.int64)
+    vals = np.arange(6, dtype=np.float64) * 1.5
+    units, _ = detect_and_encode(rows, cols, vals, 10)
+    for u in units:
+        ur, uc = unit_coordinates(u)
+        assert np.array_equal(u.values, uc * 1.5)
+
+
+def test_each_element_encoded_once_mixed_pattern():
+    """Overlapping candidates (a block inside long rows) must not
+    double-encode elements."""
+    rows, cols = [], []
+    for r in range(4):
+        for c in range(12):
+            rows.append(r)
+            cols.append(c)
+    rows = np.array(rows, dtype=np.int64)
+    cols = np.array(cols, dtype=np.int64)
+    units, _ = detect_and_encode(rows, cols, np.ones(rows.size), 20)
+    assert_exact_cover(units, rows, cols)
+
+
+def test_empty_input():
+    units, report = detect_and_encode(
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0),
+        10,
+    )
+    assert units == [] and report.total_elements == 0
+    assert report.coverage_fraction() == 0.0
+
+
+def test_min_run_len_respected():
+    config = DetectionConfig(min_run_len=6)
+    rows = np.zeros(4, dtype=np.int64)
+    cols = np.arange(4, dtype=np.int64)
+    units, _ = detect_and_encode(rows, cols, np.ones(4), 10, config)
+    assert all(u.pattern.is_delta for u in units)
+
+
+def test_disabled_orientations():
+    config = DetectionConfig(
+        enable_horizontal=False,
+        enable_vertical=False,
+        enable_diagonal=False,
+        enable_anti_diagonal=False,
+        enable_blocks=False,
+    )
+    rows = np.zeros(10, dtype=np.int64)
+    cols = np.arange(10, dtype=np.int64)
+    units, report = detect_and_encode(rows, cols, np.ones(10), 20, config)
+    assert all(u.pattern.is_delta for u in units)
+    assert report.coverage_fraction() == 0.0
+
+
+def test_long_run_split_at_unit_size():
+    rows = np.zeros(600, dtype=np.int64)
+    cols = np.arange(600, dtype=np.int64)
+    units, _ = detect_and_encode(rows, cols, np.ones(600), 1000)
+    horiz = [u for u in units if u.pattern.type is PatternType.HORIZONTAL]
+    assert sum(u.length for u in horiz) >= 255  # split, not dropped
+    assert all(u.length <= 255 for u in units)
+    assert_exact_cover(units, rows, cols)
+
+
+def test_sampling_still_encodes_everything():
+    rng = np.random.default_rng(5)
+    n = 200
+    rows = np.repeat(np.arange(n, dtype=np.int64), 5)
+    cols = (rows + np.tile(np.arange(5, dtype=np.int64), n)) % 1000
+    order = np.lexsort((cols, rows))
+    keys = rows * 1000 + cols
+    _, uniq_idx = np.unique(keys, return_index=True)
+    rows, cols = rows[uniq_idx], cols[uniq_idx]
+    config = DetectionConfig(sampling_fraction=0.3, sampling_window=16)
+    units, report = detect_and_encode(
+        rows, cols, np.ones(rows.size), 1000, config
+    )
+    assert report.sampled_elements < report.total_elements
+    assert_exact_cover(units, rows, cols)
+
+
+def test_sampling_fraction_validated():
+    config = DetectionConfig(sampling_fraction=0.0)
+    with pytest.raises(ValueError):
+        detect_and_encode(
+            np.array([0], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.ones(1),
+            4,
+            config,
+        )
+
+
+def test_stats_scan_counts(sym_coo_small):
+    report = DetectionReport()
+    config = DetectionConfig()
+    lower = sym_coo_small.lower_triangle(strict=True)
+    collect_pattern_stats(
+        lower.rows.astype(np.int64),
+        lower.cols.astype(np.int64),
+        sym_coo_small.n_cols,
+        config,
+        report,
+    )
+    # 4 orientations + len(block_shapes) block scans over all elements.
+    expected = lower.nnz * (4 + len(config.block_shapes))
+    assert report.elements_scanned == expected
+
+
+def test_units_sorted_row_major():
+    rng = np.random.default_rng(9)
+    n = 50
+    dense = (rng.random((n, n)) < 0.15).astype(float)
+    rows, cols = np.nonzero(dense)
+    units, _ = detect_and_encode(
+        rows.astype(np.int64), cols.astype(np.int64),
+        np.ones(rows.size), n,
+    )
+    anchors = [(u.row, u.col) for u in units]
+    assert anchors == sorted(anchors)

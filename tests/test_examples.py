@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are public deliverables; each is executed in-process (argv
+patched) at a reduced problem size and must complete without raising.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, monkeypatch) -> None:
+    script = EXAMPLES / name
+    assert script.exists(), script
+    monkeypatch.setattr(sys, "argv", [str(script), *args])
+    runpy.run_path(str(script), run_name="__main__")
+
+
+def test_quickstart(monkeypatch, capsys):
+    run_example("quickstart.py", monkeypatch=monkeypatch)
+    out = capsys.readouterr().out
+    assert "csx-sym" in out
+    assert "effective-region density" in out
+
+
+def test_cg_solver(monkeypatch, capsys):
+    run_example("cg_solver.py", "24", monkeypatch=monkeypatch)
+    out = capsys.readouterr().out
+    assert "same solution" in out
+
+
+def test_scaling_study(monkeypatch, capsys):
+    run_example(
+        "scaling_study.py", "consph", "0.005", monkeypatch=monkeypatch
+    )
+    out = capsys.readouterr().out
+    assert "Dunnington" in out and "Gainestown" in out
+
+
+def test_format_explorer(monkeypatch, capsys):
+    run_example("format_explorer.py", "bmw7st_1", monkeypatch=monkeypatch)
+    out = capsys.readouterr().out
+    assert "substructure coverage" in out
+    assert "MatrixMarket round trip" in out
+
+
+def test_related_methods(monkeypatch, capsys):
+    run_example(
+        "related_methods.py", "thermal2", "0.003", monkeypatch=monkeypatch
+    )
+    out = capsys.readouterr().out
+    assert "indexing" in out and "csb-sym" in out and "coloring" in out

@@ -1,0 +1,71 @@
+"""Unit tests for the thread-task executor backends."""
+
+import threading
+
+import pytest
+
+from repro.parallel import Executor
+
+
+def test_serial_runs_in_order():
+    order = []
+    tasks = [lambda i=i: order.append(i) for i in range(5)]
+    Executor("serial").run_batch(tasks)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_serial_empty_batch():
+    Executor("serial").run_batch([])
+
+
+def test_threads_runs_all_tasks():
+    done = set()
+    lock = threading.Lock()
+
+    def make(i):
+        def task():
+            with lock:
+                done.add(i)
+
+        return task
+
+    with Executor("threads", max_workers=3) as ex:
+        ex.run_batch([make(i) for i in range(10)])
+    assert done == set(range(10))
+
+
+def test_threads_propagates_exceptions():
+    def boom():
+        raise RuntimeError("kaput")
+
+    with Executor("threads") as ex:
+        with pytest.raises(RuntimeError, match="kaput"):
+            ex.run_batch([boom])
+
+
+def test_serial_propagates_exceptions():
+    def boom():
+        raise ValueError("nope")
+
+    with pytest.raises(ValueError, match="nope"):
+        Executor("serial").run_batch([boom])
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        Executor("fibers")
+
+
+def test_pool_reused_across_batches():
+    with Executor("threads", max_workers=2) as ex:
+        ex.run_batch([lambda: None])
+        pool = ex._pool
+        ex.run_batch([lambda: None])
+        assert ex._pool is pool
+
+
+def test_close_idempotent():
+    ex = Executor("threads")
+    ex.run_batch([lambda: None])
+    ex.close()
+    ex.close()

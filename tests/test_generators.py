@@ -1,0 +1,138 @@
+"""Unit tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.matrices import (
+    banded_random,
+    block_structural,
+    circuit_like,
+    dense_clustered,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    make_spd,
+    permute_random,
+)
+from repro.reorder import bandwidth_stats
+
+
+def assert_spd_symmetric(coo: COOMatrix):
+    assert coo.is_symmetric()
+    dense = coo.to_dense()
+    diag = np.diag(dense)
+    off = np.abs(dense).sum(axis=1) - np.abs(diag)
+    assert np.all(diag > off - 1e-9)  # diagonally dominant
+    assert np.all(diag > 0)
+
+
+def test_grid_laplacian_2d_5pt():
+    m = grid_laplacian_2d(8, 6, stencil=5)
+    assert m.shape == (48, 48)
+    assert_spd_symmetric(m)
+    # Interior rows have exactly 5 entries.
+    counts = m.row_counts()
+    assert counts.max() == 5
+    assert bandwidth_stats(m).bandwidth == 8
+
+
+def test_grid_laplacian_2d_9pt():
+    m = grid_laplacian_2d(8, 8, stencil=9)
+    assert m.row_counts().max() == 9
+    assert_spd_symmetric(m)
+
+
+def test_grid_laplacian_bad_stencil():
+    with pytest.raises(ValueError):
+        grid_laplacian_2d(4, 4, stencil=7)
+
+
+def test_grid_laplacian_3d():
+    m = grid_laplacian_3d(5, 5, 5)
+    assert m.shape == (125, 125)
+    assert m.row_counts().max() == 7
+    assert_spd_symmetric(m)
+
+
+def test_banded_random(rng):
+    m = banded_random(500, nnz_per_row=10.0, band=30, rng=rng)
+    assert_spd_symmetric(m)
+    assert bandwidth_stats(m).bandwidth <= 30
+    assert 6 <= m.nnz / m.n_rows <= 11  # duplicates shave a little
+
+
+def test_block_structural_density(rng):
+    m = block_structural(
+        200, dof=3, nnz_per_row=52.0, band_nodes=25, rng=rng
+    )
+    assert m.n_rows == 600
+    assert_spd_symmetric(m)
+    assert 35 <= m.nnz / m.n_rows <= 56
+
+
+def test_block_structural_has_dense_blocks(rng):
+    m = block_structural(60, dof=3, nnz_per_row=30.0, band_nodes=10, rng=rng)
+    dense = (m.to_dense() != 0)
+    # Find at least one fully dense off-diagonal 3x3 block.
+    found = False
+    for bi in range(60):
+        for bj in range(bi):
+            if dense[3 * bi : 3 * bi + 3, 3 * bj : 3 * bj + 3].all():
+                found = True
+                break
+        if found:
+            break
+    assert found
+
+
+def test_block_structural_rejects_bad_dof(rng):
+    with pytest.raises(ValueError):
+        block_structural(10, dof=0, nnz_per_row=10.0, band_nodes=3, rng=rng)
+
+
+def test_dense_clustered_has_runs(rng):
+    m = dense_clustered(300, nnz_per_row=40.0, band=80, run_len=8, rng=rng)
+    assert_spd_symmetric(m)
+    lower = m.lower_triangle(strict=True)
+    # Count unit-stride horizontal adjacencies: must dominate.
+    same_row = lower.rows[1:] == lower.rows[:-1]
+    unit = (lower.cols[1:] - lower.cols[:-1]) == 1
+    assert (same_row & unit).sum() > 0.5 * lower.nnz
+
+
+def test_circuit_like_sparse_and_wide(rng):
+    m = circuit_like(2000, nnz_per_row=4.8, long_range_fraction=0.4, rng=rng)
+    assert_spd_symmetric(m)
+    assert m.nnz / m.n_rows < 6.5
+    # Long-range fraction gives a large bandwidth.
+    assert bandwidth_stats(m).normalized_bandwidth > 0.3
+
+
+def test_permute_random_preserves_spectrum(rng):
+    m = grid_laplacian_2d(6, 6)
+    permuted = permute_random(m, rng)
+    assert permuted.is_symmetric()
+    ev_a = np.sort(np.linalg.eigvalsh(m.to_dense()))
+    ev_b = np.sort(np.linalg.eigvalsh(permuted.to_dense()))
+    assert np.allclose(ev_a, ev_b)
+
+
+def test_permute_random_raises_bandwidth(rng):
+    m = banded_random(800, nnz_per_row=8.0, band=20, rng=rng)
+    permuted = permute_random(m, rng)
+    assert (
+        bandwidth_stats(permuted).avg_distance
+        > 3 * bandwidth_stats(m).avg_distance
+    )
+
+
+def test_make_spd_idempotent_diagonal(rng):
+    base = banded_random(100, nnz_per_row=6.0, band=10, rng=rng)
+    again = make_spd(base)
+    assert np.allclose(again.to_dense(), base.to_dense())
+
+
+def test_generators_deterministic():
+    a = banded_random(200, 8.0, 20, np.random.default_rng(7))
+    b = banded_random(200, 8.0, 20, np.random.default_rng(7))
+    assert np.array_equal(a.to_dense(), b.to_dense())

@@ -1,0 +1,120 @@
+"""End-to-end integration tests: suite matrix → formats → parallel
+kernels → performance model → CG, mirroring the experiment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_format, preprocessing_cost
+from repro.formats import CSRMatrix, CSXSymMatrix, SSSMatrix
+from repro.machine import DUNNINGTON, GAINESTOWN, predict_serial_csr, predict_spmv
+from repro.matrices import get_entry
+from repro.parallel import ParallelSpMV, ParallelSymmetricSpMV
+from repro.reorder import bandwidth_stats, rcm_reorder
+from repro.solvers import conjugate_gradient
+
+
+@pytest.fixture(scope="module")
+def hood():
+    return get_entry("hood").build(scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def thermal():
+    return get_entry("thermal2").build(scale=0.005)
+
+
+def test_full_format_pipeline_on_suite_matrix(hood, rng):
+    x = rng.standard_normal(hood.n_cols)
+    expected = hood.to_scipy() @ x
+    results = {}
+    for name in ("csr", "csx", "sss", "csx-sym"):
+        matrix, parts = build_format(hood, name, n_threads=8)
+        if name in ("sss", "csx-sym"):
+            kernel = ParallelSymmetricSpMV(matrix, parts, "indexed")
+        else:
+            kernel = ParallelSpMV(matrix, parts)
+        results[name] = kernel(x)
+    for name, y in results.items():
+        assert np.allclose(y, expected), name
+
+
+def test_block_matrix_is_csx_friendly(hood):
+    """Structural matrices must reach high substructure coverage."""
+    csxs, _ = build_format(hood, "csx-sym", n_threads=4)
+    assert csxs.substructure_coverage() > 0.5
+    csr = CSRMatrix.from_coo(hood)
+    assert csxs.compression_ratio_vs(csr) > 0.55
+
+
+def test_model_predictions_ordered_on_suite_matrix(hood):
+    """At 24 Dunnington threads: CSX-Sym ≤ SSS-idx < CSR time."""
+    times = {}
+    for name in ("csr", "sss", "csx-sym"):
+        matrix, parts = build_format(hood, name, n_threads=24)
+        red = "indexed" if name != "csr" else None
+        times[name] = predict_spmv(
+            matrix, parts, DUNNINGTON, reduction=red
+        ).total
+    assert times["csx-sym"] < times["csr"]
+    assert times["sss"] < times["csr"]
+
+
+def test_rcm_improves_corner_case_model_time(thermal):
+    """Section V-D: reordering helps the symmetric kernel."""
+    reordered, _ = rcm_reorder(thermal)
+    assert (
+        bandwidth_stats(reordered).avg_distance
+        < 0.3 * bandwidth_stats(thermal).avg_distance
+    )
+    t = {}
+    for tag, coo in (("native", thermal), ("rcm", reordered)):
+        sss, parts = build_format(coo, "sss", n_threads=16)
+        t[tag] = predict_spmv(
+            sss, parts, GAINESTOWN, reduction="indexed"
+        ).total
+    assert t["rcm"] < t["native"]
+
+
+def test_rcm_shrinks_index_pairs(thermal):
+    """Reordering reduces thread interference (§V-D reason 2)."""
+    from repro.parallel import IndexedReduction, partition_nnz_balanced
+
+    reordered, _ = rcm_reorder(thermal)
+    counts = {}
+    for tag, coo in (("native", thermal), ("rcm", reordered)):
+        sss = SSSMatrix.from_coo(coo)
+        parts = partition_nnz_balanced(sss.expanded_row_nnz(), 16)
+        counts[tag] = IndexedReduction(sss, parts).n_pairs
+    assert counts["rcm"] < counts["native"]
+
+
+def test_cg_on_suite_matrix_all_formats(hood, rng):
+    x_true = rng.standard_normal(hood.n_rows)
+    b = hood.to_scipy() @ x_true
+    for name in ("csr", "sss", "csx-sym"):
+        matrix, parts = build_format(hood, name, n_threads=4)
+        if name == "csr":
+            kernel = matrix.spmv
+        else:
+            kernel = ParallelSymmetricSpMV(matrix, parts, "indexed")
+        res = conjugate_gradient(kernel, b, tol=1e-10)
+        assert res.converged, name
+        assert np.allclose(res.x, x_true, atol=1e-5), name
+
+
+def test_preprocessing_cost_numbers(hood):
+    csr = CSRMatrix.from_coo(hood)
+    csxs, _ = build_format(hood, "csx-sym", n_threads=16)
+    c_d = preprocessing_cost(csxs, csr, DUNNINGTON, 24)
+    c_g = preprocessing_cost(csxs, csr, GAINESTOWN, 16)
+    # §V-E ballpark: tens of serial SpM×V units, NUMA more expensive.
+    assert 3 < c_d.csr_spmv_equivalents < 1000
+    assert c_g.csr_spmv_equivalents > c_d.csr_spmv_equivalents
+
+
+def test_speedup_baseline_consistency(hood):
+    csr = CSRMatrix.from_coo(hood)
+    base = predict_serial_csr(csr, DUNNINGTON)
+    same = predict_spmv(csr, [(0, csr.n_rows)], DUNNINGTON)
+    assert base.total == pytest.approx(same.total)
+    assert base.speedup_over(base) == pytest.approx(1.0)

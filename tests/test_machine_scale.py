@@ -1,0 +1,71 @@
+"""Tests for the machine_scale mechanism of the performance model.
+
+``machine_scale`` shrinks the modelled caches in step with the
+miniature benchmark matrices (DESIGN.md); these tests pin down its
+semantics: bandwidth/compute rates untouched, capacity effects scaled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_format
+from repro.formats import CSRMatrix
+from repro.machine import DUNNINGTON, GAINESTOWN, predict_spmv
+from repro.matrices import banded_random, permute_random
+
+
+@pytest.fixture(scope="module")
+def scattered():
+    rng = np.random.default_rng(0)
+    base = banded_random(20_000, nnz_per_row=12.0, band=60, rng=rng)
+    return permute_random(base, rng)
+
+
+@pytest.fixture(scope="module")
+def banded():
+    rng = np.random.default_rng(1)
+    return banded_random(20_000, nnz_per_row=12.0, band=60, rng=rng)
+
+
+def test_invalid_scale_rejected(banded):
+    csr, parts = build_format(banded, "csr", 4)
+    with pytest.raises(ValueError):
+        predict_spmv(csr, parts, DUNNINGTON, machine_scale=0.0)
+    with pytest.raises(ValueError):
+        predict_spmv(csr, parts, DUNNINGTON, machine_scale=-1.0)
+
+
+def test_smaller_cache_never_faster(scattered):
+    csr, parts = build_format(scattered, "csr", 8)
+    t_full = predict_spmv(csr, parts, GAINESTOWN, machine_scale=1.0)
+    t_small = predict_spmv(csr, parts, GAINESTOWN, machine_scale=0.01)
+    assert t_small.mult_bytes >= t_full.mult_bytes
+    assert t_small.total >= t_full.total
+
+
+def test_scale_hits_scattered_harder_than_banded(scattered, banded):
+    """Shrinking the cache must penalize poor-locality patterns more —
+    the mechanism that recreates the corner cases at miniature scale."""
+    def slowdown(coo):
+        csr, parts = build_format(coo, "csr", 8)
+        t1 = predict_spmv(csr, parts, GAINESTOWN, machine_scale=1.0).total
+        t2 = predict_spmv(csr, parts, GAINESTOWN, machine_scale=0.005).total
+        return t2 / t1
+
+    assert slowdown(scattered) > slowdown(banded)
+
+
+def test_compute_ceiling_unaffected(banded):
+    csr, parts = build_format(banded, "csr", 4)
+    a = predict_spmv(csr, parts, DUNNINGTON, machine_scale=1.0)
+    b = predict_spmv(csr, parts, DUNNINGTON, machine_scale=0.05)
+    assert a.t_mult_compute == pytest.approx(b.t_mult_compute)
+    assert a.flops == b.flops
+
+
+def test_serial_baseline_accepts_scale(banded):
+    from repro.machine import predict_serial_csr
+
+    csr = CSRMatrix.from_coo(banded)
+    t = predict_serial_csr(csr, DUNNINGTON, machine_scale=0.02)
+    assert t.total > 0

@@ -1,0 +1,78 @@
+"""Unit tests for the matrix-statistics fingerprint."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compute_matrix_stats
+from repro.formats import COOMatrix
+from repro.matrices import (
+    banded_random,
+    dense_clustered,
+    grid_laplacian_2d,
+    permute_random,
+)
+
+
+def test_basic_fields(sym_coo_small):
+    s = compute_matrix_stats(sym_coo_small)
+    assert s.n_rows == sym_coo_small.n_rows
+    assert s.nnz == sym_coo_small.nnz
+    assert s.symmetric
+    assert s.diag_nnz == sym_coo_small.n_rows  # full SPD diagonal
+    assert 0 < s.density < 1
+
+
+def test_nnz_distribution(sym_dense_small):
+    coo = COOMatrix.from_dense(sym_dense_small)
+    s = compute_matrix_stats(coo)
+    counts = (sym_dense_small != 0).sum(axis=1)
+    assert s.nnz_per_row_mean == pytest.approx(counts.mean())
+    assert s.nnz_per_row_max == counts.max()
+    assert s.nnz_per_row_std == pytest.approx(counts.std())
+
+
+def test_unit_stride_high_for_clustered(rng):
+    clustered = dense_clustered(300, 40.0, 80, 8, rng)
+    scattered = banded_random(300, 8.0, 290, np.random.default_rng(1))
+    s_c = compute_matrix_stats(clustered)
+    s_s = compute_matrix_stats(scattered)
+    assert s_c.unit_stride_fraction > 0.5
+    assert s_c.unit_stride_fraction > 3 * s_s.unit_stride_fraction
+
+
+def test_miss_rate_rises_with_scrambling(rng):
+    base = grid_laplacian_2d(60, 60)
+    scrambled = permute_random(base, rng)
+    assert (
+        compute_matrix_stats(scrambled).x_miss_rate
+        >= compute_matrix_stats(base).x_miss_rate
+    )
+
+
+def test_sss_compression_near_half(sym_coo_medium):
+    s = compute_matrix_stats(sym_coo_medium)
+    assert 0.40 < s.sss_compression < 0.55
+
+
+def test_unsymmetric_matrix():
+    coo = COOMatrix((3, 3), [0, 1], [1, 2], [1.0, 2.0])
+    s = compute_matrix_stats(coo)
+    assert not s.symmetric
+    assert s.sss_compression == 0.0
+    assert s.diag_nnz == 0
+
+
+def test_rectangular_matrix(rng):
+    dense = rng.random((4, 9))
+    dense[dense < 0.5] = 0.0
+    s = compute_matrix_stats(COOMatrix.from_dense(dense))
+    assert s.n_cols == 9
+    assert not s.symmetric
+    assert s.bandwidth == 0  # bandwidth undefined off-square
+
+
+def test_empty_matrix():
+    s = compute_matrix_stats(COOMatrix.empty((5, 5)))
+    assert s.nnz == 0
+    assert s.x_miss_rate == 0.0
+    assert s.nnz_per_row_max == 0

@@ -1,0 +1,100 @@
+"""Unit tests for MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.matrices import read_matrix_market, write_matrix_market
+
+
+def test_general_roundtrip(tmp_path, rng):
+    dense = rng.random((6, 9))
+    dense[dense < 0.6] = 0.0
+    coo = COOMatrix.from_dense(dense)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, coo)
+    back = read_matrix_market(path)
+    assert back.shape == coo.shape
+    assert np.allclose(back.to_dense(), dense)
+
+
+def test_symmetric_roundtrip(tmp_path, sym_coo_small):
+    path = tmp_path / "s.mtx"
+    write_matrix_market(path, sym_coo_small, symmetric=True)
+    back = read_matrix_market(path)
+    assert np.allclose(back.to_dense(), sym_coo_small.to_dense())
+
+
+def test_symmetric_file_stores_lower_only(tmp_path, sym_coo_small):
+    path = tmp_path / "s.mtx"
+    write_matrix_market(path, sym_coo_small, symmetric=True)
+    text = path.read_text()
+    assert "symmetric" in text.splitlines()[0]
+    stored = int(text.splitlines()[1].split()[2])
+    lower = sym_coo_small.lower_triangle(strict=False).nnz
+    assert stored == lower < sym_coo_small.nnz
+
+
+def test_symmetric_write_rejects_unsymmetric(tmp_path):
+    coo = COOMatrix((2, 2), [0], [1], [1.0])
+    with pytest.raises(ValueError):
+        write_matrix_market(tmp_path / "x.mtx", coo, symmetric=True)
+
+
+def test_stream_io(sym_coo_small):
+    buf = io.StringIO()
+    write_matrix_market(buf, sym_coo_small, symmetric=True)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    assert np.allclose(back.to_dense(), sym_coo_small.to_dense())
+
+
+def test_comments_skipped():
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "2 2 1\n"
+        "1 2 3.5\n"
+    )
+    coo = read_matrix_market(io.StringIO(text))
+    assert coo.to_dense()[0, 1] == 3.5
+
+
+def test_bad_header_rejected():
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO("%%MatrixMarket matrix array real\n1 1\n1.0\n"))
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO(""))
+    with pytest.raises(ValueError):
+        read_matrix_market(
+            io.StringIO("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n")
+        )
+
+
+def test_entry_count_mismatch_rejected():
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+    )
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_empty_matrix_roundtrip(tmp_path):
+    coo = COOMatrix.empty((3, 3))
+    path = tmp_path / "e.mtx"
+    write_matrix_market(path, coo)
+    back = read_matrix_market(path)
+    assert back.nnz == 0 and back.shape == (3, 3)
+
+
+def test_values_preserved_exactly(tmp_path):
+    vals = np.array([1e-17, 3.141592653589793, 2.5e300])
+    coo = COOMatrix((3, 3), [0, 1, 2], [0, 1, 2], vals)
+    path = tmp_path / "p.mtx"
+    write_matrix_market(path, coo)
+    back = read_matrix_market(path)
+    assert np.array_equal(np.sort(back.vals), np.sort(vals))

@@ -1,0 +1,79 @@
+"""Unit tests for the NUMA allocation-policy model (§V-A)."""
+
+import pytest
+
+from repro.machine import (
+    AllocationPolicy,
+    DUNNINGTON,
+    GAINESTOWN,
+    effective_bandwidth,
+    remote_access_factor,
+)
+from repro.machine.numa import REMOTE_EFFICIENCY
+
+
+def test_smp_unaffected_by_placement():
+    for policy in AllocationPolicy:
+        assert effective_bandwidth(DUNNINGTON, 24, policy) == (
+            DUNNINGTON.bandwidth_gbps(24)
+        )
+        assert remote_access_factor(DUNNINGTON, 24, policy) == 1.0
+
+
+def test_local_is_best():
+    for p in (2, 4, 8, 16):
+        bws = {
+            policy: effective_bandwidth(GAINESTOWN, p, policy)
+            for policy in AllocationPolicy
+        }
+        assert bws[AllocationPolicy.LOCAL] >= bws[
+            AllocationPolicy.INTERLEAVED
+        ]
+        assert bws[AllocationPolicy.INTERLEAVED] >= bws[
+            AllocationPolicy.FIRST_TOUCH_SERIAL
+        ]
+
+
+def test_first_touch_capped_by_one_socket():
+    bw = effective_bandwidth(
+        GAINESTOWN, 16, AllocationPolicy.FIRST_TOUCH_SERIAL
+    )
+    assert bw <= GAINESTOWN.sustained_bw_gbps_per_socket
+
+
+def test_first_touch_hurts_at_scale_not_single_thread():
+    single = effective_bandwidth(
+        GAINESTOWN, 1, AllocationPolicy.FIRST_TOUCH_SERIAL
+    )
+    # One thread on socket 0 with local data: full single-thread bw.
+    assert single == pytest.approx(GAINESTOWN.per_thread_bw_gbps)
+    full_ft = effective_bandwidth(
+        GAINESTOWN, 16, AllocationPolicy.FIRST_TOUCH_SERIAL
+    )
+    full_local = effective_bandwidth(
+        GAINESTOWN, 16, AllocationPolicy.LOCAL
+    )
+    # The paper's allocator exists because this gap is large.
+    assert full_ft < 0.6 * full_local
+
+
+def test_interleaved_factor_formula():
+    f = remote_access_factor(
+        GAINESTOWN, 8, AllocationPolicy.INTERLEAVED
+    )
+    expected = 0.5 + 0.5 * REMOTE_EFFICIENCY
+    assert f == pytest.approx(expected)
+
+
+def test_local_factor_is_one():
+    assert remote_access_factor(
+        GAINESTOWN, 8, AllocationPolicy.LOCAL
+    ) == 1.0
+
+
+def test_first_touch_factor_weights_socket0_threads():
+    # 2 threads round-robin: one on socket 0 (local), one remote.
+    f = remote_access_factor(
+        GAINESTOWN, 2, AllocationPolicy.FIRST_TOUCH_SERIAL
+    )
+    assert f == pytest.approx(0.5 + 0.5 * REMOTE_EFFICIENCY)

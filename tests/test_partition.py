@@ -1,0 +1,108 @@
+"""Unit tests for thread partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    partition_nnz_balanced,
+    partition_rows_equal,
+    validate_partitions,
+)
+from repro.parallel.partition import partition_bounds_to_starts
+
+
+def test_equal_rows_tile_exactly():
+    parts = partition_rows_equal(100, 7)
+    validate_partitions(parts, 100)
+    sizes = [e - s for s, e in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_equal_rows_more_threads_than_rows():
+    parts = partition_rows_equal(3, 8)
+    validate_partitions(parts, 3)
+    assert sum(e - s for s, e in parts) == 3
+
+
+def test_equal_rows_single_thread():
+    assert partition_rows_equal(42, 1) == [(0, 42)]
+
+
+def test_equal_rows_rejects_zero_threads():
+    with pytest.raises(ValueError):
+        partition_rows_equal(10, 0)
+
+
+def test_nnz_balanced_uniform_weights():
+    weights = np.ones(100)
+    parts = partition_nnz_balanced(weights, 4)
+    validate_partitions(parts, 100)
+    assert [e - s for s, e in parts] == [25, 25, 25, 25]
+
+
+def test_nnz_balanced_skewed_weights():
+    weights = np.zeros(100)
+    weights[:10] = 100.0  # all mass in the first 10 rows
+    weights[10:] = 1.0
+    parts = partition_nnz_balanced(weights, 4)
+    validate_partitions(parts, 100)
+    loads = [weights[s:e].sum() for s, e in parts]
+    # First partitions must be much narrower than the last.
+    assert parts[0][1] - parts[0][0] < parts[-1][1] - parts[-1][0]
+    assert max(loads) <= 2.2 * (weights.sum() / 4)
+
+
+def test_nnz_balanced_balances_within_tolerance(rng):
+    weights = rng.integers(1, 50, size=1000).astype(float)
+    parts = partition_nnz_balanced(weights, 8)
+    validate_partitions(parts, 1000)
+    loads = np.array([weights[s:e].sum() for s, e in parts])
+    target = weights.sum() / 8
+    assert np.all(np.abs(loads - target) < 60)  # within max row weight
+
+
+def test_nnz_balanced_zero_weights_falls_back_to_rows():
+    parts = partition_nnz_balanced(np.zeros(40), 4)
+    validate_partitions(parts, 40)
+    assert [e - s for s, e in parts] == [10, 10, 10, 10]
+
+
+def test_nnz_balanced_empty_matrix():
+    parts = partition_nnz_balanced(np.zeros(0), 3)
+    assert parts == [(0, 0)] * 3
+
+
+def test_nnz_balanced_rejects_negative_weights():
+    with pytest.raises(ValueError):
+        partition_nnz_balanced(np.array([1.0, -1.0]), 2)
+
+
+def test_nnz_balanced_rejects_2d():
+    with pytest.raises(ValueError):
+        partition_nnz_balanced(np.ones((3, 3)), 2)
+
+
+def test_more_threads_than_rows_yields_empty_partitions():
+    parts = partition_nnz_balanced(np.ones(2), 5)
+    validate_partitions(parts, 2)
+    assert sum(e - s for s, e in parts) == 2
+
+
+def test_bounds_to_starts():
+    parts = [(0, 10), (10, 30), (30, 50)]
+    assert np.array_equal(partition_bounds_to_starts(parts), [0, 10, 30])
+
+
+def test_validate_rejects_gap():
+    with pytest.raises(ValueError):
+        validate_partitions([(0, 10), (11, 20)], 20)
+
+
+def test_validate_rejects_short_cover():
+    with pytest.raises(ValueError):
+        validate_partitions([(0, 10)], 20)
+
+
+def test_validate_rejects_negative_range():
+    with pytest.raises(ValueError):
+        validate_partitions([(0, 10), (10, 5)], 10)

@@ -1,0 +1,111 @@
+"""Unit tests for the Jacobi-preconditioned CG extension."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.solvers import (
+    OpCounter,
+    conjugate_gradient,
+    jacobi_preconditioner,
+    preconditioned_conjugate_gradient,
+)
+
+
+def _ill_conditioned_spd(n: int, seed: int = 0):
+    """Diagonally dominant SPD with a wildly varying diagonal — the
+    case where Jacobi shines."""
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n, n))
+    upper = np.triu(
+        (rng.random((n, n)) < 0.05) * rng.uniform(0.1, 1.0, (n, n)), k=1
+    )
+    dense = upper + upper.T
+    scale = 10.0 ** rng.uniform(0, 4, n)
+    np.fill_diagonal(dense, scale + np.abs(dense).sum(axis=1))
+    return dense
+
+
+def test_jacobi_rejects_zero_diagonal():
+    with pytest.raises(ValueError):
+        jacobi_preconditioner(np.array([1.0, 0.0, 2.0]))
+
+
+def test_jacobi_application():
+    m = jacobi_preconditioner(np.array([2.0, 4.0]))
+    assert np.allclose(m(np.array([2.0, 8.0])), [1.0, 2.0])
+
+
+def test_pcg_converges(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csr = CSRMatrix.from_coo(coo)
+    x_true = rng.standard_normal(coo.n_rows)
+    b = csr.spmv(x_true)
+    precond = jacobi_preconditioner(coo.diagonal())
+    res = preconditioned_conjugate_gradient(
+        csr.spmv, b, precond, tol=1e-12
+    )
+    assert res.converged
+    assert np.allclose(res.x, x_true, atol=1e-6)
+
+
+def test_pcg_beats_cg_on_ill_conditioned():
+    dense = _ill_conditioned_spd(400)
+    coo = COOMatrix.from_dense(dense)
+    csr = CSRMatrix.from_coo(coo)
+    rng = np.random.default_rng(1)
+    b = csr.spmv(rng.standard_normal(400))
+    plain = conjugate_gradient(csr.spmv, b, tol=1e-10, max_iter=5000)
+    pre = preconditioned_conjugate_gradient(
+        csr.spmv, b, jacobi_preconditioner(coo.diagonal()),
+        tol=1e-10, max_iter=5000,
+    )
+    assert pre.converged
+    assert pre.iterations < plain.iterations
+
+
+def test_pcg_same_solution_as_cg(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csr = CSRMatrix.from_coo(coo)
+    b = csr.spmv(rng.standard_normal(coo.n_rows))
+    plain = conjugate_gradient(csr.spmv, b, tol=1e-12)
+    pre = preconditioned_conjugate_gradient(
+        csr.spmv, b, jacobi_preconditioner(coo.diagonal()), tol=1e-12
+    )
+    assert np.allclose(plain.x, pre.x, atol=1e-7)
+
+
+def test_pcg_nonzero_initial_guess(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csr = CSRMatrix.from_coo(coo)
+    x_true = rng.standard_normal(coo.n_rows)
+    b = csr.spmv(x_true)
+    res = preconditioned_conjugate_gradient(
+        csr.spmv, b, jacobi_preconditioner(coo.diagonal()),
+        x0=x_true * 0.9, tol=1e-12,
+    )
+    assert res.converged
+    assert res.n_spmv == res.iterations + 1
+
+
+def test_pcg_counter(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csr = CSRMatrix.from_coo(coo)
+    b = csr.spmv(rng.standard_normal(coo.n_rows))
+    counter = OpCounter()
+    res = preconditioned_conjugate_gradient(
+        csr.spmv, b, jacobi_preconditioner(coo.diagonal()),
+        tol=1e-10, counter=counter,
+    )
+    assert counter.flops == res.vector_flops > 0
+
+
+def test_pcg_max_iter_cap(sym_dense_medium, rng):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    csr = CSRMatrix.from_coo(coo)
+    b = csr.spmv(rng.standard_normal(coo.n_rows))
+    res = preconditioned_conjugate_gradient(
+        csr.spmv, b, jacobi_preconditioner(coo.diagonal()),
+        tol=1e-300, max_iter=4,
+    )
+    assert not res.converged and res.iterations == 4

@@ -1,0 +1,140 @@
+"""Unit tests for the roofline performance model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_format
+from repro.formats import COOMatrix, CSRMatrix, SSSMatrix
+from repro.machine import (
+    DEFAULT_COST_MODEL,
+    DUNNINGTON,
+    GAINESTOWN,
+    PhaseLoad,
+    phase_time,
+    predict_serial_csr,
+    predict_spmv,
+)
+from repro.parallel import partition_nnz_balanced
+
+
+@pytest.fixture(scope="session")
+def model_coo(sym_dense_medium):
+    return COOMatrix.from_dense(sym_dense_medium)
+
+
+def test_phase_time_memory_bound():
+    load = PhaseLoad([1000.0], bytes_total=5.4e9, flops_total=1.0)
+    t, t_c, t_m = phase_time(load, DUNNINGTON, 1)
+    assert t == t_m  # seconds of memory vs ~0.4 µs of compute
+    assert t == pytest.approx(
+        5.4e9 / (DUNNINGTON.per_thread_bw_gbps * 1e9)
+    )
+
+
+def test_phase_time_compute_bound():
+    load = PhaseLoad([2.66e9], bytes_total=8.0, flops_total=1.0)
+    t, t_c, t_m = phase_time(load, DUNNINGTON, 1)
+    assert t == t_c == pytest.approx(1.0)
+
+
+def test_smt_inflates_compute():
+    load = PhaseLoad([3.2e9] * 16, bytes_total=8.0, flops_total=1.0)
+    t16, t_c16, _ = phase_time(load, GAINESTOWN, 16)
+    load8 = PhaseLoad([3.2e9] * 8, bytes_total=8.0, flops_total=1.0)
+    t8, t_c8, _ = phase_time(load8, GAINESTOWN, 8)
+    assert t_c16 == pytest.approx(2 * t_c8)  # 16 threads on 8 cores
+
+
+def test_predict_serial_csr_positive(model_coo):
+    csr = CSRMatrix.from_coo(model_coo)
+    pt = predict_serial_csr(csr, DUNNINGTON)
+    assert pt.total > 0
+    assert pt.t_reduce == 0.0
+    assert pt.reduction is None
+    assert pt.gflops > 0
+
+
+def test_symmetric_prediction_has_reduction(model_coo):
+    sss = SSSMatrix.from_coo(model_coo)
+    parts = partition_nnz_balanced(sss.expanded_row_nnz(), 8)
+    pt = predict_spmv(sss, parts, DUNNINGTON, reduction="naive")
+    assert pt.t_reduce > 0
+    assert pt.footprint is not None
+    assert pt.reduction == "naive"
+
+
+def test_reduction_method_ordering(model_coo):
+    """Predicted reduction time: indexed < effective < naive."""
+    sss = SSSMatrix.from_coo(model_coo)
+    parts = partition_nnz_balanced(sss.expanded_row_nnz(), 8)
+    times = {
+        m: predict_spmv(sss, parts, DUNNINGTON, reduction=m).t_reduce
+        for m in ("naive", "effective", "indexed")
+    }
+    assert times["indexed"] < times["effective"] < times["naive"]
+
+
+def test_partition_count_validated(model_coo):
+    csr = CSRMatrix.from_coo(model_coo)
+    parts = partition_nnz_balanced(csr.row_nnz(), 25)
+    with pytest.raises(ValueError):
+        predict_spmv(csr, parts, DUNNINGTON)
+
+
+def test_partitions_must_tile(model_coo):
+    csr = CSRMatrix.from_coo(model_coo)
+    with pytest.raises(ValueError):
+        predict_spmv(csr, [(0, 10)], DUNNINGTON)
+
+
+def test_csx_partitions_must_match(model_coo):
+    csx, parts = build_format(model_coo, "csx", n_threads=4)
+    other = partition_nnz_balanced(np.ones(model_coo.n_rows), 2)
+    with pytest.raises(ValueError):
+        predict_spmv(csx, other, DUNNINGTON)
+    pt = predict_spmv(csx, parts, DUNNINGTON)
+    assert pt.total > 0
+
+
+def test_flops_scale_with_nnz(model_coo):
+    csr = CSRMatrix.from_coo(model_coo)
+    pt = predict_serial_csr(csr, DUNNINGTON)
+    assert pt.flops == pytest.approx(2.0 * csr.nnz)
+
+
+def test_symmetric_formats_predict_faster_when_bandwidth_bound():
+    """At full Dunnington thread count the halved matrix size must show
+    — on a matrix large enough to be streamed from memory (the paper's
+    regime), not one resident in the aggregate LLC."""
+    from repro.matrices import banded_random
+
+    rng = np.random.default_rng(4)
+    coo = banded_random(60_000, nnz_per_row=30.0, band=800, rng=rng)
+    csr, parts_c = build_format(coo, "csr", n_threads=24)
+    sss, parts_s = build_format(coo, "sss", n_threads=24)
+    t_csr = predict_spmv(csr, parts_c, DUNNINGTON).total
+    t_sss = predict_spmv(sss, parts_s, DUNNINGTON, reduction="indexed").total
+    assert t_sss < t_csr
+
+
+def test_speedup_over(model_coo):
+    csr = CSRMatrix.from_coo(model_coo)
+    base = predict_serial_csr(csr, DUNNINGTON)
+    parts = partition_nnz_balanced(csr.row_nnz(), 8)
+    multi = predict_spmv(csr, parts, DUNNINGTON)
+    assert multi.speedup_over(base) > 1.0
+
+
+def test_gainestown_faster_than_dunnington(model_coo):
+    csr = CSRMatrix.from_coo(model_coo)
+    t_d = predict_serial_csr(csr, DUNNINGTON).total
+    t_g = predict_serial_csr(csr, GAINESTOWN).total
+    assert t_g < t_d  # higher clock and far more bandwidth
+
+
+def test_cost_model_overrides(model_coo):
+    csr = CSRMatrix.from_coo(model_coo)
+    slow = DEFAULT_COST_MODEL.with_overrides(csr_cycles_per_nnz=50.0)
+    t_fast = predict_serial_csr(csr, GAINESTOWN).total
+    t_slow = predict_serial_csr(csr, GAINESTOWN, cost=slow).total
+    assert t_slow > t_fast

@@ -1,0 +1,126 @@
+"""Unit tests for the vectorized execution-plan compiler."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csx.detect import detect_and_encode
+from repro.formats.csx.plan import compile_plan
+from repro.formats.csx.substructures import (
+    PatternKey,
+    PatternType,
+    Unit,
+)
+
+
+def encode(dense):
+    rows, cols = np.nonzero(dense)
+    return detect_and_encode(
+        rows.astype(np.int64),
+        cols.astype(np.int64),
+        dense[rows, cols],
+        dense.shape[1],
+    )[0]
+
+
+def test_plan_executes_spmv(sym_dense_small, rng):
+    units = encode(sym_dense_small)
+    plan = compile_plan(units, sym_dense_small.shape[0])
+    x = rng.standard_normal(sym_dense_small.shape[1])
+    y = np.zeros(sym_dense_small.shape[0])
+    plan.execute(x, y)
+    assert np.allclose(y, sym_dense_small @ x)
+
+
+def test_plan_accumulates_not_overwrites(sym_dense_small, rng):
+    units = encode(sym_dense_small)
+    plan = compile_plan(units, sym_dense_small.shape[0])
+    x = rng.standard_normal(sym_dense_small.shape[1])
+    y = np.ones(sym_dense_small.shape[0])
+    plan.execute(x, y)
+    assert np.allclose(y, 1.0 + sym_dense_small @ x)
+
+
+def test_kernels_grouped_by_pattern_and_length():
+    units = [
+        Unit(PatternKey(PatternType.HORIZONTAL, (1,)), 0, 0, 4,
+             values=np.ones(4)),
+        Unit(PatternKey(PatternType.HORIZONTAL, (1,)), 1, 0, 4,
+             values=np.ones(4)),
+        Unit(PatternKey(PatternType.HORIZONTAL, (1,)), 2, 0, 5,
+             values=np.ones(5)),
+    ]
+    plan = compile_plan(units, 3)
+    assert len(plan.kernels) == 2
+    by_len = {k.length: k.n_units for k in plan.kernels}
+    assert by_len == {4: 2, 5: 1}
+
+
+def test_row_uniform_flags():
+    units = [
+        Unit(PatternKey(PatternType.HORIZONTAL, (1,)), 0, 0, 4,
+             values=np.ones(4)),
+        Unit(PatternKey(PatternType.VERTICAL, (1,)), 1, 0, 4,
+             values=np.ones(4)),
+    ]
+    plan = compile_plan(units, 8)
+    flags = {k.pattern.type: k.row_uniform for k in plan.kernels}
+    assert flags[PatternType.HORIZONTAL] is True
+    assert flags[PatternType.VERTICAL] is False
+
+
+def test_compile_requires_values():
+    u = Unit(PatternKey(PatternType.HORIZONTAL, (1,)), 0, 0, 4)
+    with pytest.raises(ValueError):
+        compile_plan([u], 4)
+
+
+def test_transposed_split_routing(rng):
+    # Lower-triangular entries of a symmetric matrix; boundary routing.
+    n = 30
+    dense = np.zeros((n, n))
+    rng2 = np.random.default_rng(0)
+    for r in range(1, n):
+        c = rng2.integers(0, r)
+        dense[r, c] = rng2.uniform(0.5, 1.0)
+    units = encode(dense)
+    plan = compile_plan(units, n)
+    x = rng.standard_normal(n)
+    boundary = 15
+    direct = np.zeros(n)
+    local = np.zeros(n)
+    plan.execute_transposed_split(x, direct, local, boundary)
+    expected = dense.T @ x
+    assert np.allclose(direct + local, expected)
+    assert np.allclose(local[boundary:], 0.0)
+    # Everything below the boundary went local.
+    assert np.allclose(direct[:boundary], 0.0)
+
+
+def test_transposed_split_zero_boundary(sym_dense_small, rng):
+    units = encode(sym_dense_small)
+    plan = compile_plan(units, sym_dense_small.shape[0])
+    x = rng.standard_normal(sym_dense_small.shape[1])
+    direct = np.zeros(sym_dense_small.shape[0])
+    plan.execute_transposed_split(x, direct, np.zeros(0), boundary=0)
+    assert np.allclose(direct, sym_dense_small.T @ x)
+
+
+def test_element_coordinates_cover_all(sym_dense_small):
+    units = encode(sym_dense_small)
+    plan = compile_plan(units, sym_dense_small.shape[0])
+    rows, cols = plan.element_coordinates()
+    n = sym_dense_small.shape[1]
+    got = np.sort(rows * n + cols)
+    er, ec = np.nonzero(sym_dense_small)
+    want = np.sort(er.astype(np.int64) * n + ec)
+    assert np.array_equal(got, want)
+    assert plan.n_elements == want.size
+
+
+def test_empty_plan():
+    plan = compile_plan([], 5)
+    y = np.zeros(5)
+    plan.execute(np.ones(5), y)
+    assert np.array_equal(y, np.zeros(5))
+    rows, cols = plan.element_coordinates()
+    assert rows.size == 0 and cols.size == 0

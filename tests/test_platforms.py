@@ -1,0 +1,79 @@
+"""Unit tests for the platform models (paper Table II)."""
+
+import pytest
+
+from repro.machine import DUNNINGTON, GAINESTOWN, PLATFORMS
+
+
+def test_table2_dunnington():
+    p = DUNNINGTON
+    assert p.n_cores == 24 and p.n_threads == 24
+    assert p.clock_ghz == 2.66
+    assert p.total_bw_gbps == 5.4  # shared FSB
+    assert p.llc_total_bytes == 4 * 16 * 1024 * 1024
+
+
+def test_table2_gainestown():
+    p = GAINESTOWN
+    assert p.n_cores == 8 and p.n_threads == 16
+    assert p.clock_ghz == 3.20
+    assert p.total_bw_gbps == pytest.approx(2 * 15.5)
+    assert p.llc_total_bytes == 2 * 8 * 1024 * 1024
+
+
+def test_registry():
+    assert PLATFORMS["dunnington"] is DUNNINGTON
+    assert PLATFORMS["gainestown"] is GAINESTOWN
+
+
+def test_thread_placement_round_robin():
+    assert DUNNINGTON.thread_placement(4) == [1, 1, 1, 1]
+    assert DUNNINGTON.thread_placement(6) == [2, 2, 1, 1]
+    assert GAINESTOWN.thread_placement(3) == [2, 1]
+
+
+def test_thread_placement_bounds():
+    with pytest.raises(ValueError):
+        DUNNINGTON.thread_placement(0)
+    with pytest.raises(ValueError):
+        DUNNINGTON.thread_placement(25)
+    with pytest.raises(ValueError):
+        GAINESTOWN.thread_placement(17)
+
+
+def test_cores_used_saturates_with_smt():
+    # 16 threads on Gainestown = 8 physical cores.
+    assert GAINESTOWN.cores_used(16) == 8
+    assert GAINESTOWN.cores_used(8) == 8
+    assert GAINESTOWN.cores_used(2) == 2
+    assert DUNNINGTON.cores_used(24) == 24
+
+
+def test_bandwidth_monotone_in_threads():
+    for platform in (DUNNINGTON, GAINESTOWN):
+        prev = 0.0
+        for p in range(1, platform.n_threads + 1):
+            bw = platform.bandwidth_gbps(p)
+            assert bw >= prev - 1e-12
+            prev = bw
+
+
+def test_dunnington_bandwidth_saturates_at_fsb():
+    assert DUNNINGTON.bandwidth_gbps(1) == pytest.approx(
+        DUNNINGTON.per_thread_bw_gbps
+    )
+    assert DUNNINGTON.bandwidth_gbps(24) == pytest.approx(5.4)
+    assert DUNNINGTON.bandwidth_gbps(12) == pytest.approx(5.4)
+
+
+def test_gainestown_numa_scales_with_sockets():
+    one = GAINESTOWN.bandwidth_gbps(1)
+    two = GAINESTOWN.bandwidth_gbps(2)  # round-robin: one per socket
+    assert two == pytest.approx(2 * one)
+    assert GAINESTOWN.bandwidth_gbps(16) == pytest.approx(31.0)
+
+
+def test_llc_available_grows_with_sockets():
+    assert GAINESTOWN.llc_bytes_available(1) == 8 * 1024 * 1024
+    assert GAINESTOWN.llc_bytes_available(2) == 16 * 1024 * 1024
+    assert DUNNINGTON.llc_bytes_available(4) == 64 * 1024 * 1024

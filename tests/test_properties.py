@@ -1,0 +1,187 @@
+"""Property-based tests on the core invariants (hypothesis).
+
+The invariants that hold for *any* symmetric matrix and *any* thread
+partitioning:
+
+* every storage format computes the same SpM×V as the dense product;
+* format round trips through COO are exact;
+* all three reduction methods agree with the serial kernel;
+* the indexed reduction's pairs enumerate exactly the local non-zeros.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.formats import (
+    BCSRMatrix,
+    COOMatrix,
+    CSBMatrix,
+    CSBSymMatrix,
+    CSRMatrix,
+    CSXMatrix,
+    CSXSymMatrix,
+    SSSMatrix,
+)
+from repro.parallel import (
+    IndexedReduction,
+    ParallelSymmetricSpMV,
+    partition_nnz_balanced,
+    validate_partitions,
+)
+
+
+@st.composite
+def symmetric_dense(draw, max_n=24):
+    n = draw(st.integers(2, max_n))
+    density = draw(st.floats(0.05, 0.5))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    upper = np.triu(
+        (rng.random((n, n)) < density)
+        * rng.uniform(-2.0, 2.0, (n, n)),
+        k=1,
+    )
+    dense = upper + upper.T
+    diag = rng.uniform(0.5, 3.0, n) + np.abs(dense).sum(axis=1)
+    np.fill_diagonal(dense, diag)
+    return dense
+
+
+@st.composite
+def dense_with_partitions(draw, max_n=24, max_p=6):
+    dense = draw(symmetric_dense(max_n))
+    n = dense.shape[0]
+    p = draw(st.integers(1, max_p))
+    # Arbitrary (possibly unbalanced, possibly empty) partitioning.
+    cuts = draw(
+        st.lists(st.integers(0, n), min_size=p - 1, max_size=p - 1)
+    )
+    bounds = [0] + sorted(cuts) + [n]
+    parts = [(bounds[i], bounds[i + 1]) for i in range(p)]
+    return dense, parts
+
+
+@given(symmetric_dense())
+@settings(max_examples=40, deadline=None)
+def test_all_formats_agree_with_dense(dense):
+    coo = COOMatrix.from_dense(dense)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(dense.shape[0])
+    expected = dense @ x
+    for fmt in (
+        CSRMatrix.from_coo(coo),
+        SSSMatrix.from_coo(coo),
+        CSXMatrix(coo),
+        CSXSymMatrix(coo),
+        BCSRMatrix(coo, (2, 2)),
+        BCSRMatrix(coo, autotune=True),
+        CSBMatrix(coo, beta=8),
+        CSBSymMatrix(coo, beta=8),
+    ):
+        assert np.allclose(fmt.spmv(x), expected), fmt.format_name
+
+
+@given(symmetric_dense())
+@settings(max_examples=40, deadline=None)
+def test_coo_roundtrips_are_exact(dense):
+    coo = COOMatrix.from_dense(dense)
+    for fmt in (
+        CSRMatrix.from_coo(coo),
+        SSSMatrix.from_coo(coo),
+        CSXMatrix(coo),
+        CSXSymMatrix(coo),
+        BCSRMatrix(coo, (3, 3)),
+        CSBMatrix(coo, beta=8),
+        CSBSymMatrix(coo, beta=8),
+    ):
+        assert np.array_equal(fmt.to_coo().to_dense(), dense), (
+            fmt.format_name
+        )
+
+
+@given(dense_with_partitions())
+@settings(max_examples=40, deadline=None)
+def test_reduction_methods_agree_for_any_partitioning(args):
+    dense, parts = args
+    coo = COOMatrix.from_dense(dense)
+    sss = SSSMatrix.from_coo(coo)
+    validate_partitions(parts, coo.n_rows)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(coo.n_cols)
+    expected = dense @ x
+    for method in ("naive", "effective", "indexed"):
+        y = ParallelSymmetricSpMV(sss, parts, method)(x)
+        assert np.allclose(y, expected), (method, parts)
+
+
+@given(dense_with_partitions())
+@settings(max_examples=30, deadline=None)
+def test_csx_sym_partitioned_matches_dense(args):
+    dense, parts = args
+    coo = COOMatrix.from_dense(dense)
+    csxs = CSXSymMatrix(coo, partitions=parts)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(coo.n_cols)
+    y = ParallelSymmetricSpMV(csxs, parts, "indexed")(x)
+    assert np.allclose(y, dense @ x)
+
+
+@given(dense_with_partitions())
+@settings(max_examples=30, deadline=None)
+def test_index_pairs_enumerate_local_nonzeros_exactly(args):
+    dense, parts = args
+    coo = COOMatrix.from_dense(dense)
+    sss = SSSMatrix.from_coo(coo)
+    red = IndexedReduction(sss, parts)
+    # Positive x prevents cancellation: writes are visible as non-zeros.
+    x = np.ones(coo.n_cols)
+    n = coo.n_rows
+    expected_pairs = 0
+    for start, end in parts:
+        direct = np.zeros(n)
+        local = np.zeros(n)
+        sss.spmv_partition(x, direct, local, start, end)
+        expected_pairs += np.count_nonzero(local)
+    assert red.n_pairs == expected_pairs
+
+
+@given(symmetric_dense(), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_nnz_balanced_partition_always_valid(dense, p):
+    coo = COOMatrix.from_dense(dense)
+    parts = partition_nnz_balanced(coo.row_counts(), p)
+    validate_partitions(parts, coo.n_rows)
+
+
+@given(symmetric_dense())
+@settings(max_examples=30, deadline=None)
+def test_symmetric_sizes_ordered(dense):
+    """CSX-Sym ≤ SSS < CSR in representation size (the compression
+    chain the whole paper builds on) for matrices with enough entries."""
+    coo = COOMatrix.from_dense(dense)
+    csr = CSRMatrix.from_coo(coo)
+    sss = SSSMatrix.from_coo(coo)
+    csxs = CSXSymMatrix(coo)
+    assert sss.size_bytes() <= csr.size_bytes() + 4
+    # ctl can cost slightly more than SSS indexing on tiny random
+    # matrices; allow a small per-unit slack.
+    assert csxs.size_bytes() <= sss.size_bytes() + 2 * len(
+        [u for p_ in csxs.partitions for u in p_.units]
+    )
+
+
+@given(symmetric_dense(max_n=16))
+@settings(max_examples=25, deadline=None)
+def test_spd_systems_solvable_by_cg(dense):
+    from repro.solvers import conjugate_gradient
+
+    coo = COOMatrix.from_dense(dense)
+    csr = CSRMatrix.from_coo(coo)
+    rng = np.random.default_rng(3)
+    x_true = rng.standard_normal(coo.n_rows)
+    b = dense @ x_true
+    res = conjugate_gradient(csr.spmv, b, tol=1e-12, max_iter=2000)
+    assert res.converged
+    assert np.allclose(res.x, x_true, atol=1e-5)

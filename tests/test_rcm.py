@@ -1,0 +1,108 @@
+"""Unit tests for the from-scratch Cuthill-McKee / RCM implementation."""
+
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import reverse_cuthill_mckee as scipy_rcm
+
+from repro.formats import COOMatrix
+from repro.matrices import banded_random, grid_laplacian_2d, permute_random
+from repro.reorder import (
+    bandwidth_stats,
+    cuthill_mckee,
+    rcm_reorder,
+    reverse_cuthill_mckee,
+)
+
+
+def test_perm_is_valid_permutation(rng):
+    m = banded_random(200, 8.0, 15, rng)
+    perm = reverse_cuthill_mckee(m)
+    assert np.array_equal(np.sort(perm), np.arange(200))
+
+
+def test_rcm_restores_banded_structure(rng):
+    base = banded_random(600, nnz_per_row=8.0, band=12, rng=rng)
+    scrambled = permute_random(base, rng)
+    assert bandwidth_stats(scrambled).bandwidth > 5 * 12
+    reordered, _ = rcm_reorder(scrambled)
+    assert (
+        bandwidth_stats(reordered).bandwidth
+        < 0.2 * bandwidth_stats(scrambled).bandwidth
+    )
+
+
+def test_rcm_comparable_to_scipy(rng):
+    base = grid_laplacian_2d(20, 20)
+    scrambled = permute_random(base, rng)
+    ours, _ = rcm_reorder(scrambled)
+    sp_perm = np.asarray(scipy_rcm(scrambled.to_scipy(), symmetric_mode=True))
+    theirs = scrambled.permute_symmetric(sp_perm)
+    bw_ours = bandwidth_stats(ours).bandwidth
+    bw_theirs = bandwidth_stats(theirs).bandwidth
+    assert bw_ours <= 2 * bw_theirs  # same bandwidth class
+
+
+def test_rcm_preserves_matrix(rng):
+    m = banded_random(100, 6.0, 10, rng)
+    reordered, perm = rcm_reorder(m)
+    expected = m.to_dense()[np.ix_(perm, perm)]
+    assert np.array_equal(reordered.to_dense(), expected)
+
+
+def test_cm_visits_connected_component_contiguously():
+    # Path graph: CM order must be the path itself (possibly reversed).
+    n = 10
+    rows = np.arange(1, n)
+    cols = rows - 1
+    coo = COOMatrix(
+        (n, n),
+        np.concatenate([rows, cols, np.arange(n)]),
+        np.concatenate([cols, rows, np.arange(n)]),
+        np.ones(2 * (n - 1) + n),
+    )
+    perm = cuthill_mckee(coo)
+    diffs = np.abs(np.diff(perm))
+    assert np.all(diffs == 1)
+
+
+def test_disconnected_components_all_visited(rng):
+    # Two separate blocks, no coupling.
+    dense = np.zeros((10, 10))
+    dense[:5, :5] = 1.0
+    dense[5:, 5:] = 1.0
+    coo = COOMatrix.from_dense(dense)
+    perm = cuthill_mckee(coo)
+    assert np.array_equal(np.sort(perm), np.arange(10))
+
+
+def test_isolated_vertices(rng):
+    dense = np.diag(np.arange(1.0, 7.0))
+    dense[0, 3] = dense[3, 0] = 1.0
+    coo = COOMatrix.from_dense(dense)
+    perm = cuthill_mckee(coo)
+    assert np.array_equal(np.sort(perm), np.arange(6))
+
+
+def test_rcm_rejects_rectangular():
+    coo = COOMatrix((2, 3), [0], [1], [1.0])
+    with pytest.raises(ValueError):
+        cuthill_mckee(coo)
+
+
+def test_empty_matrix():
+    assert cuthill_mckee(COOMatrix.empty((0, 0))).size == 0
+
+
+def test_reverse_is_reverse(rng):
+    m = banded_random(50, 6.0, 8, rng)
+    cm = cuthill_mckee(m)
+    rcm = reverse_cuthill_mckee(m)
+    assert np.array_equal(rcm, cm[::-1])
+
+
+def test_rcm_with_precomputed_perm(rng):
+    m = banded_random(80, 6.0, 8, rng)
+    perm = reverse_cuthill_mckee(m)
+    reordered, perm_out = rcm_reorder(m, perm)
+    assert perm_out is perm
+    assert reordered.is_symmetric()

@@ -1,0 +1,76 @@
+"""Unit tests for the text renderers (tables, series, stacked bars)."""
+
+import pytest
+
+from repro.analysis import render_series, render_stacked_bars, render_table
+
+
+def test_table_empty_rows():
+    out = render_table(["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+def test_table_column_alignment():
+    out = render_table(["col"], [["x"], ["longer"]])
+    lines = out.splitlines()
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines padded equally
+
+
+def test_table_custom_float_format():
+    out = render_table(["v"], [[3.14159]], floatfmt="{:.1f}")
+    assert "3.1" in out and "3.142" not in out
+
+
+def test_series_sorted_x():
+    out = render_series("p", {"s": {4: 2.0, 1: 1.0, 2: 1.5}})
+    lines = out.splitlines()
+    xs = [line.split()[0] for line in lines[2:]]
+    assert xs == ["1", "2", "4"]
+
+
+def test_stacked_bars_basic():
+    out = render_stacked_bars(
+        [
+            ("a", {"mult": 3.0, "reduce": 1.0}),
+            ("b", {"mult": 1.0, "reduce": 1.0}),
+        ],
+        title="T",
+        width=40,
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "# mult" in lines[1] and "= reduce" in lines[1]
+    # Bar "a" (total 4) spans the full width; "b" (total 2) half.
+    bar_a = lines[2].split("|")[1].split(" ")[0]
+    bar_b = lines[3].split("|")[1].split(" ")[0]
+    assert len(bar_a) == 40
+    assert 18 <= len(bar_b) <= 22
+
+
+def test_stacked_bars_segment_proportions():
+    out = render_stacked_bars(
+        [("x", {"s1": 1.0, "s2": 3.0})], width=40
+    )
+    bar = out.splitlines()[1].split("|")[1].split(" ")[0]
+    assert bar.count("#") == 10
+    assert bar.count("=") == 30
+
+
+def test_stacked_bars_missing_segments_ok():
+    out = render_stacked_bars(
+        [
+            ("a", {"s1": 1.0}),
+            ("b", {"s2": 2.0}),
+        ]
+    )
+    assert "(1)" in out and "(2)" in out
+
+
+def test_stacked_bars_empty():
+    assert render_stacked_bars([], title="t") == "t"
+
+
+def test_stacked_bars_zero_values():
+    out = render_stacked_bars([("a", {"s": 0.0})])
+    assert "(0)" in out

@@ -1,0 +1,65 @@
+"""Unit tests for the R-MAT (Kronecker) generator."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, SSSMatrix
+from repro.matrices import rmat
+from repro.parallel import ParallelSymmetricSpMV, partition_nnz_balanced
+
+
+def test_dimensions_and_symmetry(rng):
+    m = rmat(8, 6.0, rng)
+    assert m.n_rows == 256
+    assert m.is_symmetric()
+    assert np.all(m.diagonal() > 0)  # SPD-ified
+
+
+def test_power_law_degrees(rng):
+    """R-MAT's hub rows: max degree far above the mean."""
+    m = rmat(11, 8.0, rng)
+    counts = m.row_counts()
+    assert counts.max() > 8 * counts.mean()
+
+
+def test_uniform_quadrants_give_flat_degrees(rng):
+    m = rmat(10, 8.0, rng, a=0.25, b=0.25, c=0.25)
+    counts = m.row_counts()
+    assert counts.max() < 5 * counts.mean()
+
+
+def test_deterministic():
+    a = rmat(8, 4.0, np.random.default_rng(3))
+    b = rmat(8, 4.0, np.random.default_rng(3))
+    assert np.array_equal(a.to_dense(), b.to_dense())
+
+
+def test_invalid_parameters(rng):
+    with pytest.raises(ValueError):
+        rmat(0, 4.0, rng)
+    with pytest.raises(ValueError):
+        rmat(30, 4.0, rng)
+    with pytest.raises(ValueError):
+        rmat(8, 4.0, rng, a=0.6, b=0.3, c=0.3)  # d < 0
+
+
+def test_spmv_pipeline_on_rmat(rng):
+    """The full symmetric pipeline survives scale-free imbalance."""
+    m = rmat(9, 8.0, rng)
+    sss = SSSMatrix.from_coo(m)
+    parts = partition_nnz_balanced(sss.expanded_row_nnz(), 8)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    x = rng.standard_normal(m.n_cols)
+    assert np.allclose(kernel(x), CSRMatrix.from_coo(m).spmv(x))
+
+
+def test_nnz_balanced_helps_on_rmat(rng):
+    """Power-law rows are why nnz balancing exists."""
+    from repro.parallel import partition_rows_equal
+
+    m = rmat(11, 8.0, rng)
+    weights = m.row_counts().astype(float)
+    eq = partition_rows_equal(m.n_rows, 8)
+    bal = partition_nnz_balanced(weights, 8)
+    load = lambda parts: max(weights[s:e].sum() for s, e in parts)
+    assert load(bal) <= load(eq)

@@ -1,0 +1,160 @@
+"""Integration tests for the multithreaded SpM×V orchestration (Alg. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    COOMatrix,
+    CSRMatrix,
+    CSXMatrix,
+    CSXSymMatrix,
+    SSSMatrix,
+)
+from repro.parallel import (
+    Executor,
+    ParallelSpMV,
+    ParallelSymmetricSpMV,
+    partition_nnz_balanced,
+    partition_rows_equal,
+)
+
+
+@pytest.fixture(scope="session")
+def medium_setup(sym_dense_medium):
+    coo = COOMatrix.from_dense(sym_dense_medium)
+    parts = partition_rows_equal(coo.n_rows, 5)
+    return sym_dense_medium, coo, parts
+
+
+@pytest.mark.parametrize("method", ["naive", "effective", "indexed"])
+def test_sss_all_methods(medium_setup, method, rng):
+    dense, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, parts, method)
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), dense @ x)
+
+
+@pytest.mark.parametrize("method", ["naive", "effective", "indexed"])
+def test_csx_sym_all_methods(medium_setup, method, rng):
+    dense, coo, parts = medium_setup
+    csxs = CSXSymMatrix(coo, partitions=parts)
+    kernel = ParallelSymmetricSpMV(csxs, parts, method)
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), dense @ x)
+
+
+def test_csr_parallel(medium_setup, rng):
+    dense, coo, parts = medium_setup
+    csr = CSRMatrix.from_coo(coo)
+    kernel = ParallelSpMV(csr, parts)
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), dense @ x)
+
+
+def test_csx_parallel(medium_setup, rng):
+    dense, coo, parts = medium_setup
+    csx = CSXMatrix(coo, partitions=parts)
+    kernel = ParallelSpMV(csx, parts)
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), dense @ x)
+
+
+def test_csx_partition_mismatch_rejected(medium_setup):
+    _, coo, parts = medium_setup
+    csx = CSXMatrix(coo, partitions=parts)
+    other = partition_rows_equal(coo.n_rows, 3)
+    with pytest.raises(ValueError):
+        ParallelSpMV(csx, other)
+
+
+def test_output_vector_reuse(medium_setup, rng):
+    dense, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    x = rng.standard_normal(coo.n_cols)
+    y = np.full(coo.n_rows, 1234.5)  # stale contents must be cleared
+    out = kernel(x, y)
+    assert out is y
+    assert np.allclose(y, dense @ x)
+
+
+def test_repeated_calls_are_consistent(medium_setup, rng):
+    dense, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    x1 = rng.standard_normal(coo.n_cols)
+    x2 = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x1), dense @ x1)
+    assert np.allclose(kernel(x2), dense @ x2)
+    assert np.allclose(kernel(x1), dense @ x1)
+
+
+def test_swapped_vectors_iteration(medium_setup, rng):
+    """The paper's framework swaps input/output every iteration."""
+    dense, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    x = rng.standard_normal(coo.n_cols)
+    expected = x.copy()
+    for _ in range(3):
+        expected = dense @ expected
+        # normalize to keep values bounded
+        expected /= np.linalg.norm(expected)
+        x = kernel(x)
+        x /= np.linalg.norm(x)
+    assert np.allclose(x, expected)
+
+
+def test_threads_executor_matches_serial(medium_setup, rng):
+    dense, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    x = rng.standard_normal(coo.n_cols)
+    with Executor("threads", max_workers=4) as ex:
+        kernel = ParallelSymmetricSpMV(sss, parts, "indexed", executor=ex)
+        assert np.allclose(kernel(x), dense @ x)
+
+
+def test_nnz_balanced_partitions(medium_setup, rng):
+    dense, coo, _ = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    parts = partition_nnz_balanced(sss.expanded_row_nnz(), 7)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), dense @ x)
+
+
+def test_single_thread_degenerate(medium_setup, rng):
+    dense, coo, _ = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, [(0, coo.n_rows)], "indexed")
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), dense @ x)
+
+
+def test_many_threads_small_matrix(rng):
+    dense = np.diag(np.arange(1.0, 7.0))
+    dense[3, 1] = dense[1, 3] = 0.5
+    coo = COOMatrix.from_dense(dense)
+    sss = SSSMatrix.from_coo(coo)
+    parts = partition_rows_equal(6, 6)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    x = rng.standard_normal(6)
+    assert np.allclose(kernel(x), dense @ x)
+
+
+def test_bad_x_shape_rejected(medium_setup):
+    _, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, parts)
+    with pytest.raises(ValueError):
+        kernel(np.zeros(coo.n_cols + 1))
+
+
+def test_footprint_passthrough(medium_setup):
+    _, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    fp = kernel.footprint()
+    assert fp.method == "indexed"
+    assert fp.n_threads == len(parts)

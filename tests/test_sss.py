@@ -1,0 +1,143 @@
+"""Unit tests for the SSS symmetric skyline format (paper eq. 2, Alg. 2/3)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix, SSSMatrix
+
+
+def test_from_coo_matches_dense(sym_dense_small):
+    sss = SSSMatrix.from_dense(sym_dense_small)
+    assert np.array_equal(sss.to_dense(), sym_dense_small)
+
+
+def test_rejects_unsymmetric():
+    coo = COOMatrix((2, 2), [0], [1], [1.0])
+    with pytest.raises(ValueError):
+        SSSMatrix.from_coo(coo)
+
+
+def test_rejects_rectangular():
+    coo = COOMatrix((2, 3), [0], [1], [1.0])
+    with pytest.raises(ValueError):
+        SSSMatrix.from_coo(coo)
+
+
+def test_spmv_matches_dense(sym_dense_medium, rng):
+    sss = SSSMatrix.from_dense(sym_dense_medium)
+    x = rng.standard_normal(sss.n_cols)
+    assert np.allclose(sss.spmv(x), sym_dense_medium @ x)
+
+
+def test_size_bytes_equation_2(sym_dense_small):
+    """S_SSS = 6*(NNZ + N) + 4 when the diagonal is full."""
+    sss = SSSMatrix.from_dense(sym_dense_small)
+    n = sss.n_rows
+    nnz = sss.nnz  # expanded count; diagonal is full in the fixture
+    assert np.all(sss.dvalues != 0)
+    assert sss.size_bytes() == 6 * (nnz + n) + 4
+
+
+def test_size_roughly_half_of_csr(sym_coo_medium):
+    csr = CSRMatrix.from_coo(sym_coo_medium)
+    sss = SSSMatrix.from_coo(sym_coo_medium)
+    ratio = sss.size_bytes() / csr.size_bytes()
+    assert 0.4 < ratio < 0.65  # "almost reducing to the half"
+
+
+def test_nnz_counts_expanded(sym_dense_small):
+    sss = SSSMatrix.from_dense(sym_dense_small)
+    assert sss.nnz == np.count_nonzero(sym_dense_small)
+    assert sss.stored_entries == sss.n_rows + sss.nnz_lower
+
+
+def test_missing_diagonal_entries():
+    dense = np.array(
+        [[0.0, 2.0, 0.0], [2.0, 5.0, 1.0], [0.0, 1.0, 0.0]]
+    )
+    sss = SSSMatrix.from_dense(dense)
+    assert sss.dvalues[0] == 0.0 and sss.dvalues[2] == 0.0
+    x = np.array([1.0, -1.0, 2.0])
+    assert np.allclose(sss.spmv(x), dense @ x)
+
+
+def test_strictly_lower_enforced():
+    with pytest.raises(ValueError):
+        SSSMatrix(
+            (2, 2),
+            dvalues=np.ones(2),
+            rowptr=np.array([0, 1, 1], dtype=np.int32),
+            colind=np.array([1], dtype=np.int32),  # upper entry in row 0
+            values=np.array([1.0]),
+        )
+
+
+def test_partition_kernel_covers_matrix(sym_dense_medium, rng):
+    sss = SSSMatrix.from_dense(sym_dense_medium)
+    x = rng.standard_normal(sss.n_cols)
+    parts = [(0, 75), (75, 140), (140, 280), (280, 300)]
+    y = np.zeros(sss.n_rows)
+    for s, e in parts:
+        local = np.zeros(sss.n_rows)
+        sss.spmv_partition(x, y, local, s, e)
+        y += local
+    assert np.allclose(y, sym_dense_medium @ x)
+
+
+def test_partition_local_writes_only_before_start(sym_dense_medium, rng):
+    sss = SSSMatrix.from_dense(sym_dense_medium)
+    x = rng.standard_normal(sss.n_cols)
+    direct = np.zeros(sss.n_rows)
+    local = np.zeros(sss.n_rows)
+    sss.spmv_partition(x, direct, local, 100, 200)
+    assert np.all(local[100:] == 0.0)
+    # Direct writes stay inside the partition.
+    assert np.all(direct[:100] == 0.0)
+    assert np.all(direct[200:] == 0.0)
+
+
+def test_partition_conflict_rows(sym_dense_medium):
+    sss = SSSMatrix.from_dense(sym_dense_medium)
+    conflicts = sss.partition_conflict_rows(100, 200)
+    lo, hi = sss.rowptr[100], sss.rowptr[200]
+    expected = np.unique(
+        sss.colind[lo:hi][sss.colind[lo:hi] < 100]
+    )
+    assert np.array_equal(conflicts, expected)
+    assert np.all(conflicts < 100)
+
+
+def test_conflict_rows_match_local_nonzeros(sym_dense_medium, rng):
+    """The index enumerates exactly the local vector's non-zeros."""
+    sss = SSSMatrix.from_dense(sym_dense_medium)
+    x = rng.uniform(1.0, 2.0, sss.n_cols)  # positive: no cancellation
+    direct = np.zeros(sss.n_rows)
+    local = np.zeros(sss.n_rows)
+    sss.spmv_partition(x, direct, local, 150, 300)
+    written = np.flatnonzero(local)
+    assert np.array_equal(written, sss.partition_conflict_rows(150, 300))
+
+
+def test_expanded_row_nnz(sym_dense_small):
+    sss = SSSMatrix.from_dense(sym_dense_small)
+    expected = (sym_dense_small != 0).sum(axis=1)
+    assert np.array_equal(sss.expanded_row_nnz(), expected)
+
+
+def test_to_coo_roundtrip(sym_coo_medium):
+    sss = SSSMatrix.from_coo(sym_coo_medium)
+    assert np.array_equal(
+        sss.to_coo().to_dense(), sym_coo_medium.to_dense()
+    )
+
+
+def test_spmv_against_scipy(sym_coo_medium, rng):
+    sss = SSSMatrix.from_coo(sym_coo_medium)
+    sp = sym_coo_medium.to_scipy()
+    x = rng.standard_normal(sss.n_cols)
+    assert np.allclose(sss.spmv(x), sp @ x)
+
+
+def test_skip_symmetry_check_allows_fast_path(sym_coo_small):
+    sss = SSSMatrix.from_coo(sym_coo_small, check_symmetry=False)
+    assert sss.nnz == sym_coo_small.nnz

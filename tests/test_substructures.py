@@ -1,0 +1,118 @@
+"""Unit tests for the CSX substructure taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csx.substructures import (
+    DELTA8,
+    DELTA16,
+    DELTA32,
+    MAX_UNIT_LEN,
+    PatternKey,
+    PatternType,
+    Unit,
+    delta_pattern_for,
+    unit_column_span,
+    unit_coordinates,
+)
+
+
+def test_delta_pattern_selection():
+    assert delta_pattern_for(0) == DELTA8
+    assert delta_pattern_for(255) == DELTA8
+    assert delta_pattern_for(256) == DELTA16
+    assert delta_pattern_for(65535) == DELTA16
+    assert delta_pattern_for(65536) == DELTA32
+    with pytest.raises(ValueError):
+        delta_pattern_for(-1)
+    with pytest.raises(ValueError):
+        delta_pattern_for(2**32)
+
+
+def test_horizontal_coordinates():
+    u = Unit(PatternKey(PatternType.HORIZONTAL, (2,)), row=5, col=10, length=4)
+    rows, cols = unit_coordinates(u)
+    assert np.array_equal(rows, [5, 5, 5, 5])
+    assert np.array_equal(cols, [10, 12, 14, 16])
+
+
+def test_vertical_coordinates():
+    u = Unit(PatternKey(PatternType.VERTICAL, (1,)), row=2, col=7, length=3)
+    rows, cols = unit_coordinates(u)
+    assert np.array_equal(rows, [2, 3, 4])
+    assert np.array_equal(cols, [7, 7, 7])
+
+
+def test_diagonal_coordinates():
+    u = Unit(PatternKey(PatternType.DIAGONAL, (2,)), row=1, col=0, length=3)
+    rows, cols = unit_coordinates(u)
+    assert np.array_equal(rows, [1, 3, 5])
+    assert np.array_equal(cols, [0, 2, 4])
+
+
+def test_anti_diagonal_coordinates():
+    u = Unit(
+        PatternKey(PatternType.ANTI_DIAGONAL, (1,)), row=2, col=9, length=3
+    )
+    rows, cols = unit_coordinates(u)
+    assert np.array_equal(rows, [2, 3, 4])
+    assert np.array_equal(cols, [9, 8, 7])
+
+
+def test_block_coordinates_row_major():
+    u = Unit(PatternKey(PatternType.BLOCK, (2, 3)), row=4, col=1, length=6)
+    rows, cols = unit_coordinates(u)
+    assert np.array_equal(rows, [4, 4, 4, 5, 5, 5])
+    assert np.array_equal(cols, [1, 2, 3, 1, 2, 3])
+
+
+def test_block_length_must_match_shape():
+    with pytest.raises(ValueError):
+        Unit(PatternKey(PatternType.BLOCK, (2, 3)), row=0, col=0, length=5)
+
+
+def test_delta_unit_requires_columns():
+    with pytest.raises(ValueError):
+        Unit(DELTA8, row=0, col=0, length=2)
+
+
+def test_delta_unit_columns_validated():
+    with pytest.raises(ValueError):
+        Unit(DELTA8, row=0, col=0, length=2, cols=np.array([1, 2]))  # col mismatch
+    with pytest.raises(ValueError):
+        Unit(DELTA8, row=0, col=2, length=2, cols=np.array([2, 2]))  # not increasing
+    with pytest.raises(ValueError):
+        Unit(DELTA8, row=0, col=0, length=3, cols=np.array([0, 1]))  # length
+
+
+def test_delta_unit_coordinates():
+    u = Unit(DELTA16, row=3, col=0, length=3, cols=np.array([0, 300, 900]))
+    rows, cols = unit_coordinates(u)
+    assert np.array_equal(rows, [3, 3, 3])
+    assert np.array_equal(cols, [0, 300, 900])
+
+
+def test_unit_length_bounds():
+    with pytest.raises(ValueError):
+        Unit(PatternKey(PatternType.HORIZONTAL, (1,)), 0, 0, 0)
+    with pytest.raises(ValueError):
+        Unit(PatternKey(PatternType.HORIZONTAL, (1,)), 0, 0, MAX_UNIT_LEN + 1)
+
+
+def test_column_span():
+    u = Unit(
+        PatternKey(PatternType.ANTI_DIAGONAL, (1,)), row=2, col=9, length=4
+    )
+    assert unit_column_span(u) == (6, 9)
+    h = Unit(PatternKey(PatternType.HORIZONTAL, (3,)), row=0, col=2, length=3)
+    assert unit_column_span(h) == (2, 8)
+
+
+def test_pattern_key_ordering_and_str():
+    a = PatternKey(PatternType.HORIZONTAL, (1,))
+    b = PatternKey(PatternType.VERTICAL, (1,))
+    assert a < b
+    assert str(a) == "horizontal(d=1)"
+    assert str(DELTA8) == "delta8"
+    assert str(PatternKey(PatternType.BLOCK, (3, 3))) == "block3x3"
+    assert DELTA32.is_delta and not a.is_delta

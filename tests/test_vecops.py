@@ -1,0 +1,73 @@
+"""Unit tests for the instrumented vector operations."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import OpCounter, VectorOps
+
+
+@pytest.fixture()
+def ops():
+    return VectorOps(OpCounter())
+
+
+def test_dot(ops, rng):
+    a, b = rng.random(100), rng.random(100)
+    assert ops.dot(a, b) == pytest.approx(float(a @ b))
+    assert ops.counter.flops == 200
+    assert ops.counter.bytes == 8 * 200
+
+
+def test_dot_aliased_counts_one_read(ops, rng):
+    a = rng.random(50)
+    ops.dot(a, a)
+    assert ops.counter.bytes == 8 * 50
+
+
+def test_norm2(ops, rng):
+    a = rng.random(64)
+    assert ops.norm2(a) == pytest.approx(float(np.linalg.norm(a)))
+
+
+def test_axpy_in_place(ops, rng):
+    x, y = rng.random(30), rng.random(30)
+    expected = y + 2.5 * x
+    ops.axpy(2.5, x, y)
+    assert np.allclose(y, expected)
+    assert ops.counter.flops == 60
+    assert ops.counter.bytes == 8 * 90
+
+
+def test_xpay_in_place(ops, rng):
+    x, y = rng.random(30), rng.random(30)
+    expected = x + 0.5 * y
+    ops.xpay(x, 0.5, y)
+    assert np.allclose(y, expected)
+
+
+def test_copy(ops, rng):
+    src = rng.random(20)
+    dst = np.zeros(20)
+    ops.copy(src, dst)
+    assert np.array_equal(dst, src)
+    assert ops.counter.flops == 0
+
+
+def test_scale(ops, rng):
+    x = rng.random(25)
+    expected = 3.0 * x
+    ops.scale(3.0, x)
+    assert np.allclose(x, expected)
+
+
+def test_counter_reset(ops, rng):
+    ops.dot(rng.random(10), rng.random(10))
+    assert ops.counter.n_ops == 1
+    ops.counter.reset()
+    assert ops.counter.flops == 0 and ops.counter.n_ops == 0
+
+
+def test_default_counter_created():
+    v = VectorOps()
+    v.dot(np.ones(4), np.ones(4))
+    assert v.counter.n_ops == 1
