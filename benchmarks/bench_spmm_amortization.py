@@ -1,0 +1,228 @@
+"""Multi-RHS SpM×M traffic amortization sweep.
+
+Symmetric SpM×V is bandwidth-bound (Section II): one pass streams the
+matrix bytes for a single right-hand side. The ``spmm`` fast path
+streams them once for a block of ``k`` right-hand sides, so per-RHS
+cost should fall toward the ``16N`` vector floor as ``k`` grows. This
+benchmark sweeps ``k ∈ {1, 2, 4, 8, 16}`` over the generator suite and
+reports, per format:
+
+* wall-clock of ``k`` independent SpM×V calls vs one k-column SpM×M,
+* per-RHS throughput (Mflop/s) of the SpM×M pass,
+* the modeled per-RHS traffic and amortization factor
+  (:mod:`repro.analysis.traffic`).
+
+Runs standalone (``python benchmarks/bench_spmm_amortization.py``,
+``--smoke`` for the tiny CI configuration) or under pytest alongside
+the other wall-clock benches. Acceptance target: per-RHS wall-clock at
+``k = 8`` at least 2× better than 8 independent SpM×V calls for SSS
+and CSX-Sym.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.analysis import (  # noqa: E402
+    spmm_amortization_factor,
+    spmm_per_rhs_bytes,
+)
+from repro.formats import (  # noqa: E402
+    COOMatrix,
+    CSRMatrix,
+    CSXSymMatrix,
+    SSSMatrix,
+)
+from repro.matrices.generators import (  # noqa: E402
+    banded_random,
+    grid_laplacian_2d,
+)
+from repro.parallel import (  # noqa: E402
+    ParallelSpMV,
+    ParallelSymmetricSpMV,
+    partition_nnz_balanced,
+)
+
+KS = (1, 2, 4, 8, 16)
+SMOKE_KS = (1, 4, 8)
+N_THREADS = 4
+TARGET_SPEEDUP = 2.0  # per-RHS, k = 8, SSS and CSX-Sym
+
+
+def smoke_matrices() -> dict[str, COOMatrix]:
+    """Tiny generator instances for the CI smoke run (~seconds)."""
+    rng = np.random.default_rng(7)
+    return {
+        "laplace2d_32": grid_laplacian_2d(32, 32),
+        "banded_1500": banded_random(1500, 11.0, 60, rng),
+    }
+
+
+def full_matrices() -> dict[str, COOMatrix]:
+    """Generator-suite instances at the shared benchmark scale."""
+    from common import MATRIX_NAMES, suite_matrix
+
+    names = MATRIX_NAMES[:4] if len(MATRIX_NAMES) > 4 else MATRIX_NAMES
+    return {n: suite_matrix(n) for n in names}
+
+
+def build_kernels(coo: COOMatrix, n_threads: int = N_THREADS):
+    """(name, apply-callable, size_bytes) per benchmarked format."""
+    sss = SSSMatrix.from_coo(coo)
+    parts = partition_nnz_balanced(sss.expanded_row_nnz(), n_threads)
+    csxs = CSXSymMatrix(coo, partitions=parts, check_symmetry=False)
+    csr = CSRMatrix.from_coo(coo)
+    return [
+        ("sss", ParallelSymmetricSpMV(sss, parts, "indexed"),
+         sss.size_bytes()),
+        ("csx-sym", ParallelSymmetricSpMV(csxs, parts, "indexed"),
+         csxs.size_bytes()),
+        ("csr", ParallelSpMV(csr, parts), csr.size_bytes()),
+    ]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_sweep(matrices, ks, repeats: int = 3, n_threads: int = N_THREADS):
+    """One row per (matrix, format, k): timings + modeled traffic."""
+    rows = []
+    rng = np.random.default_rng(42)
+    for name, coo in matrices.items():
+        kernels = build_kernels(coo, n_threads)
+        for k in ks:
+            X = rng.standard_normal((coo.n_cols, k))
+            for fmt, apply_fn, size in kernels:
+                # Differential check before timing: the fast path must
+                # agree with k independent passes.
+                Y = apply_fn(X)
+                stacked = np.stack(
+                    [apply_fn(X[:, j].copy()) for j in range(k)], axis=1
+                )
+                if not np.allclose(Y, stacked):
+                    raise AssertionError(
+                        f"spmm mismatch for {fmt} on {name} (k={k})"
+                    )
+                t_spmv = _best_of(
+                    lambda: [apply_fn(X[:, j]) for j in range(k)], repeats
+                )
+                t_spmm = _best_of(lambda: apply_fn(X), repeats)
+                flops = 2.0 * coo.nnz
+                rows.append(
+                    {
+                        "matrix": name,
+                        "format": fmt,
+                        "k": k,
+                        "t_spmv_k": t_spmv,
+                        "t_spmm": t_spmm,
+                        "per_rhs_speedup": t_spmv / t_spmm,
+                        "mflops_per_rhs": flops / (t_spmm / k) / 1e6,
+                        "model_per_rhs_bytes": spmm_per_rhs_bytes(
+                            size, coo.n_rows, coo.n_cols, k
+                        ),
+                        "model_amortization": spmm_amortization_factor(
+                            size, coo.n_rows, coo.n_cols, k
+                        ),
+                    }
+                )
+    return rows
+
+
+def geomean_speedup(rows, fmt: str, k: int) -> float:
+    vals = [
+        r["per_rhs_speedup"]
+        for r in rows
+        if r["format"] == fmt and r["k"] == k
+    ]
+    return float(np.exp(np.mean(np.log(vals)))) if vals else float("nan")
+
+
+def render(rows, ks) -> str:
+    lines = [
+        "SpM×M amortization sweep — per-RHS wall-clock of one k-column "
+        "pass vs k independent SpM×V calls",
+        "",
+        f"{'matrix':<14} {'format':<8} {'k':>3} {'k×spmv[ms]':>11} "
+        f"{'spmm[ms]':>9} {'speedup':>8} {'MF/s/rhs':>9} "
+        f"{'model B/rhs':>12} {'model amort':>11}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['matrix']:<14} {r['format']:<8} {r['k']:>3} "
+            f"{r['t_spmv_k'] * 1e3:>11.3f} {r['t_spmm'] * 1e3:>9.3f} "
+            f"{r['per_rhs_speedup']:>8.2f} {r['mflops_per_rhs']:>9.1f} "
+            f"{r['model_per_rhs_bytes']:>12.0f} "
+            f"{r['model_amortization']:>11.2f}"
+        )
+    lines.append("")
+    formats = sorted({r["format"] for r in rows})
+    for fmt in formats:
+        means = "  ".join(
+            f"k={k}: {geomean_speedup(rows, fmt, k):.2f}x" for k in ks
+        )
+        lines.append(f"geomean per-RHS speedup [{fmt}]: {means}")
+    check_k = 8 if 8 in ks else max(ks)
+    ok = True
+    for fmt in ("sss", "csx-sym"):
+        s = geomean_speedup(rows, fmt, check_k)
+        passed = s >= TARGET_SPEEDUP
+        ok &= passed
+        lines.append(
+            f"target k={check_k} {fmt}: {s:.2f}x >= {TARGET_SPEEDUP}x "
+            f"-> {'PASS' if passed else 'FAIL'}"
+        )
+    lines.append(f"overall: {'PASS' if ok else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny matrices and k subset (CI smoke run)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--threads", type=int, default=N_THREADS)
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.threads < 1:
+        parser.error("--threads must be >= 1")
+
+    if args.smoke:
+        matrices, ks = smoke_matrices(), SMOKE_KS
+    else:
+        matrices, ks = full_matrices(), KS
+    rows = run_sweep(matrices, ks, args.repeats, args.threads)
+    text = render(rows, ks)
+    try:
+        from common import write_result
+
+        write_result("spmm_amortization", text)
+    except ImportError:
+        print(text)
+    return 0 if "FAIL" not in text else 1
+
+
+# -- pytest entry point (collected with the other wall-clock benches) --
+def test_spmm_amortization():
+    rows = run_sweep(smoke_matrices(), SMOKE_KS, repeats=3)
+    for fmt in ("sss", "csx-sym"):
+        assert geomean_speedup(rows, fmt, 8) >= TARGET_SPEEDUP
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,8 +25,14 @@ from .preproc import PreprocCost, preprocessing_cost
 from .report import render_series, render_stacked_bars, render_table
 from .traffic import (
     OverheadPoint,
+    SpmmTrafficPoint,
     average_overhead,
     reduction_overhead_sweep,
+    spmm_amortization_factor,
+    spmm_per_rhs_bytes,
+    spmm_stream_bytes,
+    spmm_traffic_sweep,
+    spmv_stream_bytes,
     ws_effective,
     ws_indexed,
     ws_naive,
@@ -51,8 +57,14 @@ __all__ = [
     "render_stacked_bars",
     "render_table",
     "OverheadPoint",
+    "SpmmTrafficPoint",
     "average_overhead",
     "reduction_overhead_sweep",
+    "spmv_stream_bytes",
+    "spmm_stream_bytes",
+    "spmm_per_rhs_bytes",
+    "spmm_amortization_factor",
+    "spmm_traffic_sweep",
     "ws_naive",
     "ws_effective",
     "ws_indexed",

@@ -29,6 +29,12 @@ __all__ = [
     "ws_indexed",
     "OverheadPoint",
     "reduction_overhead_sweep",
+    "spmv_stream_bytes",
+    "spmm_stream_bytes",
+    "spmm_per_rhs_bytes",
+    "spmm_amortization_factor",
+    "SpmmTrafficPoint",
+    "spmm_traffic_sweep",
 ]
 
 
@@ -83,6 +89,96 @@ def reduction_overhead_sweep(
                 ws = red.footprint().ws_measured_bytes
                 points.append(
                     OverheadPoint(name, method, p, ws, ws / serial)
+                )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Multi-RHS (SpM×M) traffic amortization
+# ----------------------------------------------------------------------
+# SpM×V is bandwidth-bound: a pass streams the matrix bytes S plus the
+# two vectors (8N each). A k-column SpM×M pass streams S once plus 8Nk
+# per vector block, so the per-RHS traffic drops toward the 16N floor
+# as k grows — the amortization lever the spmm kernels pull.
+
+
+def spmv_stream_bytes(size_bytes: int, n_rows: int, n_cols: int) -> float:
+    """Bytes one SpM×V pass streams: matrix + x read + y write."""
+    return float(size_bytes + 8 * n_cols + 8 * n_rows)
+
+
+def spmm_stream_bytes(
+    size_bytes: int, n_rows: int, n_cols: int, k: int
+) -> float:
+    """Bytes one k-column SpM×M pass streams: matrix once + the
+    ``(n, k)`` input/output blocks."""
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    return float(size_bytes + 8 * n_cols * k + 8 * n_rows * k)
+
+
+def spmm_per_rhs_bytes(
+    size_bytes: int, n_rows: int, n_cols: int, k: int
+) -> float:
+    """Modeled traffic per right-hand side of a k-column pass."""
+    return spmm_stream_bytes(size_bytes, n_rows, n_cols, k) / k
+
+
+def spmm_amortization_factor(
+    size_bytes: int, n_rows: int, n_cols: int, k: int
+) -> float:
+    """Traffic of ``k`` independent SpM×V passes over one k-column
+    SpM×M pass (→ ``k·S/(S+16Nk) + …``; upper-bounded by ``k``)."""
+    single = spmv_stream_bytes(size_bytes, n_rows, n_cols)
+    return k * single / spmm_stream_bytes(size_bytes, n_rows, n_cols, k)
+
+
+@dataclass(frozen=True)
+class SpmmTrafficPoint:
+    """Modeled multi-RHS traffic of one (matrix, format, k) point."""
+
+    matrix: str
+    format_name: str
+    k: int
+    spmm_bytes: float
+    per_rhs_bytes: float
+    amortization: float
+
+
+def spmm_traffic_sweep(
+    matrices: Mapping[str, COOMatrix],
+    ks: Sequence[int],
+    format_names: Sequence[str] = ("csr", "sss"),
+) -> list[SpmmTrafficPoint]:
+    """Modeled per-RHS traffic across k for the benchmark's report.
+
+    ``format_names`` ⊆ {"csr", "sss"} — the two closed-form sizes
+    (eqs. 1-2); other formats report through their ``size_bytes()``
+    directly in the benchmark.
+    """
+    from ..formats.csr import CSRMatrix
+
+    points: list[SpmmTrafficPoint] = []
+    for name, coo in matrices.items():
+        for fmt in format_names:
+            if fmt == "csr":
+                size = CSRMatrix.from_coo(coo).size_bytes()
+            elif fmt == "sss":
+                size = SSSMatrix.from_coo(coo).size_bytes()
+            else:
+                raise ValueError(f"unknown format {fmt!r} for traffic sweep")
+            for k in ks:
+                points.append(
+                    SpmmTrafficPoint(
+                        name,
+                        fmt,
+                        int(k),
+                        spmm_stream_bytes(size, coo.n_rows, coo.n_cols, k),
+                        spmm_per_rhs_bytes(size, coo.n_rows, coo.n_cols, k),
+                        spmm_amortization_factor(
+                            size, coo.n_rows, coo.n_cols, k
+                        ),
+                    )
                 )
     return points
 

@@ -21,7 +21,76 @@ VALUE_BYTES = 8
 #: Bytes per index entry (32-bit integers, as in the paper).
 INDEX_BYTES = 4
 
-__all__ = ["SparseFormat", "SymmetricFormat", "VALUE_BYTES", "INDEX_BYTES"]
+__all__ = [
+    "SparseFormat",
+    "SymmetricFormat",
+    "VALUE_BYTES",
+    "INDEX_BYTES",
+    "scatter_add_rows",
+    "RowScatter",
+]
+
+
+def scatter_add_rows(
+    y: np.ndarray, idx: np.ndarray, products: np.ndarray
+) -> None:
+    """``y[idx] += products`` with duplicate indices accumulated.
+
+    1-D operands use ``np.add.at``. For a 2-D ``(m, k)`` scatter into a
+    ``(n, k)`` target the whole update is one flattened ``np.bincount``
+    pass — ``np.ufunc.at`` is an order of magnitude slower, which would
+    erase the multi-RHS traffic amortization the spmm kernels exist for.
+    """
+    if y.ndim == 1:
+        np.add.at(y, idx, products)
+        return
+    if idx.size == 0:
+        return
+    n, k = y.shape
+    flat = (
+        idx.astype(np.int64)[:, None] * k
+        + np.arange(k, dtype=np.int64)[None, :]
+    )
+    y += np.bincount(
+        flat.ravel(), weights=products.ravel(), minlength=n * k
+    ).reshape(n, k)
+
+
+class RowScatter:
+    """Precompiled accumulating row scatter ``y[idx] += products``.
+
+    The index array is part of the matrix *structure*, so repeated
+    spmm calls scatter through the same indices every time. Building
+    the flattened 2-D bincount index costs more than the bincount
+    itself; this helper builds it once per right-hand-side count ``k``
+    and reuses it, which is where the hot formats (SSS, CSX, BCSR)
+    recover the multi-RHS amortization.
+    """
+
+    def __init__(self, idx: np.ndarray):
+        self.idx = np.asarray(idx, dtype=np.int64)
+        self._flat: dict[int, np.ndarray] = {}
+
+    def add(self, y: np.ndarray, products: np.ndarray) -> None:
+        """Accumulate ``y[idx] += products`` (1-D or ``(m, k)``)."""
+        if self.idx.size == 0:
+            return
+        if y.ndim == 1:
+            y += np.bincount(
+                self.idx, weights=products, minlength=y.shape[0]
+            )
+            return
+        n, k = y.shape
+        flat = self._flat.get(k)
+        if flat is None:
+            flat = (
+                self.idx[:, None] * k
+                + np.arange(k, dtype=np.int64)[None, :]
+            ).ravel()
+            self._flat[k] = flat
+        y += np.bincount(
+            flat, weights=products.ravel(), minlength=n * k
+        ).reshape(n, k)
 
 
 class SparseFormat(abc.ABC):
@@ -122,6 +191,48 @@ class SparseFormat(abc.ABC):
             y[:] = 0.0
         return x, y
 
+    def _check_spmm_args(
+        self, X: np.ndarray, Y: Optional[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate/allocate SpM×M operands. Returns ``(X, Y)``.
+
+        ``X`` must be a 2-D block of ``k`` right-hand sides, shape
+        ``(n_cols, k)``; ``Y`` is allocated (or zeroed) with shape
+        ``(n_rows, k)``.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.n_cols:
+            raise ValueError(
+                f"X has shape {X.shape}, expected ({self.n_cols}, k) for "
+                f"{self.format_name} matrix of shape {self.shape}"
+            )
+        k = X.shape[1]
+        if Y is None:
+            Y = np.zeros((self.n_rows, k), dtype=np.float64)
+        else:
+            if Y.shape != (self.n_rows, k):
+                raise ValueError(
+                    f"Y has shape {Y.shape}, expected ({self.n_rows}, {k})"
+                )
+            if Y.dtype != np.float64:
+                raise TypeError("Y must be float64")
+            Y[:] = 0.0
+        return X, Y
+
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS product ``Y = A @ X`` for ``X`` of shape
+        ``(n_cols, k)``.
+
+        The base implementation loops over columns; every concrete
+        format overrides it with a kernel that traverses the matrix
+        structure once for all ``k`` columns (the traffic-amortization
+        lever: matrix bytes are streamed once instead of ``k`` times).
+        """
+        X, Y = self._check_spmm_args(X, Y)
+        for j in range(X.shape[1]):
+            Y[:, j] = self.spmv(np.ascontiguousarray(X[:, j]))
+        return Y
+
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense ndarray (testing / small matrices only)."""
         return self.to_coo().to_dense()
@@ -173,3 +284,24 @@ class SymmetricFormat(SparseFormat):
         Both arrays have length ``n_rows`` and are accumulated into, not
         overwritten (callers zero them).
         """
+
+    def spmm_partition(
+        self,
+        X: np.ndarray,
+        Y_direct: np.ndarray,
+        Y_local: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> None:
+        """Multi-RHS partition kernel: :meth:`spmv_partition` semantics
+        with ``(n, k)`` operands, all ``k`` columns per structure
+        traversal.
+
+        The base implementation loops :meth:`spmv_partition` over
+        column views; SSS / CSX-Sym / CSB-Sym override it with
+        single-traversal kernels.
+        """
+        for j in range(X.shape[1]):
+            self.spmv_partition(
+                X[:, j], Y_direct[:, j], Y_local[:, j], row_start, row_end
+            )

@@ -17,7 +17,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from .base import INDEX_BYTES, VALUE_BYTES, SparseFormat
+from .base import INDEX_BYTES, VALUE_BYTES, RowScatter, SparseFormat
 from .coo import COOMatrix
 
 __all__ = ["BCSRMatrix", "bcsr_fill_ratio", "autotune_block_shape"]
@@ -89,6 +89,7 @@ class BCSRMatrix(SparseFormat):
         # Padded x/y workspaces for ragged edges.
         self._pad_cols = n_bcols * c
         self._pad_rows = n_brows * r
+        self._spmm_scatter = None  # lazy RowScatter over block rows
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +143,35 @@ class BCSRMatrix(SparseFormat):
         )
         y += y_pad[: self.n_rows]
         return y
+
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS product: each block's dense ``r×c`` tile multiplies
+        a ``(c, k)`` slice of ``X`` in one einsum — block values stream
+        once for all ``k`` columns."""
+        X, Y = self._check_spmm_args(X, Y)
+        r, c = self.block_shape
+        if self.n_blocks == 0:
+            return Y
+        k = X.shape[1]
+        X_pad = X
+        if self._pad_cols != self.n_cols:
+            X_pad = np.zeros((self._pad_cols, k), dtype=np.float64)
+            X_pad[: self.n_cols] = X
+        xs = X_pad[
+            self.bcol.astype(np.int64)[:, None] * c
+            + np.arange(c, dtype=np.int64)[None, :]
+        ]  # (nb, c, k)
+        contrib = np.einsum("brc,bck->brk", self.values, xs)  # (nb, r, k)
+        if self._spmm_scatter is None:
+            rows_flat = (
+                self.brow.astype(np.int64)[:, None] * r
+                + np.arange(r, dtype=np.int64)[None, :]
+            ).ravel()
+            self._spmm_scatter = RowScatter(rows_flat)
+        Y_pad = np.zeros((self._pad_rows, k), dtype=np.float64)
+        self._spmm_scatter.add(Y_pad, contrib.reshape(-1, k))
+        Y += Y_pad[: self.n_rows]
+        return Y
 
     def to_coo(self) -> COOMatrix:
         """Expand back to COO, dropping the fill-in zeros."""

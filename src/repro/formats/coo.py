@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from .base import INDEX_BYTES, VALUE_BYTES, SparseFormat
+from .base import INDEX_BYTES, VALUE_BYTES, RowScatter, SparseFormat
 
 __all__ = ["COOMatrix"]
 
@@ -75,6 +75,7 @@ class COOMatrix(SparseFormat):
         self.rows = rows
         self.cols = cols
         self.vals = vals
+        self._spmm_scatter: Optional[RowScatter] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -117,6 +118,14 @@ class COOMatrix(SparseFormat):
         x, y = self._check_spmv_args(x, y)
         np.add.at(y, self.rows, self.vals * x[self.cols])
         return y
+
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS product: one scatter pass for all ``k`` columns."""
+        X, Y = self._check_spmm_args(X, Y)
+        if self._spmm_scatter is None:
+            self._spmm_scatter = RowScatter(self.rows)
+        self._spmm_scatter.add(Y, self.vals[:, None] * X[self.cols])
+        return Y
 
     def to_coo(self) -> "COOMatrix":
         return self

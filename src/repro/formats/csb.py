@@ -22,7 +22,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .base import INDEX_BYTES, VALUE_BYTES, SparseFormat, SymmetricFormat
+from .base import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    SparseFormat,
+    SymmetricFormat,
+    scatter_add_rows,
+)
 from .coo import COOMatrix
 
 __all__ = ["CSBMatrix", "CSBSymMatrix", "default_beta"]
@@ -33,6 +39,14 @@ MAX_BETA = 1 << 16
 _ELEM_BYTES = VALUE_BYTES + 4
 #: Per-block index overhead: block row, block col, offset.
 _BLOCK_BYTES = 3 * INDEX_BYTES
+
+
+def _gather_products(vals: np.ndarray, x_gathered: np.ndarray) -> np.ndarray:
+    """Per-element products for 1-D (``(m,)``) or multi-RHS 2-D
+    (``(m, k)``) gathered operands."""
+    if x_gathered.ndim == 2:
+        return vals[:, None] * x_gathered
+    return vals * x_gathered
 
 
 def default_beta(n: int) -> int:
@@ -139,6 +153,18 @@ class CSBMatrix(SparseFormat):
             )[: self.n_rows - r0]
         return y
 
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS product: one pass over the block list for all
+        ``k`` columns."""
+        X, Y = self._check_spmm_args(X, Y)
+        b = self.beta
+        for blk in self.blocks:
+            r0 = blk.brow * b
+            c0 = blk.bcol * b
+            products = blk.vals[:, None] * X[c0 + blk.lcols.astype(np.int64)]
+            scatter_add_rows(Y, r0 + blk.lrows.astype(np.int64), products)
+        return Y
+
     def to_coo(self) -> COOMatrix:
         if not self.blocks:
             return COOMatrix.empty(self.shape)
@@ -207,7 +233,11 @@ class CSBSymMatrix(SymmetricFormat):
         y_transposed: np.ndarray,
     ) -> None:
         """Accumulate one block's direct rows into ``y_direct`` and its
-        transposed writes into ``y_transposed`` (may alias)."""
+        transposed writes into ``y_transposed`` (may alias).
+
+        Operands may be 1-D vectors or 2-D ``(n, k)`` multi-RHS blocks;
+        either way the block is traversed once.
+        """
         b = self.beta
         r0 = blk.brow * b
         c0 = blk.bcol * b
@@ -215,24 +245,36 @@ class CSBSymMatrix(SymmetricFormat):
         lc = blk.lcols.astype(np.int64)
         if blk.brow == blk.bcol:
             # Diagonal block: symmetric expansion, diagonal counted once.
-            products = blk.vals * x[c0 + lc]
-            np.add.at(y_direct, r0 + lr, products)
+            products = _gather_products(blk.vals, x[c0 + lc])
+            scatter_add_rows(y_direct, r0 + lr, products)
             off = lr != lc
             if np.any(off):
-                np.add.at(
+                scatter_add_rows(
                     y_transposed,
                     c0 + lc[off],
-                    blk.vals[off] * x[r0 + lr[off]],
+                    _gather_products(blk.vals[off], x[r0 + lr[off]]),
                 )
         else:
-            np.add.at(y_direct, r0 + lr, blk.vals * x[c0 + lc])
-            np.add.at(y_transposed, c0 + lc, blk.vals * x[r0 + lr])
+            scatter_add_rows(
+                y_direct, r0 + lr, _gather_products(blk.vals, x[c0 + lc])
+            )
+            scatter_add_rows(
+                y_transposed, c0 + lc, _gather_products(blk.vals, x[r0 + lr])
+            )
 
     def spmv(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
         x, y = self._check_spmv_args(x, y)
         for blk in self.blocks:
             self._block_contribution(blk, x, y, y)
         return y
+
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS symmetric product: each lower-triangle block is
+        visited once for all ``k`` columns."""
+        X, Y = self._check_spmm_args(X, Y)
+        for blk in self.blocks:
+            self._block_contribution(blk, X, Y, Y)
+        return Y
 
     def spmv_partition(
         self,
@@ -247,6 +289,23 @@ class CSBSymMatrix(SymmetricFormat):
         ``y_local`` regardless of distance (the generic local-vectors
         contract); :meth:`spmv_partition_csb` exposes [27]'s
         near/atomic split with its statistics."""
+        self._partition_accumulate(x, y_direct, y_local, row_start, row_end)
+
+    def spmm_partition(
+        self,
+        X: np.ndarray,
+        Y_direct: np.ndarray,
+        Y_local: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> None:
+        """Multi-RHS partition kernel (same block traversal, ``(n, k)``
+        operands)."""
+        self._partition_accumulate(X, Y_direct, Y_local, row_start, row_end)
+
+    def _partition_accumulate(
+        self, x, y_direct, y_local, row_start: int, row_end: int
+    ) -> None:
         if row_start % self.beta and row_start != self.n_rows:
             raise ValueError(
                 f"partition boundary {row_start} not aligned to beta="

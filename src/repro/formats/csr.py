@@ -29,19 +29,25 @@ def csr_row_segment_sums(
     ``products[rowptr[r]-rowptr[row_start] : rowptr[r+1]-rowptr[row_start]]``
     holds the per-element products of row ``r``. Empty rows yield 0.
 
+    ``products`` may also be 2-D, shape ``(nnz_local, k)`` — one column
+    per right-hand side — in which case the result is ``(n_local, k)``
+    (the SpM×M case: the prefix sum runs along axis 0 for all columns
+    in one pass).
+
     Implemented as a prefix-sum difference: exact for any mix of empty
     and non-empty rows (``np.add.reduceat`` mishandles empty segments
     and out-of-range offsets).
     """
     n_local = row_end - row_start
+    tail = products.shape[1:]
     if n_local <= 0:
-        return np.zeros(0, dtype=np.float64)
-    if products.size == 0:
-        return np.zeros(n_local, dtype=np.float64)
+        return np.zeros((0,) + tail, dtype=np.float64)
+    if products.shape[0] == 0:
+        return np.zeros((n_local,) + tail, dtype=np.float64)
     base = rowptr[row_start]
-    prefix = np.empty(products.size + 1, dtype=np.float64)
+    prefix = np.empty((products.shape[0] + 1,) + tail, dtype=np.float64)
     prefix[0] = 0.0
-    np.cumsum(products, out=prefix[1:])
+    np.cumsum(products, axis=0, out=prefix[1:])
     lo = rowptr[row_start:row_end] - base
     hi = rowptr[row_start + 1 : row_end + 1] - base
     return prefix[hi] - prefix[lo]
@@ -137,6 +143,25 @@ class CSRMatrix(SparseFormat):
         lo, hi = self.rowptr[row_start], self.rowptr[row_end]
         products = self.values[lo:hi] * x[self.colind[lo:hi]]
         y[row_start:row_end] = csr_row_segment_sums(
+            products, self.rowptr, row_start, row_end
+        )
+
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS product: one traversal of (rowptr, colind, values)
+        computes all ``k`` columns — matrix traffic is paid once."""
+        X, Y = self._check_spmm_args(X, Y)
+        products = self.values[:, None] * X[self.colind]
+        Y[:] = csr_row_segment_sums(products, self.rowptr, 0, self.n_rows)
+        return Y
+
+    def spmm_rows(
+        self, X: np.ndarray, Y: np.ndarray, row_start: int, row_end: int
+    ) -> None:
+        """Multi-RHS partition kernel (``(n, k)`` analogue of
+        :meth:`spmv_rows`)."""
+        lo, hi = self.rowptr[row_start], self.rowptr[row_end]
+        products = self.values[lo:hi, None] * X[self.colind[lo:hi]]
+        Y[row_start:row_end] = csr_row_segment_sums(
             products, self.rowptr, row_start, row_end
         )
 

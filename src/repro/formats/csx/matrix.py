@@ -169,6 +169,14 @@ class CSXMatrix(SparseFormat):
             p.plan.execute(x, y)
         return y
 
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS product through the compiled plans: each ctl-derived
+        kernel is traversed once for all ``k`` columns."""
+        X, Y = self._check_spmm_args(X, Y)
+        for p in self.partitions:
+            p.plan.execute(X, Y)
+        return Y
+
     def spmv_partition_only(
         self, x: np.ndarray, y: np.ndarray, part_index: int
     ) -> None:
@@ -177,6 +185,12 @@ class CSXMatrix(SparseFormat):
         For unsymmetric CSX partitions write disjoint row ranges, so
         threads need no reduction."""
         self.partitions[part_index].plan.execute(x, y)
+
+    def spmm_partition_only(
+        self, X: np.ndarray, Y: np.ndarray, part_index: int
+    ) -> None:
+        """Multi-RHS analogue of :meth:`spmv_partition_only`."""
+        self.partitions[part_index].plan.execute(X, Y)
 
     def to_coo(self) -> COOMatrix:
         rows_list = []

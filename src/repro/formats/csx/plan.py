@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..base import RowScatter
 from .substructures import PatternKey, PatternType, Unit, unit_coordinates
 
 __all__ = ["CompiledKernel", "ExecutionPlan", "compile_plan"]
@@ -61,13 +62,39 @@ class ExecutionPlan:
     def __init__(self, n_rows: int, kernels: Sequence[CompiledKernel]):
         self.n_rows = n_rows
         self.kernels = list(kernels)
+        # Lazy per-kernel scatter compilations for the multi-RHS path:
+        # kernel index -> RowScatter, and (kernel index, boundary) ->
+        # (local positions, local scatter, direct positions, direct
+        # scatter) for the transposed local/direct split.
+        self._row_scatters: dict[int, RowScatter] = {}
+        self._tsplit_cache: dict[tuple[int, int], tuple] = {}
 
     @property
     def n_elements(self) -> int:
         return sum(k.n_elements for k in self.kernels)
 
     def execute(self, x: np.ndarray, y: np.ndarray) -> None:
-        """Accumulate ``A_plan @ x`` into ``y`` (not cleared here)."""
+        """Accumulate ``A_plan @ x`` into ``y`` (not cleared here).
+
+        ``x`` may be a vector ``(n,)`` or a multi-RHS block ``(n, k)``
+        (with matching ``y``); either way each compiled kernel's index
+        and value arrays are traversed exactly once.
+        """
+        if x.ndim == 2:
+            n_rhs = x.shape[1]
+            for i, k in enumerate(self.kernels):
+                products = k.values[..., None] * x[k.cols2d]
+                sc = self._row_scatters.get(i)
+                if sc is None:
+                    idx = (
+                        k.rows2d[:, 0] if k.row_uniform else k.rows2d.ravel()
+                    )
+                    sc = self._row_scatters[i] = RowScatter(idx)
+                if k.row_uniform:
+                    sc.add(y, products.sum(axis=1))
+                else:
+                    sc.add(y, products.reshape(-1, n_rhs))
+            return
         for k in self.kernels:
             products = k.values * x[k.cols2d]
             if k.row_uniform:
@@ -95,8 +122,36 @@ class ExecutionPlan:
 
         This is the upper-triangle half of the symmetric kernel
         (Alg. 3 line 8) with the local/direct split of Section III-B.
+
+        Accepts a vector ``(n,)`` or a multi-RHS block ``(n, k)``.
         """
         n = self.n_rows
+        if x.ndim == 2:
+            n_rhs = x.shape[1]
+            for i, k in enumerate(self.kernels):
+                products = (k.values[..., None] * x[k.rows2d]).reshape(
+                    -1, n_rhs
+                )
+                cache = self._tsplit_cache.get((i, boundary))
+                if cache is None:
+                    cols = k.cols2d.ravel()
+                    local_pos = np.flatnonzero(cols < boundary)
+                    direct_pos = np.flatnonzero(cols >= boundary)
+                    cache = (
+                        local_pos,
+                        RowScatter(cols[local_pos]),
+                        direct_pos,
+                        RowScatter(cols[direct_pos]),
+                    )
+                    self._tsplit_cache[(i, boundary)] = cache
+                local_pos, local_sc, direct_pos, direct_sc = cache
+                if local_pos.size == 0:
+                    direct_sc.add(y_direct, products)
+                    continue
+                local_sc.add(y_local, products[local_pos])
+                if direct_pos.size:
+                    direct_sc.add(y_direct, products[direct_pos])
+            return
         for k in self.kernels:
             products = (k.values * x[k.rows2d]).ravel()
             cols = k.cols2d.ravel()

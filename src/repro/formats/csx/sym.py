@@ -212,6 +212,17 @@ class CSXSymMatrix(SymmetricFormat):
             p.plan.execute_transposed_split(x, y, dummy_local, boundary=0)
         return y
 
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS symmetric product through the compiled plans (one
+        traversal of each kernel for all ``k`` columns)."""
+        X, Y = self._check_spmm_args(X, Y)
+        Y += self.dvalues[:, None] * X
+        dummy_local = np.zeros((0, X.shape[1]), dtype=np.float64)
+        for p in self.partitions:
+            p.plan.execute(X, Y)
+            p.plan.execute_transposed_split(X, Y, dummy_local, boundary=0)
+        return Y
+
     def spmv_partition(
         self,
         x: np.ndarray,
@@ -235,6 +246,29 @@ class CSXSymMatrix(SymmetricFormat):
         y_direct[sl] += self.dvalues[sl] * x[sl]
         p.plan.execute(x, y_direct)
         p.plan.execute_transposed_split(x, y_direct, y_local, row_start)
+
+    def spmm_partition(
+        self,
+        X: np.ndarray,
+        Y_direct: np.ndarray,
+        Y_local: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> None:
+        """Multi-RHS partition kernel: the same compiled plan executed
+        once with ``(n, k)`` operands."""
+        try:
+            i = self._part_index[(row_start, row_end)]
+        except KeyError:
+            raise ValueError(
+                f"({row_start}, {row_end}) is not a preprocessed partition; "
+                f"available: {self._partition_bounds}"
+            ) from None
+        p = self.partitions[i]
+        sl = slice(row_start, row_end)
+        Y_direct[sl] += self.dvalues[sl, None] * X[sl]
+        p.plan.execute(X, Y_direct)
+        p.plan.execute_transposed_split(X, Y_direct, Y_local, row_start)
 
     def to_coo(self) -> COOMatrix:
         rows_list, cols_list, vals_list = [], [], []

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from .base import INDEX_BYTES, VALUE_BYTES, SymmetricFormat
+from .base import INDEX_BYTES, VALUE_BYTES, RowScatter, SymmetricFormat
 from .coo import COOMatrix
 from .csr import csr_row_segment_sums
 
@@ -72,6 +72,9 @@ class SSSMatrix(SymmetricFormat):
         )
         if colind.size and np.any(colind >= self._rows):
             raise ValueError("SSS off-diagonal entries must be strictly lower")
+        # Lazy spmm scatter compilations (whole matrix / per partition).
+        self._spmm_scatter: Optional[RowScatter] = None
+        self._spmm_part_cache: dict[tuple[int, int], tuple] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -127,6 +130,63 @@ class SSSMatrix(SymmetricFormat):
             # Transposed (upper-triangle) contributions: y[c] += a_rc * x[r].
             np.add.at(y, self.colind, self.values * x[self._rows])
         return y
+
+    def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        """Multi-RHS symmetric product: one pass over the stored lower
+        triangle serves all ``k`` columns (direct and transposed halves
+        alike), so the ``6(NNZ+N)`` matrix bytes are streamed once."""
+        X, Y = self._check_spmm_args(X, Y)
+        Y[:] = self.dvalues[:, None] * X
+        if self.values.size:
+            products = self.values[:, None] * X[self.colind]
+            Y += csr_row_segment_sums(products, self.rowptr, 0, self.n_rows)
+            if self._spmm_scatter is None:
+                self._spmm_scatter = RowScatter(self.colind)
+            self._spmm_scatter.add(
+                Y, self.values[:, None] * X[self._rows]
+            )
+        return Y
+
+    def spmm_partition(
+        self,
+        X: np.ndarray,
+        Y_direct: np.ndarray,
+        Y_local: np.ndarray,
+        row_start: int,
+        row_end: int,
+    ) -> None:
+        """Multi-RHS partition kernel: :meth:`spmv_partition` with
+        ``(n, k)`` operands, one structure traversal for all columns."""
+        lo, hi = self.rowptr[row_start], self.rowptr[row_end]
+        sl = slice(row_start, row_end)
+        Y_direct[sl] += self.dvalues[sl, None] * X[sl]
+        if hi == lo:
+            return
+        cols = self.colind[lo:hi]
+        vals = self.values[lo:hi]
+        products = vals[:, None] * X[cols]
+        Y_direct[sl] += csr_row_segment_sums(
+            products, self.rowptr, row_start, row_end
+        )
+        transposed = vals[:, None] * X[self._rows[lo:hi]]
+        cache = self._spmm_part_cache.get((row_start, row_end))
+        if cache is None:
+            local_pos = np.flatnonzero(cols < row_start)
+            direct_pos = np.flatnonzero(cols >= row_start)
+            cache = (
+                local_pos,
+                RowScatter(cols[local_pos]),
+                direct_pos,
+                RowScatter(cols[direct_pos]),
+            )
+            self._spmm_part_cache[(row_start, row_end)] = cache
+        local_pos, local_sc, direct_pos, direct_sc = cache
+        if local_pos.size == 0:
+            direct_sc.add(Y_direct, transposed)
+            return
+        local_sc.add(Y_local, transposed[local_pos])
+        if direct_pos.size:
+            direct_sc.add(Y_direct, transposed[direct_pos])
 
     def spmv_partition(
         self,

@@ -66,6 +66,10 @@ class ReductionFootprint:
     reduction_writes: int
     index_pairs: int = 0
     effective_density: float = float("nan")
+    #: Right-hand sides per matrix pass (k of the SpM×M generalization:
+    #: local buffers become (p, N, k); the float terms of eqs. 3-6 scale
+    #: by k while the (vid, idx) index is shared by all k columns).
+    n_rhs: int = 1
 
 
 class ReductionMethod(abc.ABC):
@@ -87,11 +91,27 @@ class ReductionMethod(abc.ABC):
     def _prepare(self) -> None:
         """Hook for per-method preprocessing (index construction)."""
 
+    def _local_shape(self, k: Optional[int]) -> tuple[int, ...]:
+        """Local-buffer shape: ``(N,)`` for the 1-D SpM×V case
+        (``k is None``), or ``(N, k)`` for a k-column SpM×M pass —
+        including ``k = 1``, so a 2-D pass always sees 2-D buffers. The
+        ``(vid, idx)`` structure is unchanged — indices select rows of
+        the buffer."""
+        if k is None:
+            return (self.n_rows,)
+        if k < 1:
+            raise ValueError(f"need at least one right-hand side, got k={k}")
+        return (self.n_rows, k)
+
     # -- multiplication-phase wiring -----------------------------------
     @abc.abstractmethod
-    def allocate_locals(self) -> list[Optional[np.ndarray]]:
-        """One local vector per thread (``None`` where a thread writes
-        directly and needs no local vector)."""
+    def allocate_locals(
+        self, k: Optional[int] = None
+    ) -> list[Optional[np.ndarray]]:
+        """One local buffer per thread (``None`` where a thread writes
+        directly and needs no local vector). ``k = None`` allocates the
+        1-D SpM×V vectors; an integer ``k`` allocates ``(N, k)``
+        buffers for a multi-RHS pass."""
 
     @abc.abstractmethod
     def thread_targets(
@@ -105,11 +125,13 @@ class ReductionMethod(abc.ABC):
     def reduce(
         self, y: np.ndarray, locals_: list[Optional[np.ndarray]]
     ) -> None:
-        """Fold the local vectors into ``y``."""
+        """Fold the local buffers into ``y``. Works identically for 1-D
+        vectors and ``(N, k)`` blocks: every operation indexes axis 0."""
 
     @abc.abstractmethod
-    def footprint(self) -> ReductionFootprint:
-        """Working-set accounting for this configuration."""
+    def footprint(self, k: int = 1) -> ReductionFootprint:
+        """Working-set accounting for this configuration with ``k``
+        right-hand sides per pass (``k = 1`` is the paper's case)."""
 
     # -- parallel reduction structure ------------------------------------
     def reduction_splits(self, n_chunks: int) -> list[tuple[int, int]]:
@@ -128,9 +150,11 @@ class NaiveReduction(ReductionMethod):
 
     name = "naive"
 
-    def allocate_locals(self) -> list[Optional[np.ndarray]]:
+    def allocate_locals(
+        self, k: Optional[int] = None
+    ) -> list[Optional[np.ndarray]]:
         return [
-            np.zeros(self.n_rows, dtype=np.float64)
+            np.zeros(self._local_shape(k), dtype=np.float64)
             for _ in range(self.n_threads)
         ]
 
@@ -143,17 +167,18 @@ class NaiveReduction(ReductionMethod):
         for buf in locals_:
             y += buf
 
-    def footprint(self) -> ReductionFootprint:
+    def footprint(self, k: int = 1) -> ReductionFootprint:
         p, n = self.n_threads, self.n_rows
-        ws = float(_F8 * p * n)  # eq. (3)
+        ws = float(_F8 * p * n * k)  # eq. (3), ×k columns
         return ReductionFootprint(
             method=self.name,
             n_threads=p,
             n_rows=n,
             ws_model_bytes=ws,
             ws_measured_bytes=ws,
-            reduction_reads=p * n,
-            reduction_writes=n,
+            reduction_reads=p * n * k,
+            reduction_writes=n * k,
+            n_rhs=k,
         )
 
 
@@ -162,14 +187,17 @@ class EffectiveRangesReduction(ReductionMethod):
 
     name = "effective"
 
-    def allocate_locals(self) -> list[Optional[np.ndarray]]:
+    def allocate_locals(
+        self, k: Optional[int] = None
+    ) -> list[Optional[np.ndarray]]:
         # Thread 0 has an empty effective region: no local vector.
         # Buffers are full-length for indexing simplicity; only
         # [0, start_i) is ever touched, and only that range is counted.
         out: list[Optional[np.ndarray]] = []
+        shape = self._local_shape(k)
         for start, _ in self.partitions:
             out.append(
-                np.zeros(self.n_rows, dtype=np.float64) if start > 0 else None
+                np.zeros(shape, dtype=np.float64) if start > 0 else None
             )
         return out
 
@@ -182,19 +210,20 @@ class EffectiveRangesReduction(ReductionMethod):
             if buf is not None and start > 0:
                 y[:start] += buf[:start]
 
-    def footprint(self) -> ReductionFootprint:
+    def footprint(self, k: int = 1) -> ReductionFootprint:
         p, n = self.n_threads, self.n_rows
         sum_starts = sum(start for start, _ in self.partitions)
-        ws_measured = float(_F8 * sum_starts)
-        ws_model = 4.0 * (p - 1) * n  # eq. (4)
+        ws_measured = float(_F8 * sum_starts * k)
+        ws_model = 4.0 * (p - 1) * n * k  # eq. (4), ×k columns
         return ReductionFootprint(
             method=self.name,
             n_threads=p,
             n_rows=n,
             ws_model_bytes=ws_model,
             ws_measured_bytes=ws_measured,
-            reduction_reads=sum_starts,
-            reduction_writes=n,
+            reduction_reads=sum_starts * k,
+            reduction_writes=n * k,
+            n_rhs=k,
         )
 
 
@@ -233,11 +262,14 @@ class IndexedReduction(ReductionMethod):
     def n_pairs(self) -> int:
         return int(self.index_idx.size)
 
-    def allocate_locals(self) -> list[Optional[np.ndarray]]:
+    def allocate_locals(
+        self, k: Optional[int] = None
+    ) -> list[Optional[np.ndarray]]:
         out: list[Optional[np.ndarray]] = []
+        shape = self._local_shape(k)
         for start, _ in self.partitions:
             out.append(
-                np.zeros(self.n_rows, dtype=np.float64) if start > 0 else None
+                np.zeros(shape, dtype=np.float64) if start > 0 else None
             )
         return out
 
@@ -280,13 +312,17 @@ class IndexedReduction(ReductionMethod):
             return 0.0
         return self.n_pairs / sum_starts
 
-    def footprint(self) -> ReductionFootprint:
+    def footprint(self, k: int = 1) -> ReductionFootprint:
         p, n = self.n_threads, self.n_rows
         d = self.effective_density()
-        # eq. (5): touched local elements + the index itself.
-        ws_model = 4.0 * (p - 1) * n * d + INDEX_PAIR_BYTES * (p - 1) * n * d / 2
+        # eq. (5): touched local elements (×k columns) + the index
+        # itself — the (vid, idx) pairs are shared by all k columns.
+        ws_model = (
+            4.0 * (p - 1) * n * d * k
+            + INDEX_PAIR_BYTES * (p - 1) * n * d / 2
+        )
         ws_measured = float(
-            _F8 * self.n_pairs + INDEX_PAIR_BYTES * self.n_pairs
+            _F8 * self.n_pairs * k + INDEX_PAIR_BYTES * self.n_pairs
         )
         return ReductionFootprint(
             method=self.name,
@@ -294,10 +330,11 @@ class IndexedReduction(ReductionMethod):
             n_rows=n,
             ws_model_bytes=ws_model,
             ws_measured_bytes=ws_measured,
-            reduction_reads=2 * self.n_pairs,  # pair + local element
-            reduction_writes=self.n_pairs,
+            reduction_reads=(1 + k) * self.n_pairs,  # pair + k elements
+            reduction_writes=self.n_pairs * k,
             index_pairs=self.n_pairs,
             effective_density=d,
+            n_rhs=k,
         )
 
 

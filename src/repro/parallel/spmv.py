@@ -25,6 +25,33 @@ from .reduction import ReductionFootprint, ReductionMethod, make_reduction
 __all__ = ["ParallelSymmetricSpMV", "ParallelSpMV"]
 
 
+def _check_driver_x(x: np.ndarray, n_cols: int) -> np.ndarray:
+    """Validate a driver input: a vector ``(n_cols,)`` or a multi-RHS
+    block ``(n_cols, k)``."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 1 and x.shape == (n_cols,):
+        return x
+    if x.ndim == 2 and x.shape[0] == n_cols and x.shape[1] >= 1:
+        return x
+    raise ValueError(
+        f"x has shape {x.shape}, expected ({n_cols},) or ({n_cols}, k)"
+    )
+
+
+def _prepare_driver_y(
+    y: Optional[np.ndarray], n_rows: int, x: np.ndarray
+) -> np.ndarray:
+    """Allocate (or validate and zero) the output matching ``x``'s
+    1-D/2-D layout."""
+    shape = (n_rows,) if x.ndim == 1 else (n_rows, x.shape[1])
+    if y is None:
+        return np.zeros(shape, dtype=np.float64)
+    if y.shape != shape:
+        raise ValueError(f"y has shape {y.shape}, expected {shape}")
+    y[:] = 0.0
+    return y
+
+
 class ParallelSymmetricSpMV:
     """Two-phase multithreaded symmetric SpM×V.
 
@@ -62,18 +89,18 @@ class ParallelSymmetricSpMV:
     def __call__(
         self, x: np.ndarray, y: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        """Compute ``y = A @ x`` with the configured thread layout."""
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.matrix.n_cols,):
-            raise ValueError(
-                f"x has shape {x.shape}, expected ({self.matrix.n_cols},)"
-            )
-        if y is None:
-            y = np.zeros(self.matrix.n_rows, dtype=np.float64)
-        else:
-            y[:] = 0.0
+        """Compute ``y = A @ x`` with the configured thread layout.
 
-        locals_ = self.reduction.allocate_locals()
+        ``x`` may be a vector ``(n,)`` or a block of ``k`` right-hand
+        sides ``(n, k)``; the 2-D case runs the multi-RHS kernels (one
+        matrix traversal for all columns) with ``(N, k)`` local buffers
+        and the same reduction indexing.
+        """
+        x = _check_driver_x(x, self.matrix.n_cols)
+        y = _prepare_driver_y(y, self.matrix.n_rows, x)
+        multi = x.ndim == 2
+
+        locals_ = self.reduction.allocate_locals(x.shape[1] if multi else None)
 
         # Phase 1 — multiplication (Alg. 3 lines 2-11), one task/thread.
         def make_mult_task(tid: int):
@@ -81,7 +108,14 @@ class ParallelSymmetricSpMV:
             y_direct, y_local = self.reduction.thread_targets(tid, y, locals_)
 
             def task() -> None:
-                self.matrix.spmv_partition(x, y_direct, y_local, start, end)
+                if multi:
+                    self.matrix.spmm_partition(
+                        x, y_direct, y_local, start, end
+                    )
+                else:
+                    self.matrix.spmv_partition(
+                        x, y_direct, y_local, start, end
+                    )
 
             return task
 
@@ -93,9 +127,10 @@ class ParallelSymmetricSpMV:
         self.reduction.reduce(y, locals_)
         return y
 
-    def footprint(self) -> ReductionFootprint:
-        """Working-set accounting of the configured reduction."""
-        return self.reduction.footprint()
+    def footprint(self, k: int = 1) -> ReductionFootprint:
+        """Working-set accounting of the configured reduction (``k``
+        right-hand sides per pass)."""
+        return self.reduction.footprint(k)
 
 
 class ParallelSpMV:
@@ -129,17 +164,20 @@ class ParallelSpMV:
     def __call__(
         self, x: np.ndarray, y: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        if y is None:
-            y = np.zeros(self.matrix.n_rows, dtype=np.float64)
-        else:
-            y[:] = 0.0
+        """Compute ``y = A @ x``; ``x`` may be ``(n,)`` or ``(n, k)``
+        (multi-RHS fast path, one matrix traversal per partition)."""
+        x = _check_driver_x(x, self.matrix.n_cols)
+        y = _prepare_driver_y(y, self.matrix.n_rows, x)
+        multi = x.ndim == 2
 
         if isinstance(self.matrix, CSXMatrix):
 
             def make_task(tid: int):
                 def task() -> None:
-                    self.matrix.spmv_partition_only(x, y, tid)
+                    if multi:
+                        self.matrix.spmm_partition_only(x, y, tid)
+                    else:
+                        self.matrix.spmv_partition_only(x, y, tid)
 
                 return task
 
@@ -149,7 +187,10 @@ class ParallelSpMV:
                 start, end = self.partitions[tid]
 
                 def task() -> None:
-                    self.matrix.spmv_rows(x, y, start, end)
+                    if multi:
+                        self.matrix.spmm_rows(x, y, start, end)
+                    else:
+                        self.matrix.spmv_rows(x, y, start, end)
 
                 return task
 

@@ -1,5 +1,7 @@
-"""Iterative solvers: instrumented non-preconditioned CG (Alg. 1)."""
+"""Iterative solvers: instrumented non-preconditioned CG (Alg. 1) and
+the multi-RHS block CG riding the SpM×M fast path."""
 
+from .block_cg import BlockCGResult, block_conjugate_gradient
 from .cg import CGResult, conjugate_gradient
 from .pcg import jacobi_preconditioner, preconditioned_conjugate_gradient
 from .vecops import OpCounter, VectorOps
@@ -7,6 +9,8 @@ from .vecops import OpCounter, VectorOps
 __all__ = [
     "CGResult",
     "conjugate_gradient",
+    "BlockCGResult",
+    "block_conjugate_gradient",
     "jacobi_preconditioner",
     "preconditioned_conjugate_gradient",
     "OpCounter",

@@ -1,0 +1,110 @@
+"""Tests for the multi-RHS (block) CG driver on the SpM×M fast path."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, SSSMatrix
+from repro.parallel import ParallelSymmetricSpMV, partition_rows_equal
+from repro.solvers import block_conjugate_gradient, conjugate_gradient
+from repro.solvers.vecops import OpCounter
+
+from tests.conftest import random_symmetric_dense
+
+
+@pytest.fixture(scope="module")
+def spd_setup():
+    dense = random_symmetric_dense(80, density=0.06, seed=7, with_runs=True)
+    sss = SSSMatrix.from_coo(COOMatrix.from_dense(dense))
+    rng = np.random.default_rng(21)
+    B = rng.standard_normal((80, 4))
+    return dense, sss, B
+
+
+def test_solves_multiple_rhs(spd_setup):
+    dense, sss, B = spd_setup
+    res = block_conjugate_gradient(sss.spmm, B, tol=1e-10)
+    assert res.all_converged
+    assert np.allclose(res.X, np.linalg.solve(dense, B), atol=1e-6)
+    assert res.residual_norms.shape == (4,)
+    assert np.all(res.residual_norms <= 1e-10 * np.linalg.norm(B, axis=0))
+
+
+def test_matches_single_rhs_cg_columnwise(spd_setup):
+    """Each column's iterate is the classic CG iterate: with a shared
+    iteration budget the block solve reproduces k independent solves."""
+    dense, sss, B = spd_setup
+    block = block_conjugate_gradient(sss.spmm, B, tol=1e-12)
+    for j in range(B.shape[1]):
+        single = conjugate_gradient(sss.spmv, B[:, j], tol=1e-12)
+        assert single.converged
+        assert np.allclose(block.X[:, j], single.x, atol=1e-8)
+
+
+def test_one_spmm_per_iteration(spd_setup):
+    _, sss, B = spd_setup
+    res = block_conjugate_gradient(sss.spmm, B, tol=1e-10)
+    # Zero initial guess: no residual-seeding pass, then one per iter.
+    assert res.n_spmm == res.iterations
+
+
+def test_parallel_driver_as_operator(spd_setup):
+    dense, sss, B = spd_setup
+    parts = partition_rows_equal(sss.n_rows, 4)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    res = block_conjugate_gradient(kernel, B, tol=1e-10)
+    assert res.all_converged
+    assert np.allclose(res.X, np.linalg.solve(dense, B), atol=1e-6)
+
+
+def test_nonzero_initial_guess(spd_setup):
+    dense, sss, B = spd_setup
+    X_exact = np.linalg.solve(dense, B)
+    X0 = X_exact + 1e-3
+    res = block_conjugate_gradient(sss.spmm, B, X0=X0, tol=1e-10)
+    assert res.all_converged
+    assert np.allclose(res.X, X_exact, atol=1e-6)
+
+
+def test_residual_history_shape(spd_setup):
+    _, sss, B = spd_setup
+    res = block_conjugate_gradient(
+        sss.spmm, B, tol=1e-10, record_history=True
+    )
+    assert res.residual_history.shape == (res.iterations + 1, B.shape[1])
+    # Final history row is the reported residual.
+    assert np.allclose(res.residual_history[-1], res.residual_norms)
+
+
+def test_zero_column_converges_immediately(spd_setup):
+    _, sss, B = spd_setup
+    B2 = B.copy()
+    B2[:, 1] = 0.0
+    res = block_conjugate_gradient(sss.spmm, B2, tol=1e-10)
+    assert res.all_converged
+    assert np.allclose(res.X[:, 1], 0.0)
+
+
+def test_instrumentation_accumulates(spd_setup):
+    _, sss, B = spd_setup
+    counter = OpCounter()
+    res = block_conjugate_gradient(sss.spmm, B, tol=1e-10, counter=counter)
+    assert res.vector_flops > 0
+    assert res.vector_bytes > 0
+    assert counter.flops == res.vector_flops
+
+
+def test_rejects_1d_rhs(spd_setup):
+    _, sss, B = spd_setup
+    with pytest.raises(ValueError):
+        block_conjugate_gradient(sss.spmm, B[:, 0])
+    with pytest.raises(ValueError):
+        block_conjugate_gradient(sss.spmm, B, X0=B[:, :2])
+
+
+def test_iteration_cap_reported():
+    dense = random_symmetric_dense(60, density=0.1, seed=9)
+    sss = SSSMatrix.from_coo(COOMatrix.from_dense(dense))
+    B = np.random.default_rng(1).standard_normal((60, 3))
+    res = block_conjugate_gradient(sss.spmm, B, tol=1e-14, max_iter=2)
+    assert res.iterations == 2
+    assert not res.all_converged

@@ -1,0 +1,132 @@
+"""Property-style round-trip tests for the format constructors.
+
+``test_properties.py`` checks round trips from *clean* dense matrices.
+This module attacks the constructors from the dirty end: seeded random
+COO triplets with duplicate coordinates, unsorted entry order and
+explicit zeros, pushed through ``from_coo -> to_coo/to_dense`` for
+every format. The dense scatter-accumulation is the ground truth.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    BCSRMatrix,
+    COOMatrix,
+    CSBMatrix,
+    CSBSymMatrix,
+    CSRMatrix,
+    CSXMatrix,
+    CSXSymMatrix,
+    SSSMatrix,
+)
+
+
+@st.composite
+def raw_triplets(draw, max_n=16, max_entries=60):
+    """Unsorted (n, rows, cols, vals) with likely duplicate coords."""
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_entries))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, m)
+    cols = rng.integers(0, n, m)
+    vals = rng.uniform(-2.0, 2.0, m)
+    return n, rows, cols, vals
+
+
+def _accumulated_dense(n, rows, cols, vals):
+    dense = np.zeros((n, n))
+    np.add.at(dense, (rows, cols), vals)
+    return dense
+
+
+def _symmetrized(n, rows, cols, vals):
+    """Mirror the triplets across the diagonal: an exactly symmetric
+    matrix delivered as raw duplicate-laden COO input."""
+    rows2 = np.concatenate([rows, cols])
+    cols2 = np.concatenate([cols, rows])
+    vals2 = np.concatenate([vals, vals])
+    dense = _accumulated_dense(n, rows, cols, vals)
+    return rows2, cols2, vals2, dense + dense.T
+
+
+@given(raw_triplets())
+@settings(max_examples=50, deadline=None)
+def test_coo_canonicalizes_duplicates(args):
+    n, rows, cols, vals = args
+    coo = COOMatrix((n, n), rows, cols, vals)
+    assert np.allclose(coo.to_dense(), _accumulated_dense(n, rows, cols, vals))
+    # Canonical form: row-major sorted, no duplicate coordinates.
+    keys = coo.rows.astype(np.int64) * n + coo.cols
+    assert np.all(np.diff(keys) > 0) if keys.size > 1 else True
+
+
+@given(raw_triplets())
+@settings(max_examples=50, deadline=None)
+def test_coo_entry_order_is_irrelevant(args):
+    n, rows, cols, vals = args
+    coo = COOMatrix((n, n), rows, cols, vals)
+    perm = np.random.default_rng(0).permutation(rows.size)
+    shuffled = COOMatrix((n, n), rows[perm], cols[perm], vals[perm])
+    assert np.array_equal(coo.rows, shuffled.rows)
+    assert np.array_equal(coo.cols, shuffled.cols)
+    assert np.allclose(coo.vals, shuffled.vals)
+
+
+@given(raw_triplets())
+@settings(max_examples=40, deadline=None)
+def test_unsymmetric_formats_roundtrip_dirty_coo(args):
+    n, rows, cols, vals = args
+    coo = COOMatrix((n, n), rows, cols, vals)
+    dense = _accumulated_dense(n, rows, cols, vals)
+    for fmt in (
+        CSRMatrix.from_coo(coo),
+        BCSRMatrix(coo, (2, 2)),
+        CSBMatrix(coo, beta=4),
+        CSXMatrix(coo),
+    ):
+        assert np.allclose(fmt.to_dense(), dense), fmt.format_name
+        assert np.allclose(fmt.to_coo().to_dense(), dense), fmt.format_name
+
+
+@given(raw_triplets())
+@settings(max_examples=40, deadline=None)
+def test_symmetric_formats_roundtrip_dirty_coo(args):
+    n, rows, cols, vals = args
+    rows2, cols2, vals2, dense = _symmetrized(n, rows, cols, vals)
+    coo = COOMatrix((n, n), rows2, cols2, vals2)
+    for fmt in (
+        SSSMatrix.from_coo(coo),
+        CSXSymMatrix(coo),
+        CSBSymMatrix(coo, beta=4),
+    ):
+        assert np.allclose(fmt.to_dense(), dense), fmt.format_name
+        assert np.allclose(fmt.to_coo().to_dense(), dense), fmt.format_name
+
+
+@given(raw_triplets())
+@settings(max_examples=40, deadline=None)
+def test_spmv_spmm_agree_on_dirty_input(args):
+    n, rows, cols, vals = args
+    coo = COOMatrix((n, n), rows, cols, vals)
+    dense = _accumulated_dense(n, rows, cols, vals)
+    rng = np.random.default_rng(5)
+    X = rng.standard_normal((n, 3))
+    for fmt in (coo, CSRMatrix.from_coo(coo), CSXMatrix(coo)):
+        assert np.allclose(fmt.spmv(X[:, 0].copy()), dense @ X[:, 0])
+        assert np.allclose(fmt.spmm(X), dense @ X), fmt.format_name
+
+
+@given(raw_triplets(max_entries=30))
+@settings(max_examples=30, deadline=None)
+def test_explicit_zero_handling(args):
+    n, rows, cols, vals = args
+    vals = vals.copy()
+    vals[::2] = 0.0  # plant explicit zeros
+    kept = COOMatrix((n, n), rows, cols, vals)
+    dropped = COOMatrix((n, n), rows, cols, vals, drop_zeros=True)
+    assert np.allclose(kept.to_dense(), dropped.to_dense())
+    assert dropped.nnz <= kept.nnz
+    assert np.all(dropped.vals != 0.0)

@@ -151,6 +151,69 @@ def test_bad_x_shape_rejected(medium_setup):
         kernel(np.zeros(coo.n_cols + 1))
 
 
+def test_unsymmetric_bad_x_shape_rejected(medium_setup):
+    """Regression: ParallelSpMV must validate x against n_cols instead
+    of silently producing garbage for a mis-sized vector."""
+    _, coo, parts = medium_setup
+    csr = CSRMatrix.from_coo(coo)
+    kernel = ParallelSpMV(csr, parts)
+    with pytest.raises(ValueError):
+        kernel(np.zeros(coo.n_cols + 1))
+    with pytest.raises(ValueError):
+        kernel(np.zeros(coo.n_cols - 1))
+    with pytest.raises(ValueError):
+        kernel(np.zeros((coo.n_cols + 2, 3)))
+    with pytest.raises(ValueError):
+        kernel(np.zeros((coo.n_cols, 0)))
+
+
+def test_bad_y_shape_rejected(medium_setup, rng):
+    _, coo, parts = medium_setup
+    csr = CSRMatrix.from_coo(coo)
+    kernel = ParallelSpMV(csr, parts)
+    x = rng.standard_normal(coo.n_cols)
+    with pytest.raises(ValueError):
+        kernel(x, np.zeros(coo.n_rows + 1))
+    X = rng.standard_normal((coo.n_cols, 4))
+    with pytest.raises(ValueError):
+        kernel(X, np.zeros((coo.n_rows, 5)))
+
+
+@pytest.mark.parametrize("method", ["naive", "effective", "indexed"])
+def test_symmetric_driver_multi_rhs(medium_setup, method, rng):
+    """2-D input transparently runs the spmm partition kernels with
+    (N, k) local buffers; result matches the dense block product."""
+    dense, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, parts, method)
+    X = rng.standard_normal((coo.n_cols, 6))
+    assert np.allclose(kernel(X), dense @ X)
+    # 1-D calls still work on the same kernel object afterwards.
+    x = rng.standard_normal(coo.n_cols)
+    assert np.allclose(kernel(x), dense @ x)
+
+
+def test_unsymmetric_driver_multi_rhs(medium_setup, rng):
+    dense, coo, parts = medium_setup
+    for matrix in (
+        CSRMatrix.from_coo(coo),
+        CSXMatrix(coo, partitions=parts),
+    ):
+        kernel = ParallelSpMV(matrix, parts)
+        X = rng.standard_normal((coo.n_cols, 6))
+        assert np.allclose(kernel(X), dense @ X)
+        assert np.allclose(kernel(X[:, 0]), dense @ X[:, 0])
+
+
+def test_multi_rhs_column_views_accepted(medium_setup, rng):
+    """Non-contiguous 2-D inputs (transposes, column slices) work."""
+    dense, coo, parts = medium_setup
+    sss = SSSMatrix.from_coo(coo)
+    kernel = ParallelSymmetricSpMV(sss, parts, "indexed")
+    XT = rng.standard_normal((4, coo.n_cols))
+    assert np.allclose(kernel(XT.T), dense @ XT.T)
+
+
 def test_footprint_passthrough(medium_setup):
     _, coo, parts = medium_setup
     sss = SSSMatrix.from_coo(coo)
