@@ -1,0 +1,323 @@
+"""Bound-operator overhead benchmark: persistent plans vs per-call setup.
+
+Iterative solvers apply the same operator hundreds of times (Section
+II-C: CG's cost is one SpM×V per iteration). The bound-operator layer
+(:meth:`ParallelSymmetricSpMV.bind`) pays the setup — reduction
+indexing, scatter compilation, workspace allocation — once, so the
+per-iteration cost is the kernel alone. This benchmark times a
+fixed-iteration CG (SSS + indexed reduction) under three operator
+regimes:
+
+* ``per_call`` — a fresh :class:`ParallelSymmetricSpMV` is constructed
+  for every application (the naive "build on use" pattern),
+* ``unbound``  — one driver reused, but workspaces and lazy caches are
+  re-resolved per call,
+* ``bound``    — ``driver.bind()``: precompiled tasks, persistent
+  zeroed-in-place workspaces, window-restricted scatters.
+
+It reports per-iteration wall-clock and the tracemalloc transient-peak
+per application window, plus a multi-RHS block-CG section (``k = 4``).
+Machine-readable output goes to ``results/BENCH_operator.json``.
+
+Runs standalone (``python benchmarks/bench_operator_overhead.py``,
+``--smoke`` for the tiny CI configuration) or under pytest. Acceptance
+target: bound per-iteration wall-clock ≥ 1.5× better than per-call
+construction on the smoke matrices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.formats import COOMatrix, SSSMatrix  # noqa: E402
+from repro.matrices.generators import (  # noqa: E402
+    banded_random,
+    grid_laplacian_2d,
+)
+from repro.parallel import (  # noqa: E402
+    Executor,
+    ParallelSymmetricSpMV,
+    partition_nnz_balanced,
+)
+from repro.solvers import block_conjugate_gradient, conjugate_gradient  # noqa: E402
+
+N_THREADS = 4
+CG_ITERS = 60
+SMOKE_CG_ITERS = 40
+BLOCK_K = 4
+ALLOC_WINDOW = 12          # applications per tracemalloc window
+TARGET_SPEEDUP = 1.5       # bound vs per_call, per-iteration CG
+VARIANTS = ("per_call", "unbound", "bound")
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def smoke_matrices() -> dict[str, COOMatrix]:
+    """Tiny generator instances for the CI smoke run (~seconds)."""
+    rng = np.random.default_rng(7)
+    return {
+        "laplace2d_32": grid_laplacian_2d(32, 32),
+        "banded_1500": banded_random(1500, 11.0, 60, rng),
+    }
+
+
+def full_matrices() -> dict[str, COOMatrix]:
+    """Generator-suite instances at the shared benchmark scale."""
+    from common import MATRIX_NAMES, suite_matrix
+
+    names = MATRIX_NAMES[:4] if len(MATRIX_NAMES) > 4 else MATRIX_NAMES
+    return {n: suite_matrix(n) for n in names}
+
+
+def make_variants(coo: COOMatrix, n_threads: int = N_THREADS):
+    """The three operator regimes over one SSS + indexed configuration.
+
+    Returns ``(variant -> apply-callable, close-callable)``. The
+    ``per_call`` closure stands the whole operator up inside every
+    application — driver, reduction indexing, *and* its thread pool —
+    which is exactly the state a bound operator keeps alive between
+    iterations. ``unbound`` and ``bound`` share one persistent threads
+    executor; ``bound`` additionally owns precompiled tasks, scatters
+    and zeroed-in-place workspaces.
+    """
+    sss = SSSMatrix.from_coo(coo)
+    parts = partition_nnz_balanced(sss.expanded_row_nnz(), n_threads)
+    shared = Executor("threads", max_workers=n_threads)
+    driver = ParallelSymmetricSpMV(sss, parts, "indexed", executor=shared)
+    bound = driver.bind()
+
+    def per_call(x):
+        with Executor("threads", max_workers=n_threads) as ex:
+            return ParallelSymmetricSpMV(
+                sss, parts, "indexed", executor=ex
+            )(x)
+
+    def close():
+        bound.close()
+        shared.close()
+
+    variants = {
+        "per_call": per_call,
+        "unbound": lambda x: driver(x),
+        "bound": bound,
+    }
+    return variants, close
+
+
+def time_cg(apply_fn, b: np.ndarray, iters: int) -> tuple[float, int]:
+    """Wall-clock of a fixed-iteration CG solve (``tol = 0`` keeps it
+    running the full ``iters``), and the SpM×V count actually run."""
+    t0 = time.perf_counter()
+    res = conjugate_gradient(
+        lambda x: apply_fn(x), b, tol=0.0, max_iter=iters
+    )
+    return time.perf_counter() - t0, res.n_spmv
+
+
+def time_block_cg(apply_fn, B: np.ndarray, iters: int) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    res = block_conjugate_gradient(
+        lambda X: apply_fn(X), B, tol=0.0, max_iter=iters
+    )
+    return time.perf_counter() - t0, res.n_spmm
+
+
+def transient_peak_kb(apply_fn, x: np.ndarray,
+                      window: int = ALLOC_WINDOW) -> float:
+    """tracemalloc peak above the resting footprint across ``window``
+    warm applications — per-call construction shows up as extra
+    transient allocation; a bound operator's persistent workspaces do
+    not (they are traced before the window opens)."""
+    for _ in range(2):
+        apply_fn(x)
+    gc.collect()
+    started = tracemalloc.is_tracing()
+    if not started:
+        tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        base, _ = tracemalloc.get_traced_memory()
+        for _ in range(window):
+            apply_fn(x)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not started:
+            tracemalloc.stop()
+    return max(0.0, (peak - base) / 1024.0)
+
+
+def run_bench(matrices, iters: int, repeats: int = 3,
+              n_threads: int = N_THREADS, block_k: int = BLOCK_K):
+    """One row per (matrix, section, variant)."""
+    rows = []
+    rng = np.random.default_rng(42)
+    for name, coo in matrices.items():
+        variants, close = make_variants(coo, n_threads)
+        b = rng.standard_normal(coo.n_cols)
+        B = rng.standard_normal((coo.n_cols, block_k))
+
+        # Differential check before timing: all regimes must agree.
+        ys = {v: np.array(fn(b)) for v, fn in variants.items()}
+        for v in VARIANTS[1:]:
+            if not np.allclose(ys[v], ys["per_call"]):
+                raise AssertionError(
+                    f"variant mismatch for {v} on {name}"
+                )
+
+        for variant, fn in variants.items():
+            best, n_apply = float("inf"), 1
+            for _ in range(repeats):
+                elapsed, n_apply = time_cg(fn, b, iters)
+                best = min(best, elapsed)
+            rows.append({
+                "matrix": name,
+                "section": "cg",
+                "variant": variant,
+                "iters": n_apply,
+                "per_iter_ms": best / max(1, n_apply) * 1e3,
+                "alloc_peak_kb": transient_peak_kb(fn, b),
+            })
+
+        # Multi-RHS: rebind to the k signature for the bound regime.
+        bound_k = variants["bound"].bind(block_k)
+        variants_k = dict(variants, bound=bound_k)
+        for variant, fn in variants_k.items():
+            best, n_apply = float("inf"), 1
+            for _ in range(repeats):
+                elapsed, n_apply = time_block_cg(fn, B, iters)
+                best = min(best, elapsed)
+            rows.append({
+                "matrix": name,
+                "section": f"block_cg_k{block_k}",
+                "variant": variant,
+                "iters": n_apply,
+                "per_iter_ms": best / max(1, n_apply) * 1e3,
+                "alloc_peak_kb": transient_peak_kb(fn, B),
+            })
+        bound_k.close()
+        close()
+    return rows
+
+
+def _geomean(vals) -> float:
+    vals = list(vals)
+    return float(np.exp(np.mean(np.log(vals)))) if vals else float("nan")
+
+
+def geomean_speedup(rows, section: str, variant: str,
+                    over: str = "per_call") -> float:
+    """Geomean of per-iteration speedup of ``variant`` over ``over``."""
+    by_matrix = {}
+    for r in rows:
+        if r["section"] == section:
+            by_matrix.setdefault(r["matrix"], {})[r["variant"]] = r
+    return _geomean(
+        m[over]["per_iter_ms"] / m[variant]["per_iter_ms"]
+        for m in by_matrix.values()
+        if over in m and variant in m
+    )
+
+
+def render(rows) -> tuple[str, dict]:
+    lines = [
+        "Bound-operator overhead — per-iteration CG wall-clock under "
+        "three operator regimes (SSS + indexed reduction)",
+        "",
+        f"{'matrix':<14} {'section':<13} {'variant':<9} {'iters':>5} "
+        f"{'ms/iter':>9} {'peak KB':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['matrix']:<14} {r['section']:<13} {r['variant']:<9} "
+            f"{r['iters']:>5} {r['per_iter_ms']:>9.4f} "
+            f"{r['alloc_peak_kb']:>9.1f}"
+        )
+    lines.append("")
+    sections = sorted({r["section"] for r in rows})
+    summary = {}
+    for section in sections:
+        for variant in ("unbound", "bound"):
+            s = geomean_speedup(rows, section, variant)
+            summary[f"{section}:{variant}_vs_per_call"] = s
+            lines.append(
+                f"geomean per-iter speedup [{section}] {variant} vs "
+                f"per_call: {s:.2f}x"
+            )
+    target = geomean_speedup(rows, "cg", "bound")
+    passed = target >= TARGET_SPEEDUP
+    lines.append(
+        f"target cg bound vs per_call: {target:.2f}x >= "
+        f"{TARGET_SPEEDUP}x -> {'PASS' if passed else 'FAIL'}"
+    )
+    summary["target_speedup"] = TARGET_SPEEDUP
+    summary["cg_bound_vs_per_call"] = target
+    summary["pass"] = passed
+    return "\n".join(lines), summary
+
+
+def write_json(rows, summary, config) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_operator.json"
+    path.write_text(json.dumps(
+        {"config": config, "rows": rows, "summary": summary}, indent=2,
+    ) + "\n")
+    print(f"[json written to {path}]")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny matrices and shorter solves (CI smoke run)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--threads", type=int, default=N_THREADS)
+    parser.add_argument("--iters", type=int, default=None,
+                        help="CG iterations per timing (default: preset)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.threads < 1:
+        parser.error("--threads must be >= 1")
+
+    if args.smoke:
+        matrices, iters = smoke_matrices(), SMOKE_CG_ITERS
+    else:
+        matrices, iters = full_matrices(), CG_ITERS
+    if args.iters is not None:
+        iters = args.iters
+    rows = run_bench(matrices, iters, args.repeats, args.threads)
+    text, summary = render(rows)
+    config = {
+        "smoke": args.smoke, "iters": iters,
+        "repeats": args.repeats, "threads": args.threads,
+        "block_k": BLOCK_K,
+    }
+    write_json(rows, summary, config)
+    try:
+        from common import write_result
+
+        write_result("operator_overhead", text)
+    except ImportError:
+        print(text)
+    return 0 if summary["pass"] else 1
+
+
+# -- pytest entry point (collected with the other wall-clock benches) --
+def test_operator_overhead():
+    rows = run_bench(smoke_matrices(), SMOKE_CG_ITERS, repeats=3)
+    assert geomean_speedup(rows, "cg", "bound") >= TARGET_SPEEDUP
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,21 @@ __all__ = [
     "INDEX_BYTES",
     "scatter_add_rows",
     "RowScatter",
+    "FLAT_CACHE_MAX",
 ]
+
+#: Cap on the per-``RowScatter`` flattened-index cache (one entry per
+#: distinct right-hand-side count ``k``; oldest evicted beyond this).
+FLAT_CACHE_MAX = 8
+
+
+def bounded_cache_insert(cache: dict, key, value, cap: int) -> None:
+    """Insert into an insertion-ordered dict cache, evicting the oldest
+    entry when ``cap`` would be exceeded (keeps steady-state memory of
+    the lazy scatter/split caches bounded)."""
+    while len(cache) >= cap:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
 
 
 def scatter_add_rows(
@@ -36,61 +50,106 @@ def scatter_add_rows(
 ) -> None:
     """``y[idx] += products`` with duplicate indices accumulated.
 
-    1-D operands use ``np.add.at``. For a 2-D ``(m, k)`` scatter into a
-    ``(n, k)`` target the whole update is one flattened ``np.bincount``
-    pass — ``np.ufunc.at`` is an order of magnitude slower, which would
-    erase the multi-RHS traffic amortization the spmm kernels exist for.
+    The scatter is *window-restricted*: the bincount runs over the
+    effective index window ``[idx.min(), idx.max() + 1)`` and is added
+    into the matching slice of ``y``, so a scatter that touches a
+    narrow column band (a CSB block, a partition's transposed writes)
+    never streams the full output length. 2-D ``(m, k)`` scatters use
+    one flattened ``np.bincount`` pass — ``np.ufunc.at`` is an order of
+    magnitude slower, which would erase the multi-RHS traffic
+    amortization the spmm kernels exist for.
     """
-    if y.ndim == 1:
-        np.add.at(y, idx, products)
-        return
     if idx.size == 0:
         return
-    n, k = y.shape
+    idx = np.asarray(idx, dtype=np.int64)
+    lo = int(idx.min())
+    hi = int(idx.max()) + 1
+    if y.ndim == 1:
+        y[lo:hi] += np.bincount(
+            idx - lo, weights=products, minlength=hi - lo
+        )
+        return
+    k = y.shape[1]
     flat = (
-        idx.astype(np.int64)[:, None] * k
+        (idx - lo)[:, None] * k
         + np.arange(k, dtype=np.int64)[None, :]
     )
-    y += np.bincount(
-        flat.ravel(), weights=products.ravel(), minlength=n * k
-    ).reshape(n, k)
+    y[lo:hi] += np.bincount(
+        flat.ravel(), weights=products.ravel(), minlength=(hi - lo) * k
+    ).reshape(hi - lo, k)
 
 
 class RowScatter:
     """Precompiled accumulating row scatter ``y[idx] += products``.
 
     The index array is part of the matrix *structure*, so repeated
-    spmm calls scatter through the same indices every time. Building
-    the flattened 2-D bincount index costs more than the bincount
-    itself; this helper builds it once per right-hand-side count ``k``
-    and reuses it, which is where the hot formats (SSS, CSX, BCSR)
-    recover the multi-RHS amortization.
+    calls scatter through the same indices every time. Two things are
+    compiled out of the per-call path:
+
+    * the *effective window* ``[lo, hi) = [idx.min(), idx.max() + 1)``:
+      every bincount runs over the rebased indices and accumulates into
+      ``y[lo:hi]``, so a scatter confined to a narrow column band (a
+      partition's local writes, a CSB block) never streams the full
+      output vector — the paper's effective-ranges idea applied to the
+      multiplication phase;
+    * the flattened 2-D bincount index per right-hand-side count ``k``
+      (building it costs more than the bincount itself), which is where
+      the hot formats (SSS, CSX, BCSR) recover the multi-RHS
+      amortization. The per-``k`` cache is bounded by
+      :data:`FLAT_CACHE_MAX`.
     """
 
     def __init__(self, idx: np.ndarray):
         self.idx = np.asarray(idx, dtype=np.int64)
+        if self.idx.size:
+            self.lo = int(self.idx.min())
+            self.hi = int(self.idx.max()) + 1
+        else:
+            self.lo = 0
+            self.hi = 0
+        self._rebased = self.idx - self.lo
         self._flat: dict[int, np.ndarray] = {}
+
+    @property
+    def window(self) -> tuple[int, int]:
+        """Effective output window ``[lo, hi)`` the scatter touches."""
+        return (self.lo, self.hi)
+
+    def compile(self, k: Optional[int] = None) -> None:
+        """Eagerly build the flattened index for ``k`` right-hand sides
+        (no-op for ``k=None``: the 1-D path needs no flat index)."""
+        if k is None or self.idx.size == 0:
+            return
+        k = int(k)
+        if k not in self._flat:
+            flat = (
+                self._rebased[:, None] * k
+                + np.arange(k, dtype=np.int64)[None, :]
+            ).ravel()
+            bounded_cache_insert(self._flat, k, flat, FLAT_CACHE_MAX)
 
     def add(self, y: np.ndarray, products: np.ndarray) -> None:
         """Accumulate ``y[idx] += products`` (1-D or ``(m, k)``)."""
         if self.idx.size == 0:
             return
+        lo, hi = self.lo, self.hi
         if y.ndim == 1:
-            y += np.bincount(
-                self.idx, weights=products, minlength=y.shape[0]
+            y[lo:hi] += np.bincount(
+                self._rebased, weights=products, minlength=hi - lo
             )
             return
-        n, k = y.shape
+        k = y.shape[1]
         flat = self._flat.get(k)
         if flat is None:
-            flat = (
-                self.idx[:, None] * k
-                + np.arange(k, dtype=np.int64)[None, :]
-            ).ravel()
-            self._flat[k] = flat
-        y += np.bincount(
-            flat, weights=products.ravel(), minlength=n * k
-        ).reshape(n, k)
+            self.compile(k)
+            flat = self._flat[k]
+        y[lo:hi] += np.bincount(
+            flat, weights=products.ravel(), minlength=(hi - lo) * k
+        ).reshape(hi - lo, k)
+
+    def clear(self) -> None:
+        """Drop the compiled per-``k`` flat indices."""
+        self._flat.clear()
 
 
 class SparseFormat(abc.ABC):
@@ -237,6 +296,20 @@ class SparseFormat(abc.ABC):
         """Materialize as a dense ndarray (testing / small matrices only)."""
         return self.to_coo().to_dense()
 
+    # ------------------------------------------------------------------
+    # Bound-operator hooks (see repro.parallel.bound)
+    # ------------------------------------------------------------------
+    def precompile(self, k: Optional[int] = None) -> None:
+        """Eagerly build any lazy per-call compilation caches (scatter
+        indices, split positions) for ``k`` right-hand sides (``None``
+        = the 1-D SpM×V path), so a bound operator's first timed
+        iteration is not a compilation run. Default: nothing to do."""
+
+    def clear_caches(self) -> None:
+        """Release the lazy execution caches (compiled scatters, split
+        positions). Safe to call at any time — the caches rebuild on
+        demand. Default: nothing to do."""
+
     def compression_ratio_vs(self, other: "SparseFormat") -> float:
         """Size reduction relative to ``other``: ``1 - size/other.size``."""
         other_size = other.size_bytes()
@@ -305,3 +378,12 @@ class SymmetricFormat(SparseFormat):
             self.spmv_partition(
                 X[:, j], Y_direct[:, j], Y_local[:, j], row_start, row_end
             )
+
+    def precompile_partition(
+        self, row_start: int, row_end: int, k: Optional[int] = None
+    ) -> None:
+        """Eagerly build the partition kernel's lazy caches (local vs
+        direct split positions, window-restricted scatters, flattened
+        ``k``-RHS indices) for one ``[row_start, row_end)`` partition,
+        so a bound operator pays compilation at bind time instead of on
+        the first timed iteration. Default: nothing to do."""

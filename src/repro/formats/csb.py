@@ -312,13 +312,19 @@ class CSBSymMatrix(SymmetricFormat):
                 f"{self.beta}"
             )
         scratch = np.zeros_like(y_direct)
+        # Transposed writes land at columns <= their row < row_end, and
+        # no earlier than the leftmost visited block column — merge the
+        # scratch over that window only instead of the full vector.
+        cmin = row_start
         for blk in self.blocks:
             r0 = blk.brow * self.beta
             if not row_start <= r0 < row_end:
                 continue
+            cmin = min(cmin, blk.bcol * self.beta)
             self._block_contribution(blk, x, y_direct, scratch)
-        y_direct[row_start:] += scratch[row_start:]
-        y_local[:row_start] += scratch[:row_start]
+        y_direct[row_start:row_end] += scratch[row_start:row_end]
+        if cmin < row_start:
+            y_local[cmin:row_start] += scratch[cmin:row_start]
 
     def spmv_partition_csb(
         self,

@@ -192,6 +192,17 @@ class CSXMatrix(SparseFormat):
         """Multi-RHS analogue of :meth:`spmv_partition_only`."""
         self.partitions[part_index].plan.execute(X, Y)
 
+    def precompile(self, k: Optional[int] = None) -> None:
+        """Eagerly compile every partition plan's row scatters (and
+        ``k``-RHS flat indices) ahead of the first execution."""
+        for p in self.partitions:
+            p.plan.precompile(k=k)
+
+    def clear_caches(self) -> None:
+        """Release every partition plan's lazy scatter compilations."""
+        for p in self.partitions:
+            p.plan.clear_caches()
+
     def to_coo(self) -> COOMatrix:
         rows_list = []
         cols_list = []

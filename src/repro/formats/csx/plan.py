@@ -17,10 +17,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..base import RowScatter
+from ..base import RowScatter, bounded_cache_insert
 from .substructures import PatternKey, PatternType, Unit, unit_coordinates
 
 __all__ = ["CompiledKernel", "ExecutionPlan", "compile_plan"]
+
+#: Minimum cap on cached transposed local/direct splits per plan (the
+#: actual cap scales with the kernel count; oldest boundary evicted).
+TSPLIT_CACHE_MIN = 32
 
 
 @dataclass
@@ -62,52 +66,73 @@ class ExecutionPlan:
     def __init__(self, n_rows: int, kernels: Sequence[CompiledKernel]):
         self.n_rows = n_rows
         self.kernels = list(kernels)
-        # Lazy per-kernel scatter compilations for the multi-RHS path:
-        # kernel index -> RowScatter, and (kernel index, boundary) ->
-        # (local positions, local scatter, direct positions, direct
-        # scatter) for the transposed local/direct split.
+        # Lazy per-kernel scatter compilations (shared by the 1-D and
+        # multi-RHS paths): kernel index -> RowScatter, and (kernel
+        # index, boundary) -> (local positions, local scatter, direct
+        # positions, direct scatter) for the transposed local/direct
+        # split. Both are bounded; clear_caches() releases them.
         self._row_scatters: dict[int, RowScatter] = {}
         self._tsplit_cache: dict[tuple[int, int], tuple] = {}
+        self._tsplit_cache_max = max(
+            TSPLIT_CACHE_MIN, 4 * len(self.kernels)
+        )
 
     @property
     def n_elements(self) -> int:
         return sum(k.n_elements for k in self.kernels)
+
+    def _scatter_for(self, i: int) -> RowScatter:
+        """Cached window-restricted row scatter of kernel ``i``."""
+        sc = self._row_scatters.get(i)
+        if sc is None:
+            k = self.kernels[i]
+            idx = k.rows2d[:, 0] if k.row_uniform else k.rows2d.ravel()
+            sc = self._row_scatters[i] = RowScatter(idx)
+        return sc
+
+    def _tsplit_for(self, i: int, boundary: int) -> tuple:
+        """Cached local/direct split of kernel ``i``'s transposed
+        writes at ``boundary`` (positions + window scatters)."""
+        cache = self._tsplit_cache.get((i, boundary))
+        if cache is None:
+            cols = self.kernels[i].cols2d.ravel()
+            local_pos = np.flatnonzero(cols < boundary)
+            direct_pos = np.flatnonzero(cols >= boundary)
+            cache = (
+                local_pos,
+                RowScatter(cols[local_pos]),
+                direct_pos,
+                RowScatter(cols[direct_pos]),
+            )
+            bounded_cache_insert(
+                self._tsplit_cache, (i, boundary), cache,
+                self._tsplit_cache_max,
+            )
+        return cache
 
     def execute(self, x: np.ndarray, y: np.ndarray) -> None:
         """Accumulate ``A_plan @ x`` into ``y`` (not cleared here).
 
         ``x`` may be a vector ``(n,)`` or a multi-RHS block ``(n, k)``
         (with matching ``y``); either way each compiled kernel's index
-        and value arrays are traversed exactly once.
+        and value arrays are traversed exactly once, and every scatter
+        is window-restricted to the kernel's effective row range.
         """
-        if x.ndim == 2:
-            n_rhs = x.shape[1]
-            for i, k in enumerate(self.kernels):
+        multi = x.ndim == 2
+        for i, k in enumerate(self.kernels):
+            sc = self._scatter_for(i)
+            if multi:
                 products = k.values[..., None] * x[k.cols2d]
-                sc = self._row_scatters.get(i)
-                if sc is None:
-                    idx = (
-                        k.rows2d[:, 0] if k.row_uniform else k.rows2d.ravel()
-                    )
-                    sc = self._row_scatters[i] = RowScatter(idx)
                 if k.row_uniform:
                     sc.add(y, products.sum(axis=1))
                 else:
-                    sc.add(y, products.reshape(-1, n_rhs))
-            return
-        for k in self.kernels:
-            products = k.values * x[k.cols2d]
-            if k.row_uniform:
-                per_unit = products.sum(axis=1)
-                y += np.bincount(
-                    k.rows2d[:, 0], weights=per_unit, minlength=self.n_rows
-                )
+                    sc.add(y, products.reshape(-1, x.shape[1]))
             else:
-                y += np.bincount(
-                    k.rows2d.ravel(),
-                    weights=products.ravel(),
-                    minlength=self.n_rows,
-                )
+                products = k.values * x[k.cols2d]
+                if k.row_uniform:
+                    sc.add(y, products.sum(axis=1))
+                else:
+                    sc.add(y, products.ravel())
 
     def execute_transposed_split(
         self,
@@ -122,51 +147,48 @@ class ExecutionPlan:
 
         This is the upper-triangle half of the symmetric kernel
         (Alg. 3 line 8) with the local/direct split of Section III-B.
+        Both sides scatter through the cached split, window-restricted
+        to their effective column ranges.
 
         Accepts a vector ``(n,)`` or a multi-RHS block ``(n, k)``.
         """
-        n = self.n_rows
-        if x.ndim == 2:
-            n_rhs = x.shape[1]
-            for i, k in enumerate(self.kernels):
+        multi = x.ndim == 2
+        for i, k in enumerate(self.kernels):
+            if multi:
                 products = (k.values[..., None] * x[k.rows2d]).reshape(
-                    -1, n_rhs
+                    -1, x.shape[1]
                 )
-                cache = self._tsplit_cache.get((i, boundary))
-                if cache is None:
-                    cols = k.cols2d.ravel()
-                    local_pos = np.flatnonzero(cols < boundary)
-                    direct_pos = np.flatnonzero(cols >= boundary)
-                    cache = (
-                        local_pos,
-                        RowScatter(cols[local_pos]),
-                        direct_pos,
-                        RowScatter(cols[direct_pos]),
-                    )
-                    self._tsplit_cache[(i, boundary)] = cache
-                local_pos, local_sc, direct_pos, direct_sc = cache
-                if local_pos.size == 0:
-                    direct_sc.add(y_direct, products)
-                    continue
-                local_sc.add(y_local, products[local_pos])
-                if direct_pos.size:
-                    direct_sc.add(y_direct, products[direct_pos])
-            return
-        for k in self.kernels:
-            products = (k.values * x[k.rows2d]).ravel()
-            cols = k.cols2d.ravel()
-            local = cols < boundary
-            if boundary > 0 and np.any(local):
-                y_local += np.bincount(
-                    cols[local], weights=products[local], minlength=n
-                )
-                direct = ~local
-                if np.any(direct):
-                    y_direct += np.bincount(
-                        cols[direct], weights=products[direct], minlength=n
-                    )
             else:
-                y_direct += np.bincount(cols, weights=products, minlength=n)
+                products = (k.values * x[k.rows2d]).ravel()
+            local_pos, local_sc, direct_pos, direct_sc = self._tsplit_for(
+                i, boundary
+            )
+            if local_pos.size == 0:
+                direct_sc.add(y_direct, products)
+                continue
+            local_sc.add(y_local, products[local_pos])
+            if direct_pos.size:
+                direct_sc.add(y_direct, products[direct_pos])
+
+    def precompile(
+        self, k: Optional[int] = None, boundary: Optional[int] = None
+    ) -> None:
+        """Eagerly build the row scatters (and, when ``boundary`` is
+        given, the transposed local/direct split at that boundary) plus
+        their flattened ``k``-RHS indices, so the first execution after
+        a bind is not a compilation run."""
+        for i in range(len(self.kernels)):
+            self._scatter_for(i).compile(k)
+            if boundary is not None:
+                _, local_sc, _, direct_sc = self._tsplit_for(i, boundary)
+                local_sc.compile(k)
+                direct_sc.compile(k)
+
+    def clear_caches(self) -> None:
+        """Release the lazy scatter/split compilations (rebuilt on
+        demand)."""
+        self._row_scatters.clear()
+        self._tsplit_cache.clear()
 
     def element_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
         """All (rows, cols) covered by the plan, in no particular order."""

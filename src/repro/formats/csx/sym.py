@@ -294,6 +294,27 @@ class CSXSymMatrix(SymmetricFormat):
             sum_duplicates=False,
         )
 
+    def precompile_partition(
+        self, row_start: int, row_end: int, k: Optional[int] = None
+    ) -> None:
+        """Eagerly compile the partition plan's scatters and its
+        transposed split at the partition boundary (plus ``k``-RHS flat
+        indices), so a bound operator's first iteration is not a
+        compilation run."""
+        try:
+            i = self._part_index[(row_start, row_end)]
+        except KeyError:
+            raise ValueError(
+                f"({row_start}, {row_end}) is not a preprocessed partition; "
+                f"available: {self._partition_bounds}"
+            ) from None
+        self.partitions[i].plan.precompile(k=k, boundary=row_start)
+
+    def clear_caches(self) -> None:
+        """Release every partition plan's lazy scatter compilations."""
+        for p in self.partitions:
+            p.plan.clear_caches()
+
     # ------------------------------------------------------------------
     # Partition structure queries
     # ------------------------------------------------------------------

@@ -18,11 +18,22 @@ from typing import Optional
 
 import numpy as np
 
-from .base import INDEX_BYTES, VALUE_BYTES, RowScatter, SymmetricFormat
+from .base import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    RowScatter,
+    SymmetricFormat,
+    bounded_cache_insert,
+)
 from .coo import COOMatrix
 from .csr import csr_row_segment_sums
 
-__all__ = ["SSSMatrix"]
+__all__ = ["SSSMatrix", "PART_SPLIT_CACHE_MAX"]
+
+#: Cap on cached per-partition local/direct scatter splits (keyed by
+#: partition bounds; oldest evicted beyond this, so repartitioning a
+#: long-lived matrix cannot grow the cache without bound).
+PART_SPLIT_CACHE_MAX = 256
 
 
 class SSSMatrix(SymmetricFormat):
@@ -169,8 +180,28 @@ class SSSMatrix(SymmetricFormat):
             products, self.rowptr, row_start, row_end
         )
         transposed = vals[:, None] * X[self._rows[lo:hi]]
-        cache = self._spmm_part_cache.get((row_start, row_end))
+        local_pos, local_sc, direct_pos, direct_sc = self._partition_split(
+            row_start, row_end
+        )
+        if local_pos.size == 0:
+            direct_sc.add(Y_direct, transposed)
+            return
+        local_sc.add(Y_local, transposed[local_pos])
+        if direct_pos.size:
+            direct_sc.add(Y_direct, transposed[direct_pos])
+
+    def _partition_split(
+        self, row_start: int, row_end: int
+    ) -> tuple[np.ndarray, RowScatter, np.ndarray, RowScatter]:
+        """Cached local/direct split of one partition's transposed
+        writes: positions of entries with column < / >= ``row_start``
+        plus the window-restricted scatters through them (shared by the
+        1-D and multi-RHS partition kernels)."""
+        key = (row_start, row_end)
+        cache = self._spmm_part_cache.get(key)
         if cache is None:
+            lo, hi = self.rowptr[row_start], self.rowptr[row_end]
+            cols = self.colind[lo:hi]
             local_pos = np.flatnonzero(cols < row_start)
             direct_pos = np.flatnonzero(cols >= row_start)
             cache = (
@@ -179,14 +210,24 @@ class SSSMatrix(SymmetricFormat):
                 direct_pos,
                 RowScatter(cols[direct_pos]),
             )
-            self._spmm_part_cache[(row_start, row_end)] = cache
-        local_pos, local_sc, direct_pos, direct_sc = cache
-        if local_pos.size == 0:
-            direct_sc.add(Y_direct, transposed)
-            return
-        local_sc.add(Y_local, transposed[local_pos])
-        if direct_pos.size:
-            direct_sc.add(Y_direct, transposed[direct_pos])
+            bounded_cache_insert(
+                self._spmm_part_cache, key, cache, PART_SPLIT_CACHE_MAX
+            )
+        return cache
+
+    def precompile_partition(
+        self, row_start: int, row_end: int, k: Optional[int] = None
+    ) -> None:
+        """Build the partition's split and scatters (plus the flattened
+        ``k``-RHS indices) ahead of the first kernel call."""
+        _, local_sc, _, direct_sc = self._partition_split(row_start, row_end)
+        local_sc.compile(k)
+        direct_sc.compile(k)
+
+    def clear_caches(self) -> None:
+        """Release the lazy scatter compilations (rebuilt on demand)."""
+        self._spmm_scatter = None
+        self._spmm_part_cache.clear()
 
     def spmv_partition(
         self,
@@ -201,7 +242,9 @@ class SSSMatrix(SymmetricFormat):
         Stored rows ``[row_start, row_end)`` are computed. Row results and
         transposed contributions landing inside the partition accumulate
         into ``y_direct``; transposed contributions to rows before
-        ``row_start`` go to ``y_local``.
+        ``row_start`` go to ``y_local``. The transposed scatters run
+        through the cached local/direct split, window-restricted to each
+        side's effective column range.
         """
         lo, hi = self.rowptr[row_start], self.rowptr[row_end]
         sl = slice(row_start, row_end)
@@ -215,12 +258,15 @@ class SSSMatrix(SymmetricFormat):
             products, self.rowptr, row_start, row_end
         )
         transposed = vals * x[self._rows[lo:hi]]
-        local_mask = cols < row_start
-        if np.any(local_mask):
-            np.add.at(y_local, cols[local_mask], transposed[local_mask])
-        direct_mask = ~local_mask
-        if np.any(direct_mask):
-            np.add.at(y_direct, cols[direct_mask], transposed[direct_mask])
+        local_pos, local_sc, direct_pos, direct_sc = self._partition_split(
+            row_start, row_end
+        )
+        if local_pos.size == 0:
+            direct_sc.add(y_direct, transposed)
+            return
+        local_sc.add(y_local, transposed[local_pos])
+        if direct_pos.size:
+            direct_sc.add(y_direct, transposed[direct_pos])
 
     def to_coo(self) -> COOMatrix:
         """Expand to a full (both-triangle) COO matrix."""

@@ -1,6 +1,7 @@
 """Thread partitioning, local-vector reduction methods and the
 multithreaded SpM×V orchestration of Section III."""
 
+from .bound import BoundOperator, BoundSpMV, BoundSymmetricSpMV
 from .coloring import (
     ColoredSymmetricSpMV,
     coloring_stats,
@@ -39,6 +40,9 @@ __all__ = [
     "make_reduction",
     "ParallelSpMV",
     "ParallelSymmetricSpMV",
+    "BoundOperator",
+    "BoundSymmetricSpMV",
+    "BoundSpMV",
     "ColoredSymmetricSpMV",
     "distance2_coloring",
     "coloring_stats",

@@ -1,0 +1,253 @@
+"""Bound operators: persistent SpM×V / SpM×M execution plans.
+
+Iterative solvers apply the same operator hundreds of times (CG,
+Fig. 14), yet the plain drivers pay avoidable per-call overhead every
+time: task closures are rebuilt, ``(p, N[, k])`` local buffers and the
+output vector are re-allocated, and the lazy scatter compilations of
+the formats may land inside the first timed iteration. This module is
+the repo's OSKI-style answer (Akbudak et al.; RACE's precomputed
+execution schedules): ``driver.bind(k)`` performs all of that work
+*once* and returns a :class:`BoundOperator` whose ``__call__`` only
+zeroes workspaces in place and runs the precompiled tasks.
+
+Binding is signature-specific: ``k=None`` binds the 1-D SpM×V path,
+an integer ``k`` binds the ``(N, k)`` multi-RHS path. The returned
+array is the operator's private workspace — valid until the next call;
+copy it (or pass ``out=``) to keep a result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BoundOperator", "BoundSymmetricSpMV", "BoundSpMV"]
+
+
+class BoundOperator:
+    """Reusable execution plan for repeated ``y = A @ x`` products.
+
+    Created through ``ParallelSymmetricSpMV.bind`` / ``ParallelSpMV
+    .bind`` — not directly. At bind time the operator
+
+    (a) precompiles the per-thread task list (closures are built once,
+        reading the input slot set by each call),
+    (b) allocates persistent output/local workspaces that are zeroed in
+        place instead of re-allocated per call, and
+    (c) eagerly compiles the format's lazy scatter/split caches
+        (window-restricted scatters, flattened ``k``-RHS indices) so
+        the first timed iteration is not a compilation run.
+
+    Parameters
+    ----------
+    driver : ParallelSymmetricSpMV or ParallelSpMV
+    k : int, optional
+        Right-hand sides per application; ``None`` binds the 1-D
+        SpM×V signature.
+    """
+
+    def __init__(self, driver, k: Optional[int] = None):
+        if k is not None:
+            k = int(k)
+            if k < 1:
+                raise ValueError(
+                    f"need at least one right-hand side, got k={k}"
+                )
+        self.driver = driver
+        self.k = k
+        self.n_calls = 0
+        self._closed = False
+        m = driver.matrix
+        shape = (m.n_rows,) if k is None else (m.n_rows, k)
+        self._y = np.zeros(shape, dtype=np.float64)
+        self._x: Optional[np.ndarray] = None
+        self._precompile()
+        self._allocate_workspaces()
+        self._tasks = self._build_tasks()
+
+    # -- bind-time hooks (overridden per driver kind) -------------------
+    def _precompile(self) -> None:
+        """Eagerly build the format's lazy execution caches."""
+
+    def _allocate_workspaces(self) -> None:
+        """Allocate any persistent buffers beyond the output."""
+
+    def _build_tasks(self) -> list:
+        """One precompiled closure per thread; each reads ``self._x``."""
+        raise NotImplementedError
+
+    def _zero_workspaces(self) -> None:
+        self._y[...] = 0.0
+
+    def _finish(self) -> None:
+        """Post-multiplication phase (the symmetric reduction)."""
+
+    # -- public surface -------------------------------------------------
+    @property
+    def matrix(self):
+        return self.driver.matrix
+
+    @property
+    def n_threads(self) -> int:
+        return self.driver.n_threads
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def bind(self, k: Optional[int] = None):
+        """Idempotent re-bind: returns ``self`` when the signature
+        already matches, else binds the underlying driver afresh (so a
+        bound operator can be passed anywhere a driver is expected)."""
+        if k == self.k and not self._closed:
+            return self
+        return self.driver.bind(k)
+
+    def _expected_x_shape(self) -> tuple[int, ...]:
+        n = self.driver.matrix.n_cols
+        return (n,) if self.k is None else (n, self.k)
+
+    def __call__(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Compute ``A @ x`` into the persistent workspace.
+
+        Returns the workspace (overwritten by the next call) unless
+        ``out`` is given, in which case the result is copied there.
+        """
+        if self._closed:
+            raise RuntimeError("operator is closed; bind() a new one")
+        x = np.asarray(x, dtype=np.float64)
+        expected = self._expected_x_shape()
+        if x.shape != expected:
+            raise ValueError(
+                f"x has shape {x.shape}, expected {expected} for an "
+                f"operator bound with k={self.k}"
+            )
+        if x is self._y:
+            # Power-iteration style y = op(op(x)) must not zero its own
+            # input when the caller feeds the workspace back in.
+            x = x.copy()
+        self._zero_workspaces()
+        self._x = x
+        try:
+            self.driver.executor.run_batch(self._tasks)
+        finally:
+            self._x = None
+        self._finish()
+        self.n_calls += 1
+        if out is not None:
+            np.copyto(out, self._y)
+            return out
+        return self._y
+
+    def close(self) -> None:
+        """Release the workspaces and the format's lazy execution
+        caches (``clear_caches``). Idempotent; the operator cannot be
+        called afterwards. Note the format caches are shared with other
+        operators bound to the same matrix — they rebuild on demand."""
+        if self._closed:
+            return
+        self._closed = True
+        self._tasks = []
+        self._y = None
+        self.driver.matrix.clear_caches()
+
+    def __enter__(self) -> "BoundOperator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"calls={self.n_calls}"
+        return (
+            f"<{type(self).__name__} k={self.k} "
+            f"threads={self.driver.n_threads} {state}>"
+        )
+
+
+class BoundSymmetricSpMV(BoundOperator):
+    """Bound two-phase symmetric driver: persistent ``(p, N[, k])``
+    local vectors, precompiled local/direct splits, in-place
+    effective-region zeroing, and the configured reduction."""
+
+    def _precompile(self) -> None:
+        for start, end in self.driver.partitions:
+            self.driver.matrix.precompile_partition(start, end, self.k)
+
+    def _allocate_workspaces(self) -> None:
+        self._locals = self.driver.reduction.allocate_locals(self.k)
+
+    def _build_tasks(self) -> list:
+        matrix = self.driver.matrix
+        reduction = self.driver.reduction
+        multi = self.k is not None
+        tasks = []
+        for tid in range(self.driver.n_threads):
+            start, end = self.driver.partitions[tid]
+            y_direct, y_local = reduction.thread_targets(
+                tid, self._y, self._locals
+            )
+            kernel = matrix.spmm_partition if multi else matrix.spmv_partition
+
+            def task(kernel=kernel, y_direct=y_direct, y_local=y_local,
+                     start=start, end=end) -> None:
+                kernel(self._x, y_direct, y_local, start, end)
+
+            tasks.append(task)
+        return tasks
+
+    def _zero_workspaces(self) -> None:
+        self._y[...] = 0.0
+        self.driver.reduction.zero_locals(self._locals)
+
+    def _finish(self) -> None:
+        self.driver.reduction.reduce(self._y, self._locals)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._locals = []
+        super().close()
+
+    def footprint(self, k: int = 1):
+        """Working-set accounting of the bound reduction."""
+        return self.driver.reduction.footprint(k)
+
+
+class BoundSpMV(BoundOperator):
+    """Bound row-partitioned unsymmetric driver (CSR / CSX): no
+    reduction phase, rows are thread-exclusive."""
+
+    def _precompile(self) -> None:
+        self.driver.matrix.precompile(self.k)
+
+    def _build_tasks(self) -> list:
+        matrix = self.driver.matrix
+        multi = self.k is not None
+        tasks = []
+        # Match the unbound driver's dispatch: CSX partitions execute by
+        # index, CSR by row range.
+        if hasattr(matrix, "spmv_partition_only"):
+            for tid in range(self.driver.n_threads):
+                kernel = (
+                    matrix.spmm_partition_only
+                    if multi
+                    else matrix.spmv_partition_only
+                )
+
+                def task(kernel=kernel, tid=tid) -> None:
+                    kernel(self._x, self._y, tid)
+
+                tasks.append(task)
+        else:
+            for tid in range(self.driver.n_threads):
+                start, end = self.driver.partitions[tid]
+                kernel = matrix.spmm_rows if multi else matrix.spmv_rows
+
+                def task(kernel=kernel, start=start, end=end) -> None:
+                    kernel(self._x, self._y, start, end)
+
+                tasks.append(task)
+        return tasks

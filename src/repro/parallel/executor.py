@@ -36,9 +36,12 @@ class Executor:
     def __init__(self, mode: str = "serial", max_workers: Optional[int] = None):
         if mode not in ("serial", "threads"):
             raise ValueError(f"unknown executor mode {mode!r}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.mode = mode
         self.max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
 
     def run_batch(self, tasks: Sequence[Callable[[], None]]) -> None:
         """Execute all tasks; returns when every task has finished.
@@ -58,15 +61,24 @@ class Executor:
             f.result()  # propagate exceptions
 
     def _ensure_pool(self, n_tasks: int) -> ThreadPoolExecutor:
+        """Pool sized for the *current* batch: with no explicit
+        ``max_workers`` the pool grows when a later batch brings more
+        tasks than any earlier one (a pool sized by the first batch
+        would silently serialize the excess tasks forever)."""
+        want = self.max_workers if self.max_workers is not None else n_tasks
+        if self._pool is not None and want > self._pool_size:
+            self._pool.shutdown()
+            self._pool = None
         if self._pool is None:
-            workers = self.max_workers or n_tasks
-            self._pool = ThreadPoolExecutor(max_workers=workers)
+            self._pool_size = want
+            self._pool = ThreadPoolExecutor(max_workers=want)
         return self._pool
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+            self._pool_size = 0
 
     def __enter__(self) -> "Executor":
         return self

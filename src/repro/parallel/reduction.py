@@ -120,6 +120,19 @@ class ReductionMethod(abc.ABC):
         """``(y_direct, y_local)`` for thread ``tid``'s
         :meth:`~repro.formats.base.SymmetricFormat.spmv_partition` call."""
 
+    def zero_locals(self, locals_: list[Optional[np.ndarray]]) -> None:
+        """Reset persistent local buffers in place between bound
+        iterations.
+
+        Only the regions the multiplication phase writes (and the
+        reduction reads) need zeroing, so each method clears exactly its
+        own effective region — the amortized counterpart of re-allocating
+        fresh buffers every call. Default: full-length clear (naive).
+        """
+        for buf in locals_:
+            if buf is not None:
+                buf[...] = 0.0
+
     # -- reduction phase ------------------------------------------------
     @abc.abstractmethod
     def reduce(
@@ -205,6 +218,12 @@ class EffectiveRangesReduction(ReductionMethod):
         local = locals_[tid]
         return y, (local if local is not None else y)
 
+    def zero_locals(self, locals_: list[Optional[np.ndarray]]) -> None:
+        # Writes only ever land in [0, start_i) — clear just that.
+        for (start, _), buf in zip(self.partitions, locals_):
+            if buf is not None and start > 0:
+                buf[:start] = 0.0
+
     def reduce(self, y, locals_):
         for (start, _), buf in zip(self.partitions, locals_):
             if buf is not None and start > 0:
@@ -276,6 +295,14 @@ class IndexedReduction(ReductionMethod):
     def thread_targets(self, tid, y, locals_):
         local = locals_[tid]
         return y, (local if local is not None else y)
+
+    def zero_locals(self, locals_: list[Optional[np.ndarray]]) -> None:
+        # The index enumerates every row the multiplication phase can
+        # write (= every row the reduction reads), so clearing just the
+        # conflicting rows restores a pristine local vector.
+        for conflicts, buf in zip(self._per_thread_conflicts, locals_):
+            if buf is not None and conflicts.size:
+                buf[conflicts] = 0.0
 
     def reduce(self, y, locals_):
         # Grouped by vid (addition commutes, result identical to pair

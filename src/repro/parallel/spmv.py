@@ -127,6 +127,16 @@ class ParallelSymmetricSpMV:
         self.reduction.reduce(y, locals_)
         return y
 
+    def bind(self, k: Optional[int] = None):
+        """Return a :class:`~repro.parallel.bound.BoundSymmetricSpMV`:
+        persistent workspaces, precompiled tasks and scatters, for
+        repeated application with this signature (``k=None`` = 1-D
+        SpM×V, integer ``k`` = ``(N, k)`` SpM×M). The amortize-
+        across-calls layer iterative solvers use."""
+        from .bound import BoundSymmetricSpMV
+
+        return BoundSymmetricSpMV(self, k)
+
     def footprint(self, k: int = 1) -> ReductionFootprint:
         """Working-set accounting of the configured reduction (``k``
         right-hand sides per pass)."""
@@ -198,3 +208,11 @@ class ParallelSpMV:
             [make_task(tid) for tid in range(self.n_threads)]
         )
         return y
+
+    def bind(self, k: Optional[int] = None):
+        """Return a :class:`~repro.parallel.bound.BoundSpMV` with
+        persistent output workspace and precompiled tasks for repeated
+        application with this signature."""
+        from .bound import BoundSpMV
+
+        return BoundSpMV(self, k)

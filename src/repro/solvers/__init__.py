@@ -2,13 +2,14 @@
 the multi-RHS block CG riding the SpM×M fast path."""
 
 from .block_cg import BlockCGResult, block_conjugate_gradient
-from .cg import CGResult, conjugate_gradient
+from .cg import CGResult, bind_operator, conjugate_gradient
 from .pcg import jacobi_preconditioner, preconditioned_conjugate_gradient
 from .vecops import OpCounter, VectorOps
 
 __all__ = [
     "CGResult",
     "conjugate_gradient",
+    "bind_operator",
     "BlockCGResult",
     "block_conjugate_gradient",
     "jacobi_preconditioner",

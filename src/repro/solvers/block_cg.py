@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .cg import bind_operator
 from .vecops import OpCounter
 
 __all__ = ["BlockCGResult", "block_conjugate_gradient"]
@@ -83,6 +84,8 @@ def block_conjugate_gradient(
     ops = counter or OpCounter()
     if max_iter is None:
         max_iter = max(1, 10 * n)
+    # Bind once to the k-RHS signature, apply every iteration.
+    spmm = bind_operator(spmm, k)
 
     X = (
         np.zeros((n, k), dtype=np.float64)

@@ -15,7 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from .cg import CGResult
+from .cg import CGResult, bind_operator
 from .vecops import OpCounter, VectorOps
 
 __all__ = ["jacobi_preconditioner", "preconditioned_conjugate_gradient"]
@@ -58,6 +58,8 @@ def preconditioned_conjugate_gradient(
     ops = VectorOps(counter)
     if max_iter is None:
         max_iter = max(1, 10 * n)
+    # Bind once, apply every iteration (parallel drivers only).
+    spmv = bind_operator(spmv)
 
     x = (
         np.zeros(n, dtype=np.float64)

@@ -69,3 +69,39 @@ def test_close_idempotent():
     ex.run_batch([lambda: None])
     ex.close()
     ex.close()
+
+
+def test_invalid_max_workers_rejected():
+    with pytest.raises(ValueError):
+        Executor("threads", max_workers=0)
+
+
+def test_pool_grows_for_larger_batches():
+    # Regression: without max_workers the pool used to be sized by the
+    # first batch forever, silently serializing any later larger batch.
+    # A barrier only releases if all 8 tasks truly run concurrently.
+    with Executor("threads") as ex:
+        ex.run_batch([lambda: None])  # sizes the pool at 1
+        barrier = threading.Barrier(8)
+        timed_out = []
+
+        def make():
+            def task():
+                try:
+                    barrier.wait(timeout=5.0)
+                except threading.BrokenBarrierError:
+                    timed_out.append(True)
+
+            return task
+
+        ex.run_batch([make() for _ in range(8)])
+        assert not timed_out
+        assert ex._pool_size >= 8
+
+
+def test_explicit_max_workers_pool_stable():
+    with Executor("threads", max_workers=2) as ex:
+        ex.run_batch([lambda: None])
+        pool = ex._pool
+        ex.run_batch([lambda: None for _ in range(6)])
+        assert ex._pool is pool  # capped pools never regrow
