@@ -15,8 +15,14 @@ regimes:
 * ``bound``    — ``driver.bind()``: precompiled tasks, persistent
   zeroed-in-place workspaces, window-restricted scatters.
 
-It reports per-iteration wall-clock and the tracemalloc transient-peak
-per application window, plus a multi-RHS block-CG section (``k = 4``).
+It reports per-iteration wall-clock (p50 with the p95 tail, over the
+suite-wide warmup policy of ``common.timed_repeat``) and the
+tracemalloc transient-peak per application window, plus a multi-RHS
+block-CG section (``k = 4``), an informational ``bound_traced`` row
+(the same bound operator under a *recording* tracer), and the
+disabled-tracer overhead: the p50 ratio of the full ``__call__``
+dispatch (validation + one tracer check) over the raw ``_apply`` hot
+path, which must stay within ``TRACER_OVERHEAD_BUDGET``.
 Machine-readable output goes to ``results/BENCH_operator.json``.
 
 Runs standalone (``python benchmarks/bench_operator_overhead.py``,
@@ -39,11 +45,13 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from common import timed_repeat  # noqa: E402
 from repro.formats import COOMatrix, SSSMatrix  # noqa: E402
 from repro.matrices.generators import (  # noqa: E402
     banded_random,
     grid_laplacian_2d,
 )
+from repro.obs import Tracer, percentile, tracing  # noqa: E402
 from repro.parallel import (  # noqa: E402
     Executor,
     ParallelSymmetricSpMV,
@@ -57,6 +65,8 @@ SMOKE_CG_ITERS = 40
 BLOCK_K = 4
 ALLOC_WINDOW = 12          # applications per tracemalloc window
 TARGET_SPEEDUP = 1.5       # bound vs per_call, per-iteration CG
+TRACER_OVERHEAD_BUDGET = 0.03  # disabled-tracer dispatch vs raw _apply
+OVERHEAD_INNER = 40        # applications per overhead timing sample
 VARIANTS = ("per_call", "unbound", "bound")
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -113,22 +123,34 @@ def make_variants(coo: COOMatrix, n_threads: int = N_THREADS):
     return variants, close
 
 
-def time_cg(apply_fn, b: np.ndarray, iters: int) -> tuple[float, int]:
-    """Wall-clock of a fixed-iteration CG solve (``tol = 0`` keeps it
-    running the full ``iters``), and the SpM×V count actually run."""
-    t0 = time.perf_counter()
-    res = conjugate_gradient(
-        lambda x: apply_fn(x), b, tol=0.0, max_iter=iters
-    )
-    return time.perf_counter() - t0, res.n_spmv
+def time_cg(apply_fn, b: np.ndarray, iters: int,
+            repeats: int) -> tuple[dict, int]:
+    """p50/p95 stats of a fixed-iteration CG solve (``tol = 0`` keeps
+    it running the full ``iters``), and the SpM×V count per solve."""
+    n_spmv = 0
+
+    def solve() -> None:
+        nonlocal n_spmv
+        res = conjugate_gradient(
+            lambda x: apply_fn(x), b, tol=0.0, max_iter=iters
+        )
+        n_spmv = res.n_spmv
+
+    return timed_repeat(solve, repeats=repeats), n_spmv
 
 
-def time_block_cg(apply_fn, B: np.ndarray, iters: int) -> tuple[float, int]:
-    t0 = time.perf_counter()
-    res = block_conjugate_gradient(
-        lambda X: apply_fn(X), B, tol=0.0, max_iter=iters
-    )
-    return time.perf_counter() - t0, res.n_spmm
+def time_block_cg(apply_fn, B: np.ndarray, iters: int,
+                  repeats: int) -> tuple[dict, int]:
+    n_spmm = 0
+
+    def solve() -> None:
+        nonlocal n_spmm
+        res = block_conjugate_gradient(
+            lambda X: apply_fn(X), B, tol=0.0, max_iter=iters
+        )
+        n_spmm = res.n_spmm
+
+    return timed_repeat(solve, repeats=repeats), n_spmm
 
 
 def transient_peak_kb(apply_fn, x: np.ndarray,
@@ -174,38 +196,108 @@ def run_bench(matrices, iters: int, repeats: int = 3,
                 )
 
         for variant, fn in variants.items():
-            best, n_apply = float("inf"), 1
-            for _ in range(repeats):
-                elapsed, n_apply = time_cg(fn, b, iters)
-                best = min(best, elapsed)
+            stats, n_apply = time_cg(fn, b, iters, repeats)
             rows.append({
                 "matrix": name,
                 "section": "cg",
                 "variant": variant,
                 "iters": n_apply,
-                "per_iter_ms": best / max(1, n_apply) * 1e3,
+                "per_iter_ms": stats["p50_ms"] / max(1, n_apply),
+                "per_iter_p95_ms": stats["p95_ms"] / max(1, n_apply),
                 "alloc_peak_kb": transient_peak_kb(fn, b),
+            })
+
+        # Informational: the bound regime under a *recording* tracer
+        # (spans + counters live) — the enabled-tracer cost, excluded
+        # from the speedup targets.
+        with tracing(Tracer(enabled=True)):
+            stats, n_apply = time_cg(variants["bound"], b, iters, repeats)
+            rows.append({
+                "matrix": name,
+                "section": "cg",
+                "variant": "bound_traced",
+                "iters": n_apply,
+                "per_iter_ms": stats["p50_ms"] / max(1, n_apply),
+                "per_iter_p95_ms": stats["p95_ms"] / max(1, n_apply),
+                "alloc_peak_kb": transient_peak_kb(variants["bound"], b),
             })
 
         # Multi-RHS: rebind to the k signature for the bound regime.
         bound_k = variants["bound"].bind(block_k)
         variants_k = dict(variants, bound=bound_k)
         for variant, fn in variants_k.items():
-            best, n_apply = float("inf"), 1
-            for _ in range(repeats):
-                elapsed, n_apply = time_block_cg(fn, B, iters)
-                best = min(best, elapsed)
+            stats, n_apply = time_block_cg(fn, B, iters, repeats)
             rows.append({
                 "matrix": name,
                 "section": f"block_cg_k{block_k}",
                 "variant": variant,
                 "iters": n_apply,
-                "per_iter_ms": best / max(1, n_apply) * 1e3,
+                "per_iter_ms": stats["p50_ms"] / max(1, n_apply),
+                "per_iter_p95_ms": stats["p95_ms"] / max(1, n_apply),
                 "alloc_peak_kb": transient_peak_kb(fn, B),
             })
         bound_k.close()
         close()
     return rows
+
+
+def disabled_tracer_overhead(
+    matrices, n_threads: int = N_THREADS, rounds: int = 12,
+    inner: int = OVERHEAD_INNER,
+) -> dict:
+    """Per-application cost of the tracing hooks when no tracer is
+    active: ``bound(x)`` (input validation + one tracer-enabled check,
+    then ``_apply``) vs ``bound._apply(x)`` (the raw hot path, the
+    zero-instrumentation control). Serial executor so thread-pool
+    jitter does not drown the microsecond under measurement.
+
+    Two back-to-back A/B timing loops read CPU-frequency drift as fake
+    overhead several times larger than the real one, so each round
+    times both loops adjacently (order alternating between rounds) and
+    contributes one call/raw *ratio* — drift common to the pair
+    cancels — and the per-matrix estimate is the median ratio over the
+    rounds. ``overhead`` is the geomean of those medians minus 1
+    (0.01 = 1%)."""
+    per_matrix = {}
+    rng = np.random.default_rng(3)
+    for name, coo in matrices.items():
+        sss = SSSMatrix.from_coo(coo)
+        parts = partition_nnz_balanced(sss.expanded_row_nnz(), n_threads)
+        bound = ParallelSymmetricSpMV(sss, parts, "indexed").bind()
+        x = np.asarray(rng.standard_normal(coo.n_cols), dtype=np.float64)
+        raw = bound._apply
+
+        def sample(fn) -> float:
+            t0 = time.perf_counter_ns()
+            for _ in range(inner):
+                fn(x)
+            return (time.perf_counter_ns() - t0) / inner
+
+        sample(bound), sample(raw)  # warmup (caches, branch predictors)
+        ratios, call_ns, raw_ns = [], [], []
+        for r in range(rounds):
+            if r % 2 == 0:
+                c, w = sample(bound), sample(raw)
+            else:
+                w, c = sample(raw), sample(bound)
+            ratios.append(c / w)
+            call_ns.append(c)
+            raw_ns.append(w)
+        bound.close()
+        per_matrix[name] = {
+            "per_apply_call_ms": percentile(call_ns, 50) / 1e6,
+            "per_apply_raw_ms": percentile(raw_ns, 50) / 1e6,
+            "ratio": percentile(ratios, 50),
+        }
+    overhead = _geomean(
+        m["ratio"] for m in per_matrix.values()
+    ) - 1.0
+    return {
+        "per_matrix": per_matrix,
+        "overhead": overhead,
+        "budget": TRACER_OVERHEAD_BUDGET,
+        "pass": overhead <= TRACER_OVERHEAD_BUDGET,
+    }
 
 
 def _geomean(vals) -> float:
@@ -227,19 +319,19 @@ def geomean_speedup(rows, section: str, variant: str,
     )
 
 
-def render(rows) -> tuple[str, dict]:
+def render(rows, overhead=None) -> tuple[str, dict]:
     lines = [
-        "Bound-operator overhead — per-iteration CG wall-clock under "
-        "three operator regimes (SSS + indexed reduction)",
+        "Bound-operator overhead — per-iteration CG wall-clock (p50 of "
+        "repeats) under three operator regimes (SSS + indexed reduction)",
         "",
-        f"{'matrix':<14} {'section':<13} {'variant':<9} {'iters':>5} "
-        f"{'ms/iter':>9} {'peak KB':>9}",
+        f"{'matrix':<14} {'section':<13} {'variant':<12} {'iters':>5} "
+        f"{'p50 ms/it':>10} {'p95 ms/it':>10} {'peak KB':>9}",
     ]
     for r in rows:
         lines.append(
-            f"{r['matrix']:<14} {r['section']:<13} {r['variant']:<9} "
-            f"{r['iters']:>5} {r['per_iter_ms']:>9.4f} "
-            f"{r['alloc_peak_kb']:>9.1f}"
+            f"{r['matrix']:<14} {r['section']:<13} {r['variant']:<12} "
+            f"{r['iters']:>5} {r['per_iter_ms']:>10.4f} "
+            f"{r['per_iter_p95_ms']:>10.4f} {r['alloc_peak_kb']:>9.1f}"
         )
     lines.append("")
     sections = sorted({r["section"] for r in rows})
@@ -261,6 +353,16 @@ def render(rows) -> tuple[str, dict]:
     summary["target_speedup"] = TARGET_SPEEDUP
     summary["cg_bound_vs_per_call"] = target
     summary["pass"] = passed
+    if overhead is not None:
+        lines.append(
+            f"disabled-tracer overhead (bound __call__ vs raw _apply): "
+            f"{100 * overhead['overhead']:+.2f}% (budget "
+            f"{100 * overhead['budget']:.0f}%) -> "
+            f"{'PASS' if overhead['pass'] else 'FAIL'}"
+        )
+        summary["disabled_tracer_overhead"] = overhead["overhead"]
+        summary["tracer_overhead_budget"] = overhead["budget"]
+        summary["tracer_overhead_pass"] = overhead["pass"]
     return "\n".join(lines), summary
 
 
@@ -297,13 +399,16 @@ def main(argv=None) -> int:
     if args.iters is not None:
         iters = args.iters
     rows = run_bench(matrices, iters, args.repeats, args.threads)
-    text, summary = render(rows)
+    overhead = disabled_tracer_overhead(matrices, args.threads)
+    text, summary = render(rows, overhead)
     config = {
         "smoke": args.smoke, "iters": iters,
         "repeats": args.repeats, "threads": args.threads,
-        "block_k": BLOCK_K,
+        "block_k": BLOCK_K, "overhead_inner": OVERHEAD_INNER,
     }
-    write_json(rows, summary, config)
+    write_json(
+        rows, dict(summary, tracer_overhead_detail=overhead), config
+    )
     try:
         from common import write_result
 

@@ -12,12 +12,14 @@ Rendered artifacts are printed and written to ``results/``.
 from __future__ import annotations
 
 import os
+import time
 from functools import lru_cache
 from pathlib import Path
 
 import numpy as np
 
 from repro.analysis import build_format, thread_partitions
+from repro.obs import summarize_ns
 from repro.formats import CSRMatrix
 from repro.machine import (
     DUNNINGTON,
@@ -43,6 +45,30 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 #: Thread sweeps per platform (paper Fig. 9 / 11 x-axes).
 DUNNINGTON_THREADS = (1, 2, 4, 8, 12, 24)
 GAINESTOWN_THREADS = (1, 2, 4, 8, 16)
+
+#: Un-timed calls before any timed sample — the one warmup policy of
+#: the benchmark suite (lazy scatter/cache compilation happens here,
+#: never inside a timed window).
+WARMUP = 2
+
+
+def timed_repeat(fn, *, repeats: int = 5, warmup: int = WARMUP) -> dict:
+    """Run ``fn`` ``warmup`` times un-timed, then ``repeats`` timed
+    samples, summarized by the obs layer's :func:`summarize_ns` —
+    ``{count, total_ms, mean_ms, p50_ms, p95_ms, min_ms, max_ms}``.
+
+    Benchmarks report the p50 (robust location) and p95 (tail) instead
+    of best-of-N so one preempted sample neither defines nor hides the
+    result.
+    """
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        fn()
+        samples.append(time.perf_counter_ns() - t0)
+    return summarize_ns(samples)
 
 
 def write_result(name: str, text: str) -> Path:

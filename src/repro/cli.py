@@ -34,7 +34,15 @@ from .analysis import build_format, render_series, render_table
 from .formats import CSRMatrix, CSXSymMatrix, SSSMatrix
 from .machine import PLATFORMS, predict_serial_csr, predict_spmv
 from .matrices import SUITE, get_entry
-from .parallel import ParallelSpMV, ParallelSymmetricSpMV
+from .obs import (
+    Tracer,
+    load_trace,
+    text_report,
+    tracing,
+    validate_trace,
+    write_trace,
+)
+from .parallel import Executor, ParallelSpMV, ParallelSymmetricSpMV
 from .reorder import bandwidth_stats
 from .solvers import conjugate_gradient
 
@@ -59,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.01)
         p.add_argument("--threads", type=int, default=8)
 
+    def traceable(p):
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="record phase spans/counters and write a Chrome-"
+                 "loadable trace document (JSON) to PATH",
+        )
+        p.add_argument(
+            "--executor", default="serial", choices=("serial", "threads"),
+            help="task executor; 'threads' gives per-thread timelines "
+                 "in the trace",
+        )
+
     p_spmv = sub.add_parser("spmv", help="run one SpM×V configuration")
     common(p_spmv)
     p_spmv.add_argument("--format", default="sss", choices=_FORMATS)
@@ -69,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_spmv.add_argument(
         "--platform", default="dunnington", choices=sorted(PLATFORMS)
     )
+    traceable(p_spmv)
 
     p_sweep = sub.add_parser("sweep", help="thread sweep (Fig. 9/11 view)")
     common(p_sweep)
@@ -80,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_cg)
     p_cg.add_argument("--format", default="sss", choices=_FORMATS)
     p_cg.add_argument("--tol", type=float, default=1e-8)
+    traceable(p_cg)
+
+    p_trace = sub.add_parser(
+        "trace", help="validate and summarize a recorded trace file"
+    )
+    p_trace.add_argument("file", help="trace JSON written by --trace")
 
     p_stats = sub.add_parser(
         "stats", help="structural fingerprint of a suite matrix"
@@ -121,19 +148,40 @@ def _cmd_suite(args) -> int:
     return 0
 
 
-def _make_kernel(matrix, partitions, reduction):
+def _make_kernel(matrix, partitions, reduction, executor=None):
     if isinstance(matrix, (SSSMatrix, CSXSymMatrix)):
-        return ParallelSymmetricSpMV(matrix, partitions, reduction)
-    return ParallelSpMV(matrix, partitions)
+        return ParallelSymmetricSpMV(
+            matrix, partitions, reduction, executor=executor
+        )
+    return ParallelSpMV(matrix, partitions, executor=executor)
+
+
+def _trace_setup(args):
+    """(tracer, executor) for a traceable subcommand; the tracer is a
+    recording one only when ``--trace`` was given."""
+    tracer = Tracer(enabled=args.trace is not None)
+    executor = Executor(args.executor) if args.executor != "serial" else None
+    return tracer, executor
+
+
+def _trace_finish(args, tracer, meta) -> None:
+    """Write the trace document and print the phase report."""
+    if args.trace is None:
+        return
+    write_trace(args.trace, tracer, meta=meta)
+    print()
+    print(text_report(tracer, title=f"trace written to {args.trace}"))
 
 
 def _cmd_spmv(args) -> int:
     coo = get_entry(args.matrix).build(scale=args.scale)
     matrix, parts = build_format(coo, args.format, args.threads)
-    kernel = _make_kernel(matrix, parts, args.reduction)
+    tracer, executor = _trace_setup(args)
+    kernel = _make_kernel(matrix, parts, args.reduction, executor)
     rng = np.random.default_rng(0)
     x = rng.standard_normal(coo.n_cols)
-    y = kernel(x)
+    with tracing(tracer):
+        y = kernel(x)
     ref = CSRMatrix.from_coo(coo).spmv(x)
     ok = np.allclose(y, ref)
     platform = PLATFORMS[args.platform]
@@ -157,6 +205,15 @@ def _cmd_spmv(args) -> int:
         f"{pt.t_reduce * 1e6:.1f} us = {pt.total * 1e6:.1f} us "
         f"({pt.gflops:.2f} Gflop/s, {pt.speedup_over(base):.2f}x "
         "serial CSR)"
+    )
+    _trace_finish(
+        args, tracer,
+        meta={
+            "command": "spmv", "matrix": args.matrix,
+            "format": args.format, "threads": args.threads,
+            "reduction": args.reduction, "executor": args.executor,
+            "scale": args.scale,
+        },
     )
     return 0 if ok else 1
 
@@ -202,11 +259,13 @@ def _cmd_sweep(args) -> int:
 def _cmd_cg(args) -> int:
     coo = get_entry(args.matrix).build(scale=args.scale)
     matrix, parts = build_format(coo, args.format, args.threads)
-    spmv = _make_kernel(matrix, parts, "indexed")
+    tracer, executor = _trace_setup(args)
+    spmv = _make_kernel(matrix, parts, "indexed", executor)
     rng = np.random.default_rng(0)
     x_true = rng.standard_normal(coo.n_rows)
     b = CSRMatrix.from_coo(coo).spmv(x_true)
-    res = conjugate_gradient(spmv, b, tol=args.tol)
+    with tracing(tracer):
+        res = conjugate_gradient(spmv, b, tol=args.tol)
     err = float(np.abs(res.x - x_true).max())
     print(
         f"CG on {args.matrix} [{args.format}, {args.threads} threads]: "
@@ -214,7 +273,33 @@ def _cmd_cg(args) -> int:
         f"{res.iterations} iterations, residual {res.residual_norm:.2e}, "
         f"max error {err:.2e}"
     )
+    _trace_finish(
+        args, tracer,
+        meta={
+            "command": "cg", "matrix": args.matrix,
+            "format": args.format, "threads": args.threads,
+            "executor": args.executor, "scale": args.scale,
+            "tol": args.tol, "iterations": res.iterations,
+            "converged": bool(res.converged),
+        },
+    )
     return 0 if res.converged else 1
+
+
+def _cmd_trace(args) -> int:
+    try:
+        doc = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.file}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_trace(doc)
+    if problems:
+        print(f"{args.file}: INVALID trace document", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print(text_report(doc, title=args.file))
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -259,6 +344,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "cg": _cmd_cg,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 

@@ -16,6 +16,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.tracer import active as _active_tracer
+
 #: Bytes per non-zero value (double precision).
 VALUE_BYTES = 8
 #: Bytes per index entry (32-bit integers, as in the paper).
@@ -133,6 +135,12 @@ class RowScatter:
         if self.idx.size == 0:
             return
         lo, hi = self.lo, self.hi
+        tracer = _active_tracer()
+        if tracer.enabled:
+            # Window restriction savings: elements the full-length
+            # scatter would have streamed vs the effective window.
+            tracer.count("scatter.window_elems", hi - lo)
+            tracer.count("scatter.full_elems", y.shape[0])
         if y.ndim == 1:
             y[lo:hi] += np.bincount(
                 self._rebased, weights=products, minlength=hi - lo
@@ -140,6 +148,11 @@ class RowScatter:
             return
         k = y.shape[1]
         flat = self._flat.get(k)
+        if tracer.enabled:
+            tracer.count(
+                "scatter.flat_hit" if flat is not None
+                else "scatter.flat_miss"
+            )
         if flat is None:
             self.compile(k)
             flat = self._flat[k]

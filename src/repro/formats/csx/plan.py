@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ...obs.tracer import active as _active_tracer
 from ..base import RowScatter, bounded_cache_insert
 from .substructures import PatternKey, PatternType, Unit, unit_coordinates
 
@@ -84,6 +85,11 @@ class ExecutionPlan:
     def _scatter_for(self, i: int) -> RowScatter:
         """Cached window-restricted row scatter of kernel ``i``."""
         sc = self._row_scatters.get(i)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.count(
+                "csx.scatter_hit" if sc is not None else "csx.scatter_miss"
+            )
         if sc is None:
             k = self.kernels[i]
             idx = k.rows2d[:, 0] if k.row_uniform else k.rows2d.ravel()
@@ -94,6 +100,11 @@ class ExecutionPlan:
         """Cached local/direct split of kernel ``i``'s transposed
         writes at ``boundary`` (positions + window scatters)."""
         cache = self._tsplit_cache.get((i, boundary))
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.count(
+                "csx.tsplit_hit" if cache is not None else "csx.tsplit_miss"
+            )
         if cache is None:
             cols = self.kernels[i].cols2d.ravel()
             local_pos = np.flatnonzero(cols < boundary)

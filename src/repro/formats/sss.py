@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.tracer import active as _active_tracer
 from .base import (
     INDEX_BYTES,
     VALUE_BYTES,
@@ -199,6 +200,12 @@ class SSSMatrix(SymmetricFormat):
         1-D and multi-RHS partition kernels)."""
         key = (row_start, row_end)
         cache = self._spmm_part_cache.get(key)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.count(
+                "sss.part_split_hit" if cache is not None
+                else "sss.part_split_miss"
+            )
         if cache is None:
             lo, hi = self.rowptr[row_start], self.rowptr[row_end]
             cols = self.colind[lo:hi]

@@ -18,9 +18,13 @@ copy it (or pass ``out=``) to keep a result.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
+
+from ..obs.tracer import active as _active_tracer, warn as _obs_warn
+from .spmv import _record_traffic
 
 __all__ = ["BoundOperator", "BoundSymmetricSpMV", "BoundSpMV"]
 
@@ -62,9 +66,23 @@ class BoundOperator:
         shape = (m.n_rows,) if k is None else (m.n_rows, k)
         self._y = np.zeros(shape, dtype=np.float64)
         self._x: Optional[np.ndarray] = None
-        self._precompile()
-        self._allocate_workspaces()
-        self._tasks = self._build_tasks()
+        self._x_shape = (m.n_cols,) if k is None else (m.n_cols, k)
+        tracer = _active_tracer()
+        with tracer.span("bind", k=k, threads=driver.n_threads):
+            with tracer.span("bind.precompile"):
+                self._precompile()
+            with tracer.span("bind.workspaces"):
+                self._allocate_workspaces()
+            with tracer.span("bind.tasks"):
+                self._tasks = self._build_tasks()
+        # Elements _zero_workspaces clears per call (constant once
+        # bound) — reported through the "bound.zeroed_elements" counter.
+        self._zero_volume = int(self._y.size) + self._locals_zero_volume()
+
+    def _locals_zero_volume(self) -> int:
+        """Local-workspace elements zeroed per call (0 when the driver
+        has no local buffers)."""
+        return 0
 
     # -- bind-time hooks (overridden per driver kind) -------------------
     def _precompile(self) -> None:
@@ -105,8 +123,7 @@ class BoundOperator:
         return self.driver.bind(k)
 
     def _expected_x_shape(self) -> tuple[int, ...]:
-        n = self.driver.matrix.n_cols
-        return (n,) if self.k is None else (n, self.k)
+        return self._x_shape
 
     def __call__(
         self, x: np.ndarray, out: Optional[np.ndarray] = None
@@ -119,16 +136,27 @@ class BoundOperator:
         if self._closed:
             raise RuntimeError("operator is closed; bind() a new one")
         x = np.asarray(x, dtype=np.float64)
-        expected = self._expected_x_shape()
-        if x.shape != expected:
+        if x.shape != self._x_shape:
             raise ValueError(
-                f"x has shape {x.shape}, expected {expected} for an "
-                f"operator bound with k={self.k}"
+                f"x has shape {x.shape}, expected {self._x_shape} for "
+                f"an operator bound with k={self.k}"
             )
         if x is self._y:
             # Power-iteration style y = op(op(x)) must not zero its own
             # input when the caller feeds the workspace back in.
             x = x.copy()
+        tracer = _active_tracer()
+        if tracer.enabled:
+            return self._apply_traced(tracer, x, out)
+        return self._apply(x, out)
+
+    def _apply(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """The uninstrumented hot path (input already validated).
+        ``__call__`` dispatches here when no tracer is active; the
+        overhead benchmark times this directly as the zero-
+        instrumentation control for the disabled-tracer overhead."""
         self._zero_workspaces()
         self._x = x
         try:
@@ -136,6 +164,37 @@ class BoundOperator:
         finally:
             self._x = None
         self._finish()
+        self.n_calls += 1
+        if out is not None:
+            np.copyto(out, self._y)
+            return out
+        return self._y
+
+    def _apply_traced(
+        self, tracer, x: np.ndarray, out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """The same application wrapped in phase spans and counters.
+        Phase names match the unbound driver ("spmv.mult" /
+        "spmv.reduce") so summaries aggregate across both paths."""
+        with tracer.span("bound.apply", k=self.k):
+            with tracer.span("bound.zero"):
+                self._zero_workspaces()
+            tracer.count("bound.zeroed_elements", self._zero_volume)
+            self._x = x
+            try:
+                with tracer.span("spmv.mult"):
+                    self.driver.executor.run_batch(
+                        self._tasks, label="spmv.mult.task"
+                    )
+            finally:
+                self._x = None
+            with tracer.span("spmv.reduce"):
+                self._finish()
+            tracer.count("bound.calls")
+            _record_traffic(
+                tracer, self.driver.matrix, self.k,
+                getattr(self.driver, "reduction", None),
+            )
         self.n_calls += 1
         if out is not None:
             np.copyto(out, self._y)
@@ -152,13 +211,31 @@ class BoundOperator:
         self._closed = True
         self._tasks = []
         self._y = None
-        self.driver.matrix.clear_caches()
+        with _active_tracer().span("bound.close"):
+            self.driver.matrix.clear_caches()
 
     def __enter__(self) -> "BoundOperator":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def __del__(self):
+        # A bound operator owns workspaces and pinned format caches;
+        # relying on GC to release them is a leak pattern. Count it
+        # (obs warning counter, visible in every trace export) and
+        # raise the standard ResourceWarning.
+        try:
+            if not self._closed:
+                _obs_warn("bound_operator.unclosed_gc")
+                warnings.warn(
+                    f"{type(self).__name__} garbage-collected without "
+                    "close(); use close() or a with-block",
+                    ResourceWarning,
+                    stacklevel=2,
+                )
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else f"calls={self.n_calls}"
@@ -179,6 +256,9 @@ class BoundSymmetricSpMV(BoundOperator):
 
     def _allocate_workspaces(self) -> None:
         self._locals = self.driver.reduction.allocate_locals(self.k)
+
+    def _locals_zero_volume(self) -> int:
+        return int(self.driver.reduction.zeroed_elements(self.k))
 
     def _build_tasks(self) -> list:
         matrix = self.driver.matrix

@@ -19,6 +19,8 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Optional, Sequence
 
+from ..obs.tracer import active as _active_tracer
+
 __all__ = ["Executor"]
 
 
@@ -43,14 +45,35 @@ class Executor:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
 
-    def run_batch(self, tasks: Sequence[Callable[[], None]]) -> None:
+    def run_batch(
+        self,
+        tasks: Sequence[Callable[[], None]],
+        label: Optional[str] = None,
+    ) -> None:
         """Execute all tasks; returns when every task has finished.
 
         Tasks must be mutually data-race-free (they are: each writes
         disjoint array regions or thread-private buffers).
+
+        When a tracer is active, each task runs inside a span named
+        ``label`` (default ``"task"``) with its batch index as the
+        ``tid`` attribute — recorded on the executing thread, so the
+        Chrome export shows the real per-thread timeline.
         """
         if not tasks:
             return
+        tracer = _active_tracer()
+        if tracer.enabled:
+            name = label or "task"
+
+            def _traced(task, i):
+                def run() -> None:
+                    with tracer.span(name, tid=i):
+                        task()
+
+                return run
+
+            tasks = [_traced(task, i) for i, task in enumerate(tasks)]
         if self.mode == "serial":
             for task in tasks:
                 task()

@@ -133,6 +133,20 @@ class ReductionMethod(abc.ABC):
             if buf is not None:
                 buf[...] = 0.0
 
+    def zeroed_elements(self, k: Optional[int] = None) -> int:
+        """Local-buffer elements :meth:`zero_locals` clears per call —
+        the workspace-zero volume a bound operator's tracer counter
+        reports. Default matches the full-length clear (naive)."""
+        per_buf = self.n_rows * (k or 1)
+        return sum(1 for s, _ in self.partitions if self._has_local(s)) \
+            * per_buf
+
+    def _has_local(self, start: int) -> bool:
+        """Whether a partition starting at ``start`` owns a local
+        buffer (naive: always; effective/indexed: only when the
+        effective region is non-empty)."""
+        return True
+
     # -- reduction phase ------------------------------------------------
     @abc.abstractmethod
     def reduce(
@@ -224,6 +238,12 @@ class EffectiveRangesReduction(ReductionMethod):
             if buf is not None and start > 0:
                 buf[:start] = 0.0
 
+    def zeroed_elements(self, k: Optional[int] = None) -> int:
+        return sum(start for start, _ in self.partitions) * (k or 1)
+
+    def _has_local(self, start: int) -> bool:
+        return start > 0
+
     def reduce(self, y, locals_):
         for (start, _), buf in zip(self.partitions, locals_):
             if buf is not None and start > 0:
@@ -303,6 +323,12 @@ class IndexedReduction(ReductionMethod):
         for conflicts, buf in zip(self._per_thread_conflicts, locals_):
             if buf is not None and conflicts.size:
                 buf[conflicts] = 0.0
+
+    def zeroed_elements(self, k: Optional[int] = None) -> int:
+        return self.n_pairs * (k or 1)
+
+    def _has_local(self, start: int) -> bool:
+        return start > 0
 
     def reduce(self, y, locals_):
         # Grouped by vid (addition commutes, result identical to pair

@@ -18,11 +18,39 @@ import numpy as np
 from ..formats.base import SymmetricFormat
 from ..formats.csr import CSRMatrix
 from ..formats.csx.matrix import CSXMatrix
+from ..obs.tracer import Tracer, active as _active_tracer
 from .executor import Executor
 from .partition import validate_partitions
 from .reduction import ReductionFootprint, ReductionMethod, make_reduction
 
 __all__ = ["ParallelSymmetricSpMV", "ParallelSpMV"]
+
+
+def _record_traffic(
+    tracer: Tracer, matrix, k: Optional[int], reduction=None
+) -> None:
+    """Model-relevant traffic counters for one driver application:
+    matrix/stream bytes from the :mod:`repro.analysis.traffic` model and
+    (for symmetric drivers) the reduction rows actually touched vs the
+    full effective-ranges budget ``N·(p-1)``. Only called when a tracer
+    is enabled, so the analysis import stays off the cold-start path
+    (and avoids a module-level cycle: analysis imports parallel)."""
+    from ..analysis.traffic import spmm_stream_bytes, spmv_stream_bytes
+
+    size = matrix.size_bytes()
+    if k is None:
+        stream = spmv_stream_bytes(size, matrix.n_rows, matrix.n_cols)
+    else:
+        stream = spmm_stream_bytes(size, matrix.n_rows, matrix.n_cols, k)
+    tracer.count("traffic.matrix_bytes", size)
+    tracer.count("traffic.stream_bytes", stream)
+    if reduction is not None:
+        fp = reduction.footprint(k or 1)
+        tracer.count("reduce.rows_touched", fp.reduction_reads)
+        tracer.count(
+            "reduce.rows_budget",
+            reduction.n_rows * max(0, reduction.n_threads - 1) * (k or 1),
+        )
 
 
 def _check_driver_x(x: np.ndarray, n_cols: int) -> np.ndarray:
@@ -99,8 +127,10 @@ class ParallelSymmetricSpMV:
         x = _check_driver_x(x, self.matrix.n_cols)
         y = _prepare_driver_y(y, self.matrix.n_rows, x)
         multi = x.ndim == 2
+        k = x.shape[1] if multi else None
+        tracer = _active_tracer()
 
-        locals_ = self.reduction.allocate_locals(x.shape[1] if multi else None)
+        locals_ = self.reduction.allocate_locals(k)
 
         # Phase 1 — multiplication (Alg. 3 lines 2-11), one task/thread.
         def make_mult_task(tid: int):
@@ -119,12 +149,18 @@ class ParallelSymmetricSpMV:
 
             return task
 
-        self.executor.run_batch(
-            [make_mult_task(tid) for tid in range(self.n_threads)]
-        )
+        with tracer.span("spmv.mult"):
+            self.executor.run_batch(
+                [make_mult_task(tid) for tid in range(self.n_threads)],
+                label="spmv.mult.task",
+            )
 
         # Phase 2 — reduction (Alg. 3 lines 12-16 / Section III-C).
-        self.reduction.reduce(y, locals_)
+        with tracer.span("spmv.reduce"):
+            self.reduction.reduce(y, locals_)
+        if tracer.enabled:
+            tracer.count("spmv.calls")
+            _record_traffic(tracer, self.matrix, k, self.reduction)
         return y
 
     def bind(self, k: Optional[int] = None):
@@ -179,6 +215,7 @@ class ParallelSpMV:
         x = _check_driver_x(x, self.matrix.n_cols)
         y = _prepare_driver_y(y, self.matrix.n_rows, x)
         multi = x.ndim == 2
+        tracer = _active_tracer()
 
         if isinstance(self.matrix, CSXMatrix):
 
@@ -204,9 +241,16 @@ class ParallelSpMV:
 
                 return task
 
-        self.executor.run_batch(
-            [make_task(tid) for tid in range(self.n_threads)]
-        )
+        with tracer.span("spmv.mult"):
+            self.executor.run_batch(
+                [make_task(tid) for tid in range(self.n_threads)],
+                label="spmv.mult.task",
+            )
+        if tracer.enabled:
+            tracer.count("spmv.calls")
+            _record_traffic(
+                tracer, self.matrix, x.shape[1] if multi else None
+            )
         return y
 
     def bind(self, k: Optional[int] = None):

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs.tracer import Tracer, active as _active_tracer
 from .cg import bind_operator
 from .vecops import OpCounter
 
@@ -55,6 +56,7 @@ def block_conjugate_gradient(
     max_iter: Optional[int] = None,
     record_history: bool = False,
     counter: Optional[OpCounter] = None,
+    trace: Optional[Tracer] = None,
 ) -> BlockCGResult:
     """Solve ``A X = B`` column-wise for symmetric positive definite
     ``A``, sharing one SpM×M per iteration across all columns.
@@ -72,6 +74,10 @@ def block_conjugate_gradient(
     record_history : keep per-iteration residual norms, shape
         ``(iters+1, k)``.
     counter : optional shared :class:`OpCounter` for the vector ops.
+    trace : optional :class:`~repro.obs.Tracer` — "cg.spmm" /
+        "cg.vecops" phase spans and one "cg.iter" event (max residual
+        over the still-active columns) per iteration. Defaults to the
+        globally active tracer.
 
     Returns
     -------
@@ -82,10 +88,12 @@ def block_conjugate_gradient(
         raise ValueError(f"B must be (n, k), got shape {B.shape}")
     n, k = B.shape
     ops = counter or OpCounter()
+    tracer = trace if trace is not None else _active_tracer()
     if max_iter is None:
         max_iter = max(1, 10 * n)
     # Bind once to the k-RHS signature, apply every iteration.
-    spmm = bind_operator(spmm, k)
+    with tracer.span("cg.bind"):
+        spmm = bind_operator(spmm, k)
 
     X = (
         np.zeros((n, k), dtype=np.float64)
@@ -100,7 +108,9 @@ def block_conjugate_gradient(
         R = B.copy()
         ops.add(0.0, 16.0 * n * k)
     else:
-        R = B - spmm(X)
+        with tracer.span("cg.spmm"):
+            AX = spmm(X)
+        R = B - AX
         n_spmm += 1
         ops.add(float(n * k), 24.0 * n * k)
 
@@ -122,32 +132,43 @@ def block_conjugate_gradient(
     it = 0
     while it < max_iter and not np.all(converged | stalled):
         it += 1
-        Q = spmm(P)  # one matrix pass for all k columns
+        with tracer.span("cg.spmm"):
+            Q = spmm(P)  # one matrix pass for all k columns
         n_spmm += 1
-        pq = np.einsum("ij,ij->j", P, Q)
-        ops.add(2.0 * n * k, _F8 * 2 * n * k)
+        with tracer.span("cg.vecops"):
+            pq = np.einsum("ij,ij->j", P, Q)
+            ops.add(2.0 * n * k, _F8 * 2 * n * k)
 
-        active = ~(converged | stalled)
-        stalled |= active & (pq <= 0)
-        active &= pq > 0
+            active = ~(converged | stalled)
+            stalled |= active & (pq <= 0)
+            active &= pq > 0
 
-        alpha = np.where(active, rs / np.where(pq != 0, pq, 1.0), 0.0)
-        X += alpha * P                         # x_j ← x_j + α_j p_j
-        R -= alpha * Q                         # r_j ← r_j - α_j A p_j
-        ops.add(4.0 * n * k, _F8 * 6 * n * k)
+            alpha = np.where(active, rs / np.where(pq != 0, pq, 1.0), 0.0)
+            X += alpha * P                         # x_j ← x_j + α_j p_j
+            R -= alpha * Q                         # r_j ← r_j - α_j A p_j
+            ops.add(4.0 * n * k, _F8 * 6 * n * k)
 
-        rs_new = np.einsum("ij,ij->j", R, R)
-        ops.add(2.0 * n * k, _F8 * n * k)
-        res_norms = np.where(active, np.sqrt(rs_new), res_norms)
+            rs_new = np.einsum("ij,ij->j", R, R)
+            ops.add(2.0 * n * k, _F8 * n * k)
+            res_norms = np.where(active, np.sqrt(rs_new), res_norms)
         if record_history:
             history.append(res_norms.copy())
-        converged |= active & (res_norms <= thresholds)
-        active &= ~converged
+        tracer.event(
+            "cg.iter",
+            iteration=it,
+            residual=float(np.max(np.where(active, res_norms, 0.0)))
+            if np.any(active)
+            else float(np.max(res_norms)),
+            active_columns=int(np.count_nonzero(active)),
+        )
+        with tracer.span("cg.vecops"):
+            converged |= active & (res_norms <= thresholds)
+            active &= ~converged
 
-        beta = np.where(active, rs_new / np.where(rs != 0, rs, 1.0), 0.0)
-        P = np.where(active, R + beta * P, P)  # p_j ← r_j + β_j p_j
-        ops.add(2.0 * n * k, _F8 * 3 * n * k)
-        rs = np.where(active, rs_new, rs)
+            beta = np.where(active, rs_new / np.where(rs != 0, rs, 1.0), 0.0)
+            P = np.where(active, R + beta * P, P)  # p_j ← r_j + β_j p_j
+            ops.add(2.0 * n * k, _F8 * 3 * n * k)
+            rs = np.where(active, rs_new, rs)
 
     return BlockCGResult(
         X,

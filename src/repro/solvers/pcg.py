@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs.tracer import Tracer, active as _active_tracer
 from .cg import CGResult, bind_operator
 from .vecops import OpCounter, VectorOps
 
@@ -46,20 +47,24 @@ def preconditioned_conjugate_gradient(
     tol: float = 1e-8,
     max_iter: Optional[int] = None,
     counter: Optional[OpCounter] = None,
+    trace: Optional[Tracer] = None,
 ) -> CGResult:
     """Solve ``A x = b`` with left-preconditioned CG.
 
     Same contract as :func:`repro.solvers.cg.conjugate_gradient`; the
     preconditioner application is counted as one vector op per
-    iteration (3n element traffic, n flops for Jacobi).
+    iteration (3n element traffic, n flops for Jacobi) and telemetered
+    under its own "cg.precond" span.
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.size
     ops = VectorOps(counter)
+    tracer = trace if trace is not None else _active_tracer()
     if max_iter is None:
         max_iter = max(1, 10 * n)
     # Bind once, apply every iteration (parallel drivers only).
-    spmv = bind_operator(spmv)
+    with tracer.span("cg.bind"):
+        spmv = bind_operator(spmv)
 
     x = (
         np.zeros(n, dtype=np.float64)
@@ -71,14 +76,17 @@ def preconditioned_conjugate_gradient(
         r = b.copy()
         ops.counter.add(0.0, 16.0 * n)
     else:
-        r = b - spmv(x)
+        with tracer.span("cg.spmv"):
+            Ax = spmv(x)
+        r = b - Ax
         n_spmv += 1
         ops.counter.add(float(n), 24.0 * n)
 
     b_norm = float(np.linalg.norm(b))
     threshold = tol * (b_norm if b_norm > 0 else 1.0)
 
-    z = precond(r)
+    with tracer.span("cg.precond"):
+        z = precond(r)
     ops.counter.add(float(n), 24.0 * n)
     rz = ops.dot(r, z)
     res_norm = float(np.linalg.norm(r))
@@ -93,24 +101,31 @@ def preconditioned_conjugate_gradient(
     converged = False
     it = 0
     for it in range(1, max_iter + 1):
-        q = spmv(p)
+        with tracer.span("cg.spmv"):
+            q = spmv(p)
         n_spmv += 1
-        pq = ops.dot(p, q)
-        if pq <= 0:
+        with tracer.span("cg.vecops"):
+            pq = ops.dot(p, q)
+            indefinite = pq <= 0
+            if not indefinite:
+                alpha = rz / pq
+                ops.axpy(alpha, p, x)
+                ops.axpy(-alpha, q, r)
+                res_norm = float(np.linalg.norm(r))
+                ops.counter.add(2.0 * n, 8.0 * n)
+        if indefinite:
             break
-        alpha = rz / pq
-        ops.axpy(alpha, p, x)
-        ops.axpy(-alpha, q, r)
-        res_norm = float(np.linalg.norm(r))
-        ops.counter.add(2.0 * n, 8.0 * n)
+        tracer.event("cg.iter", iteration=it, residual=res_norm)
         if res_norm <= threshold:
             converged = True
             break
-        z = precond(r)
+        with tracer.span("cg.precond"):
+            z = precond(r)
         ops.counter.add(float(n), 24.0 * n)
-        rz_new = ops.dot(r, z)
-        beta = rz_new / rz
-        ops.xpay(z, beta, p)
+        with tracer.span("cg.vecops"):
+            rz_new = ops.dot(r, z)
+            beta = rz_new / rz
+            ops.xpay(z, beta, p)
         rz = rz_new
 
     return CGResult(

@@ -100,3 +100,78 @@ def test_unknown_matrix_rejected():
 def test_unknown_format_rejected():
     with pytest.raises(SystemExit):
         main(["spmv", "--format", "ellpack"])
+
+
+def test_cg_trace_writes_valid_document(tmp_path, capsys):
+    from repro.obs import load_trace, validate_trace
+
+    path = tmp_path / "trace.json"
+    rc = main(
+        [
+            "cg", "--matrix", "consph", "--scale", "0.005",
+            "--threads", "2", "--trace", str(path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace written" in out and "spmv.mult" in out
+    doc = load_trace(path)
+    assert validate_trace(doc) == []
+    assert doc["meta"]["command"] == "cg"
+    assert doc["summary"]["spans"]["cg.spmv"]["count"] >= 1
+
+
+def test_spmv_trace_with_threads_executor(tmp_path):
+    from repro.obs import load_trace, validate_trace
+
+    path = tmp_path / "trace.json"
+    rc = main(
+        [
+            "spmv", "--matrix", "consph", "--scale", "0.005",
+            "--threads", "4", "--trace", str(path),
+            "--executor", "threads",
+        ]
+    )
+    assert rc == 0
+    doc = load_trace(path)
+    assert validate_trace(doc) == []
+    tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert len(tids) > 1  # a real per-thread timeline
+
+
+def test_trace_subcommand_round_trip(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(
+        [
+            "cg", "--matrix", "consph", "--scale", "0.005",
+            "--threads", "2", "--trace", str(path),
+        ]
+    ) == 0
+    capsys.readouterr()
+    rc = main(["trace", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cg.spmv" in out and "counters" in out
+
+
+def test_trace_subcommand_rejects_invalid(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "bogus"}')
+    assert main(["trace", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+    missing = tmp_path / "missing.json"
+    assert main(["trace", str(missing)]) == 1
+
+
+def test_untraced_commands_leave_no_trace_flag_behind(capsys):
+    # --trace defaults to None: no tracer stays active afterwards.
+    from repro.obs import NULL_TRACER, active
+
+    rc = main(
+        [
+            "cg", "--matrix", "consph", "--scale", "0.005",
+            "--threads", "2",
+        ]
+    )
+    assert rc == 0
+    assert active() is NULL_TRACER
