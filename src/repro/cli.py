@@ -11,6 +11,10 @@ Subcommands
     Thread sweep for one matrix (the Fig. 9/11 view).
 ``cg``
     Solve a random SPD system from the suite with the chosen kernel.
+``fuzz``
+    Differential fuzzing of every format × driver × kernel against a
+    dense NumPy oracle (seed-deterministic; mismatches shrink to a
+    ready-to-paste regression test).
 
 Examples
 --------
@@ -107,6 +111,40 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="validate and summarize a recorded trace file"
     )
     p_trace.add_argument("file", help="trace JSON written by --trace")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: all formats/drivers vs dense oracle",
+    )
+    p_fuzz.add_argument(
+        "--cases", type=int, default=500,
+        help="number of generated matrix cases (default 500)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="run seed; every case derives from (seed, index)",
+    )
+    p_fuzz.add_argument(
+        "--budget", type=float, default=None,
+        help="wall-clock cap in seconds (stops generating new cases)",
+    )
+    p_fuzz.add_argument(
+        "--k", type=int, default=3,
+        help="right-hand-side count for the SpM×M checks",
+    )
+    p_fuzz.add_argument(
+        "--max-mismatches", type=int, default=5,
+        help="stop after this many mismatches",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip ddmin reduction of failing cases",
+    )
+    p_fuzz.add_argument(
+        "--reproducer", metavar="PATH", default=None,
+        help="write the first mismatch's ready-to-paste regression "
+             "test to PATH",
+    )
 
     p_stats = sub.add_parser(
         "stats", help="structural fingerprint of a suite matrix"
@@ -286,6 +324,30 @@ def _cmd_cg(args) -> int:
     return 0 if res.converged else 1
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        cases=args.cases,
+        seed=args.seed,
+        budget=args.budget,
+        k=args.k,
+        shrink=not args.no_shrink,
+        max_mismatches=args.max_mismatches,
+    )
+    report = run_fuzz(config)
+    print(report.summary())
+    if report.mismatches and args.reproducer:
+        first = next(
+            (m for m in report.mismatches if m.reproducer), None
+        )
+        if first is not None:
+            with open(args.reproducer, "w") as fh:
+                fh.write(first.reproducer)
+            print(f"reproducer written to {args.reproducer}")
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args) -> int:
     try:
         doc = load_trace(args.file)
@@ -345,6 +407,7 @@ _COMMANDS = {
     "cg": _cmd_cg,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
+    "fuzz": _cmd_fuzz,
 }
 
 

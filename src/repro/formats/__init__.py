@@ -11,6 +11,18 @@ from .csb import CSBMatrix, CSBSymMatrix
 from .csr import CSRMatrix
 from .csx import CSXMatrix, CSXSymMatrix, DetectionConfig
 from .sss import SSSMatrix
+from .validate import (
+    BoundsError,
+    CanonicalityError,
+    DTypeError,
+    NonFiniteError,
+    ParseError,
+    PartitionError,
+    ShapeError,
+    SymmetryError,
+    TriangleConventionError,
+    ValidationError,
+)
 
 __all__ = [
     "SparseFormat",
@@ -26,4 +38,14 @@ __all__ = [
     "CSBSymMatrix",
     "INDEX_BYTES",
     "VALUE_BYTES",
+    "ValidationError",
+    "ShapeError",
+    "DTypeError",
+    "BoundsError",
+    "NonFiniteError",
+    "CanonicalityError",
+    "TriangleConventionError",
+    "SymmetryError",
+    "ParseError",
+    "PartitionError",
 ]

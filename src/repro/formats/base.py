@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from ..obs.tracer import active as _active_tracer
+from .validate import check_spmm_args, check_spmv_args
 
 #: Bytes per non-zero value (double precision).
 VALUE_BYTES = 8
@@ -245,23 +246,7 @@ class SparseFormat(abc.ABC):
         self, x: np.ndarray, y: Optional[np.ndarray]
     ) -> tuple[np.ndarray, np.ndarray]:
         """Validate/allocate SpM×V operands. Returns ``(x, y)``."""
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != (self.n_cols,):
-            raise ValueError(
-                f"x has shape {x.shape}, expected ({self.n_cols},) for "
-                f"{self.format_name} matrix of shape {self.shape}"
-            )
-        if y is None:
-            y = np.zeros(self.n_rows, dtype=np.float64)
-        else:
-            if y.shape != (self.n_rows,):
-                raise ValueError(
-                    f"y has shape {y.shape}, expected ({self.n_rows},)"
-                )
-            if y.dtype != np.float64:
-                raise TypeError("y must be float64")
-            y[:] = 0.0
-        return x, y
+        return check_spmv_args(self.shape, self.format_name, x, y)
 
     def _check_spmm_args(
         self, X: np.ndarray, Y: Optional[np.ndarray]
@@ -272,24 +257,7 @@ class SparseFormat(abc.ABC):
         ``(n_cols, k)``; ``Y`` is allocated (or zeroed) with shape
         ``(n_rows, k)``.
         """
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim != 2 or X.shape[0] != self.n_cols:
-            raise ValueError(
-                f"X has shape {X.shape}, expected ({self.n_cols}, k) for "
-                f"{self.format_name} matrix of shape {self.shape}"
-            )
-        k = X.shape[1]
-        if Y is None:
-            Y = np.zeros((self.n_rows, k), dtype=np.float64)
-        else:
-            if Y.shape != (self.n_rows, k):
-                raise ValueError(
-                    f"Y has shape {Y.shape}, expected ({self.n_rows}, {k})"
-                )
-            if Y.dtype != np.float64:
-                raise TypeError("Y must be float64")
-            Y[:] = 0.0
-        return X, Y
+        return check_spmm_args(self.shape, self.format_name, X, Y)
 
     def spmm(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
         """Multi-RHS product ``Y = A @ X`` for ``X`` of shape

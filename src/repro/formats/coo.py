@@ -12,6 +12,11 @@ from typing import Optional
 import numpy as np
 
 from .base import INDEX_BYTES, VALUE_BYTES, RowScatter, SparseFormat
+from .validate import (
+    check_entry_arrays,
+    check_finite,
+    check_index_bounds,
+)
 
 __all__ = ["COOMatrix"]
 
@@ -29,6 +34,9 @@ class COOMatrix(SparseFormat):
     drop_zeros : bool
         Remove explicitly stored zero values (default False — formats
         may legitimately carry explicit zeros, e.g. inside CSX blocks).
+    allow_nonfinite : bool
+        Permit NaN/inf stored values (default False: construction
+        raises :class:`~repro.formats.validate.NonFiniteError`).
     """
 
     format_name = "coo"
@@ -42,31 +50,33 @@ class COOMatrix(SparseFormat):
         *,
         sum_duplicates: bool = True,
         drop_zeros: bool = False,
+        allow_nonfinite: bool = False,
     ):
         super().__init__(shape)
         rows = np.asarray(rows, dtype=np.int32)
         cols = np.asarray(cols, dtype=np.int32)
         vals = np.asarray(vals, dtype=np.float64)
-        if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
-            raise ValueError("rows, cols, vals must be equal-length 1-D arrays")
-        if rows.size:
-            if rows.min(initial=0) < 0 or cols.min(initial=0) < 0:
-                raise ValueError("negative indices")
-            if rows.max(initial=-1) >= self.n_rows or cols.max(initial=-1) >= self.n_cols:
-                raise ValueError("index out of bounds for shape %s" % (self.shape,))
+        check_entry_arrays(rows, cols, vals)
+        check_index_bounds(rows, cols, self.shape)
+        if not allow_nonfinite:
+            check_finite(vals, "stored values")
 
         order = np.lexsort((cols, rows))
         rows, cols, vals = rows[order], cols[order], vals[order]
+        canonical = True
 
-        if sum_duplicates and rows.size:
+        if rows.size:
             keys = rows.astype(np.int64) * self.n_cols + cols
-            uniq, inverse = np.unique(keys, return_inverse=True)
-            if uniq.size != keys.size:
-                summed = np.zeros(uniq.size, dtype=np.float64)
-                np.add.at(summed, inverse, vals)
-                rows = (uniq // self.n_cols).astype(np.int32)
-                cols = (uniq % self.n_cols).astype(np.int32)
-                vals = summed
+            if sum_duplicates:
+                uniq, inverse = np.unique(keys, return_inverse=True)
+                if uniq.size != keys.size:
+                    summed = np.zeros(uniq.size, dtype=np.float64)
+                    np.add.at(summed, inverse, vals)
+                    rows = (uniq // self.n_cols).astype(np.int32)
+                    cols = (uniq % self.n_cols).astype(np.int32)
+                    vals = summed
+            else:
+                canonical = bool(np.all(np.diff(keys) > 0))
 
         if drop_zeros and vals.size:
             keep = vals != 0.0
@@ -75,6 +85,9 @@ class COOMatrix(SparseFormat):
         self.rows = rows
         self.cols = cols
         self.vals = vals
+        #: True when entries are sorted with unique coordinates (always
+        #: the case after ``sum_duplicates=True`` construction).
+        self.is_canonical = canonical
         self._spmm_scatter: Optional[RowScatter] = None
 
     # ------------------------------------------------------------------
@@ -145,27 +158,53 @@ class COOMatrix(SparseFormat):
     # ------------------------------------------------------------------
     # Structure queries / transforms
     # ------------------------------------------------------------------
+    def canonicalize(self) -> "COOMatrix":
+        """Canonical (row-major sorted, duplicate-summed) equivalent.
+
+        Returns ``self`` when already canonical; explicit zeros are
+        kept either way.
+        """
+        if self.is_canonical:
+            return self
+        return COOMatrix(
+            self.shape, self.rows, self.cols, self.vals,
+            allow_nonfinite=True,
+        )
+
     def transpose(self) -> "COOMatrix":
         return COOMatrix(
-            (self.n_cols, self.n_rows), self.cols, self.rows, self.vals
+            (self.n_cols, self.n_rows), self.cols, self.rows, self.vals,
+            allow_nonfinite=True,
         )
 
     def is_structurally_symmetric(self) -> bool:
-        """True if the sparsity pattern equals its transpose."""
+        """True if the sparsity pattern equals its transpose.
+
+        Both sides are canonicalized first: ``transpose()`` sums
+        duplicates, so comparing a *non-canonical* instance (built with
+        ``sum_duplicates=False``) against it entry-wise would compare
+        different entry sets and return a wrong verdict.
+        """
         if self.n_rows != self.n_cols:
             return False
-        t = self.transpose()
+        a = self.canonicalize()
+        t = a.transpose()
         return (
-            np.array_equal(self.rows, t.rows)
-            and np.array_equal(self.cols, t.cols)
+            np.array_equal(a.rows, t.rows)
+            and np.array_equal(a.cols, t.cols)
         )
 
     def is_symmetric(self, rtol: float = 1e-12) -> bool:
         """True if the matrix equals its transpose (values included)."""
-        if not self.is_structurally_symmetric():
+        if self.n_rows != self.n_cols:
             return False
-        t = self.transpose()
-        return bool(np.allclose(self.vals, t.vals, rtol=rtol, atol=0.0))
+        a = self.canonicalize()
+        t = a.transpose()
+        return (
+            np.array_equal(a.rows, t.rows)
+            and np.array_equal(a.cols, t.cols)
+            and bool(np.allclose(a.vals, t.vals, rtol=rtol, atol=0.0))
+        )
 
     def lower_triangle(self, *, strict: bool = False) -> "COOMatrix":
         """Entries with ``col <= row`` (``col < row`` when strict)."""

@@ -30,6 +30,7 @@ from .base import (
     scatter_add_rows,
 )
 from .coo import COOMatrix
+from .validate import SymmetryError
 
 __all__ = ["CSBMatrix", "CSBSymMatrix", "default_beta"]
 
@@ -203,7 +204,7 @@ class CSBSymMatrix(SymmetricFormat):
     ):
         super().__init__(coo.shape)
         if check_symmetry and not coo.is_symmetric():
-            raise ValueError("CSB-Sym requires a symmetric matrix")
+            raise SymmetryError("CSB-Sym requires a symmetric matrix")
         self.beta = int(beta) if beta is not None else default_beta(self.n_rows)
         if not 1 <= self.beta <= MAX_BETA:
             raise ValueError(f"beta must be in [1, {MAX_BETA}]")

@@ -31,26 +31,34 @@ def csr_row_segment_sums(
 
     ``products`` may also be 2-D, shape ``(nnz_local, k)`` — one column
     per right-hand side — in which case the result is ``(n_local, k)``
-    (the SpM×M case: the prefix sum runs along axis 0 for all columns
-    in one pass).
+    (the SpM×M case: the segmented reduction runs along axis 0 for all
+    columns in one pass).
 
-    Implemented as a prefix-sum difference: exact for any mix of empty
-    and non-empty rows (``np.add.reduceat`` mishandles empty segments
-    and out-of-range offsets).
+    The reduction must be **row-local**: an earlier implementation
+    used a global prefix-sum difference (``prefix[hi] - prefix[lo]``),
+    whose per-row rounding error scales with the running sum of every
+    *preceding* row — a row of tiny values after a row of huge ones
+    came back with its entire value wiped out (found by
+    ``repro.fuzz``).  ``np.add.reduceat`` sums each row's products
+    independently; empty rows (where ``reduceat`` would misbehave,
+    returning ``products[lo]``) are skipped and left at zero.
     """
     n_local = row_end - row_start
     tail = products.shape[1:]
-    if n_local <= 0:
-        return np.zeros((0,) + tail, dtype=np.float64)
-    if products.shape[0] == 0:
-        return np.zeros((n_local,) + tail, dtype=np.float64)
+    out = np.zeros((max(n_local, 0),) + tail, dtype=np.float64)
+    if n_local <= 0 or products.shape[0] == 0:
+        return out
     base = rowptr[row_start]
-    prefix = np.empty((products.shape[0] + 1,) + tail, dtype=np.float64)
-    prefix[0] = 0.0
-    np.cumsum(products, axis=0, out=prefix[1:])
-    lo = rowptr[row_start:row_end] - base
-    hi = rowptr[row_start + 1 : row_end + 1] - base
-    return prefix[hi] - prefix[lo]
+    lo = (rowptr[row_start:row_end] - base).astype(np.intp)
+    hi = (rowptr[row_start + 1 : row_end + 1] - base).astype(np.intp)
+    nonempty = np.flatnonzero(hi > lo)
+    if nonempty.size == 0:
+        return out
+    # Consecutive non-empty starts are strictly increasing (empty rows
+    # between them share the same offset), so every reduceat segment is
+    # exactly one stored row — no empty-segment misfire possible.
+    out[nonempty] = np.add.reduceat(products, lo[nonempty], axis=0)
+    return out
 
 
 class CSRMatrix(SparseFormat):

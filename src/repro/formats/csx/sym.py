@@ -17,6 +17,7 @@ import numpy as np
 
 from ..base import VALUE_BYTES, SymmetricFormat
 from ..coo import COOMatrix
+from ..validate import SymmetryError
 from .ctl import build_pattern_table, decode_ctl, encode_ctl, encode_pattern_table
 from .detect import DetectionConfig, DetectionReport, detect_and_encode
 from .matrix import CSXPartition
@@ -119,7 +120,7 @@ class CSXSymMatrix(SymmetricFormat):
     ):
         super().__init__(coo.shape)
         if check_symmetry and not coo.is_symmetric():
-            raise ValueError("CSX-Sym requires a symmetric matrix")
+            raise SymmetryError("CSX-Sym requires a symmetric matrix")
         self.config = config or DetectionConfig()
         self.legality_filter = legality_filter
         if partitions is None:

@@ -28,6 +28,7 @@ from .base import (
 )
 from .coo import COOMatrix
 from .csr import csr_row_segment_sums
+from .validate import SymmetryError
 
 __all__ = ["SSSMatrix", "PART_SPLIT_CACHE_MAX"]
 
@@ -95,7 +96,7 @@ class SSSMatrix(SymmetricFormat):
     def from_coo(cls, coo: COOMatrix, *, check_symmetry: bool = True) -> "SSSMatrix":
         """Build from an (expanded) symmetric COO matrix."""
         if check_symmetry and not coo.is_symmetric():
-            raise ValueError("matrix is not symmetric; SSS requires symmetry")
+            raise SymmetryError("matrix is not symmetric; SSS requires symmetry")
         lower = coo.lower_triangle(strict=True)
         counts = np.bincount(lower.rows, minlength=coo.n_rows)
         rowptr = np.zeros(coo.n_rows + 1, dtype=np.int32)

@@ -1,0 +1,53 @@
+"""Differential fuzzing of the format × driver × kernel matrix.
+
+``repro.fuzz`` generates seed-deterministic adversarial matrices
+(duplicates, explicit zeros, empty rows, disconnected graphs, extreme
+value skew, near-symmetric impostors, dirty MatrixMarket text), drives
+every storage format through the serial kernels, the parallel drivers
+and the bound operators, and cross-checks each result against a dense
+NumPy oracle under ULP-aware tolerances.  Failures shrink to a minimal
+reproducer emitted as a ready-to-paste regression test.
+
+Entry points: :func:`run_fuzz` (library), ``repro fuzz`` (CLI).
+"""
+
+from .generators import (
+    CASE_KINDS,
+    FuzzCase,
+    MMCase,
+    case_rng,
+    generate_case,
+    generate_mm_case,
+)
+from .harness import (
+    Combo,
+    FuzzConfig,
+    FuzzReport,
+    Mismatch,
+    all_combos,
+    assert_combo,
+    run_fuzz,
+)
+from .oracle import check_against_oracle, max_error_ratio, tolerance
+from .shrink import emit_regression_test, shrink_case
+
+__all__ = [
+    "FuzzCase",
+    "MMCase",
+    "CASE_KINDS",
+    "case_rng",
+    "generate_case",
+    "generate_mm_case",
+    "Combo",
+    "FuzzConfig",
+    "FuzzReport",
+    "Mismatch",
+    "all_combos",
+    "assert_combo",
+    "run_fuzz",
+    "tolerance",
+    "max_error_ratio",
+    "check_against_oracle",
+    "shrink_case",
+    "emit_regression_test",
+]

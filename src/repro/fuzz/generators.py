@@ -1,0 +1,372 @@
+"""Seed-deterministic adversarial matrix generators.
+
+Every generator produces a *dirty* COO triple — duplicates, explicit
+zeros, unsorted entry order — together with an independently built
+dense oracle (``np.add.at`` accumulation of the raw triple, never
+routed through the library's own canonicalization), so a bug in
+:class:`~repro.formats.coo.COOMatrix` cannot hide itself from the
+differential check.
+
+All randomness derives from ``np.random.default_rng([seed, index])``
+seed sequences, so a failing case is reproducible from its
+``(seed, index)`` pair alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+
+__all__ = ["FuzzCase", "MMCase", "generate_case", "generate_mm_case",
+           "CASE_KINDS", "case_rng"]
+
+
+@dataclass
+class FuzzCase:
+    """One generated differential-test input.
+
+    ``rows/cols/vals`` are the raw (possibly duplicated, unsorted,
+    zero-carrying) triple; ``dense`` is the independent oracle with
+    duplicates accumulated.  ``symmetric`` reports whether the *summed*
+    matrix is symmetric (formats requiring symmetry are only driven on
+    symmetric cases — and are expected to *reject* the rest).
+    """
+
+    name: str
+    seed: int
+    index: int
+    shape: tuple[int, int]
+    rows: np.ndarray = field(repr=False)
+    cols: np.ndarray = field(repr=False)
+    vals: np.ndarray = field(repr=False)
+    symmetric: bool = True
+
+    @property
+    def n(self) -> int:
+        return self.shape[0]
+
+    @property
+    def dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.vals)
+        return dense
+
+    @property
+    def coo(self) -> COOMatrix:
+        """Canonical COO built through the library (the thing under test)."""
+        return COOMatrix(self.shape, self.rows, self.cols, self.vals)
+
+    @property
+    def dirty_coo(self) -> COOMatrix:
+        """Non-canonical COO (duplicates preserved)."""
+        return COOMatrix(
+            self.shape, self.rows, self.cols, self.vals,
+            sum_duplicates=False,
+        )
+
+
+@dataclass
+class MMCase:
+    """One generated MatrixMarket text: either parses to ``dense`` or
+    must raise (``expect_error=True``)."""
+
+    name: str
+    seed: int
+    index: int
+    text: str
+    dense: Optional[np.ndarray]
+    expect_error: bool
+
+
+def case_rng(seed: int, index: int) -> np.random.Generator:
+    """The case's deterministic RNG (seed-sequence on the pair)."""
+    return np.random.default_rng([seed, index])
+
+
+# ----------------------------------------------------------------------
+# Symmetric triple builders (lower triangle + mirror, so the summed
+# matrix is symmetric by construction even with duplicates)
+# ----------------------------------------------------------------------
+def _mirror(rows, cols, vals):
+    """Expand lower-triangle entries to both triangles."""
+    off = rows != cols
+    return (
+        np.concatenate([rows, cols[off]]),
+        np.concatenate([cols, rows[off]]),
+        np.concatenate([vals, vals[off]]),
+    )
+
+
+def _random_lower(rng, n: int, density: float):
+    """Random strictly-lower + diagonal entries."""
+    mask = np.tril(rng.random((n, n)) < density)
+    r, c = np.nonzero(mask)
+    v = rng.uniform(-2.0, 2.0, r.size)
+    return r.astype(np.int64), c.astype(np.int64), v
+
+
+def _shuffle(rng, rows, cols, vals):
+    order = rng.permutation(rows.size)
+    return rows[order], cols[order], vals[order]
+
+
+def _gen_sym_random(rng, n):
+    r, c, v = _random_lower(rng, n, float(rng.uniform(0.05, 0.6)))
+    return _mirror(r, c, v)
+
+
+def _gen_sym_duplicates(rng, n):
+    """Duplicate coordinates (mirrored pairwise so symmetry survives
+    the summation) — stresses canonicalization everywhere."""
+    r, c, v = _random_lower(rng, n, 0.3)
+    if r.size:
+        take = rng.random(r.size) < 0.5
+        # Split duplicated values so the *sum* stays the drawn value.
+        dr, dc = r[take], c[take]
+        dv = rng.uniform(-1.0, 1.0, dr.size)
+        v = v.copy()
+        v[take] -= dv
+        r = np.concatenate([r, dr])
+        c = np.concatenate([c, dc])
+        v = np.concatenate([v, dv])
+    return _mirror(r, c, v)
+
+
+def _gen_sym_explicit_zeros(rng, n):
+    """Exact-zero stored values mixed in."""
+    r, c, v = _random_lower(rng, n, 0.3)
+    if v.size:
+        v[rng.random(v.size) < 0.3] = 0.0
+    return _mirror(r, c, v)
+
+
+def _gen_sym_empty_rows(rng, n):
+    """Several completely empty rows/columns."""
+    r, c, v = _random_lower(rng, n, 0.4)
+    dead = rng.choice(n, size=max(1, n // 3), replace=False)
+    keep = ~(np.isin(r, dead) | np.isin(c, dead))
+    return _mirror(r[keep], c[keep], v[keep])
+
+
+def _gen_sym_disconnected(rng, n):
+    """Block-diagonal components plus isolated vertices."""
+    r = np.zeros(0, dtype=np.int64)
+    c = np.zeros(0, dtype=np.int64)
+    v = np.zeros(0)
+    start = 0
+    while start < n:
+        size = int(rng.integers(1, max(2, n // 2)))
+        size = min(size, n - start)
+        if rng.random() < 0.25:
+            start += size  # isolated (all-zero) vertex block
+            continue
+        br, bc, bv = _random_lower(rng, size, 0.5)
+        r = np.concatenate([r, br + start])
+        c = np.concatenate([c, bc + start])
+        v = np.concatenate([v, bv])
+        start += size
+    return _mirror(r, c, v)
+
+
+def _gen_sym_single(rng, n):
+    """1x1 or a single stored entry in an otherwise empty matrix."""
+    if rng.random() < 0.5 or n == 1:
+        return (np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64),
+                rng.uniform(-2, 2, 1))
+    i = int(rng.integers(0, n))
+    j = int(rng.integers(0, i + 1))
+    return _mirror(
+        np.array([i], dtype=np.int64),
+        np.array([j], dtype=np.int64),
+        rng.uniform(-2, 2, 1),
+    )
+
+
+def _gen_sym_skew(rng, n):
+    """Arrowhead: one dense row/column, everything else diagonal —
+    extreme per-row work skew for the nnz partitioner."""
+    hub = int(rng.integers(0, n))
+    others = np.arange(n)
+    r = np.concatenate([np.full(n, hub), others])
+    c = np.concatenate([others, others])
+    v = rng.uniform(-1.0, 1.0, 2 * n)
+    lower_r = np.maximum(r, c)
+    lower_c = np.minimum(r, c)
+    return _mirror(lower_r.astype(np.int64), lower_c.astype(np.int64), v)
+
+
+def _gen_sym_extreme_values(rng, n):
+    """Magnitudes spanning ~1e-150 .. 1e150: exercises the ULP-aware
+    tolerance instead of naive allclose."""
+    r, c, v = _random_lower(rng, n, 0.3)
+    if v.size:
+        v *= 10.0 ** rng.integers(-150, 150, v.size)
+    return _mirror(r, c, v)
+
+
+def _gen_sym_banded_runs(rng, n):
+    """Banded with contiguous runs (CSX substructure bait)."""
+    band = int(rng.integers(1, max(2, n // 3)))
+    rows_l = []
+    cols_l = []
+    for i in range(n):
+        lo = max(0, i - band)
+        js = np.arange(lo, i + 1)
+        keep = rng.random(js.size) < 0.8
+        rows_l.append(np.full(int(keep.sum()), i))
+        cols_l.append(js[keep])
+    r = np.concatenate(rows_l).astype(np.int64)
+    c = np.concatenate(cols_l).astype(np.int64)
+    v = rng.uniform(0.1, 1.0, r.size)
+    return _mirror(r, c, v)
+
+
+# ----------------------------------------------------------------------
+# Unsymmetric builders
+# ----------------------------------------------------------------------
+def _gen_unsym_random(rng, n):
+    mask = rng.random((n, n)) < float(rng.uniform(0.05, 0.5))
+    r, c = np.nonzero(mask)
+    return r.astype(np.int64), c.astype(np.int64), rng.uniform(-2, 2, r.size)
+
+
+def _gen_near_symmetric(rng, n):
+    """Symmetric except one perturbed (or one extra) off-diagonal
+    entry — must NOT pass the symmetry validators."""
+    r, c, v = _mirror(*_random_lower(rng, max(n, 2), 0.4))
+    off = np.flatnonzero(r != c)
+    if off.size and rng.random() < 0.5:
+        i = int(rng.choice(off))
+        v = v.copy()
+        v[i] += 0.5 + rng.random()  # value asymmetry
+    else:
+        i = int(rng.integers(0, n - 1))
+        r = np.concatenate([r, [i]])
+        c = np.concatenate([c, [i + 1]])
+        v = np.concatenate([v, [3.0 + rng.random()]])
+        # remove the mirrored twin if present so the pattern is skewed
+        twin = (r == i + 1) & (c == i)
+        if twin.any():
+            keep = ~twin
+            r, c, v = r[keep], c[keep], v[keep]
+    return r.astype(np.int64), c.astype(np.int64), v
+
+
+_SYM_KINDS = {
+    "sym_random": _gen_sym_random,
+    "sym_duplicates": _gen_sym_duplicates,
+    "sym_explicit_zeros": _gen_sym_explicit_zeros,
+    "sym_empty_rows": _gen_sym_empty_rows,
+    "sym_disconnected": _gen_sym_disconnected,
+    "sym_single": _gen_sym_single,
+    "sym_skew": _gen_sym_skew,
+    "sym_extreme_values": _gen_sym_extreme_values,
+    "sym_banded_runs": _gen_sym_banded_runs,
+}
+
+_UNSYM_KINDS = {
+    "unsym_random": _gen_unsym_random,
+    "near_symmetric": _gen_near_symmetric,
+}
+
+#: All generator kind names, in rotation order (symmetric kinds first
+#: and more often — they drive the full format zoo).
+CASE_KINDS = tuple(_SYM_KINDS) + tuple(_UNSYM_KINDS)
+
+
+def generate_case(seed: int, index: int) -> FuzzCase:
+    """Deterministically generate the ``index``-th case of a run."""
+    rng = case_rng(seed, index)
+    kind = CASE_KINDS[index % len(CASE_KINDS)]
+    n = int(rng.integers(1, 25))
+    if kind in _SYM_KINDS:
+        r, c, v = _SYM_KINDS[kind](rng, n)
+        symmetric = True
+    else:
+        n = max(n, 2)
+        r, c, v = _UNSYM_KINDS[kind](rng, n)
+        symmetric = False
+    r, c, v = _shuffle(rng, r, c, v)
+    return FuzzCase(
+        name=kind, seed=seed, index=index, shape=(n, n),
+        rows=r, cols=c, vals=v, symmetric=symmetric,
+    )
+
+
+# ----------------------------------------------------------------------
+# Dirty MatrixMarket text
+# ----------------------------------------------------------------------
+def generate_mm_case(seed: int, index: int) -> MMCase:
+    """A MatrixMarket text with one adversarial trait: whitespace
+    comments, upper-triangle entries in a symmetric file, duplicate
+    coordinates, wrong entry counts, junk tokens, out-of-range indices.
+
+    ``expect_error=False`` cases must parse to exactly ``dense``;
+    ``expect_error=True`` cases must raise a
+    :class:`~repro.formats.validate.ValidationError`.
+    """
+    rng = case_rng(seed, 10_000_019 + index)
+    n = int(rng.integers(1, 8))
+    dense = np.zeros((n, n))
+    mask = np.tril(rng.random((n, n)) < 0.5)
+    r, c = np.nonzero(mask)
+    v = np.round(rng.uniform(-2, 2, r.size), 3)
+    dense[r, c] = v
+    dense = dense + np.tril(dense, -1).T  # symmetric oracle
+
+    trait = index % 6
+    entries = [
+        f"{i + 1} {j + 1} {float(val)!r}" for i, j, val in zip(r, c, v)
+    ]
+    header = "%%MatrixMarket matrix coordinate real symmetric"
+    if trait == 0:
+        # Comments with leading whitespace sprinkled through the body.
+        body = []
+        for e in entries:
+            if rng.random() < 0.4:
+                body.append("  % indented comment")
+            body.append(e)
+        lines = [header, f"{n} {n} {r.size}", *body]
+        return MMCase("mm_ws_comments", seed, index,
+                      "\n".join(lines) + "\n", dense, False)
+    if trait == 1:
+        # Some entries stored in the upper triangle (mirrored on read).
+        flipped = [
+            f"{j + 1} {i + 1} {float(val)!r}"
+            if (i != j and rng.random() < 0.5)
+            else f"{i + 1} {j + 1} {float(val)!r}"
+            for i, j, val in zip(r, c, v)
+        ]
+        lines = [header, f"{n} {n} {r.size}", *flipped]
+        return MMCase("mm_upper_entries", seed, index,
+                      "\n".join(lines) + "\n", dense, False)
+    if trait == 2:
+        # A duplicated coordinate line: must be rejected.
+        if not entries:
+            entries = ["1 1 1.0"]
+            dup = ["1 1 1.0"]
+        else:
+            dup = [entries[int(rng.integers(0, len(entries)))]]
+        lines = [header, f"{n} {n} {len(entries) + 1}", *entries, *dup]
+        return MMCase("mm_duplicate", seed, index,
+                      "\n".join(lines) + "\n", None, True)
+    if trait == 3:
+        # Declared nnz disagrees with the body.
+        lines = [header, f"{n} {n} {r.size + 2}", *entries]
+        return MMCase("mm_bad_count", seed, index,
+                      "\n".join(lines) + "\n", None, True)
+    if trait == 4:
+        # Junk token in one entry line.
+        bad = entries + [f"{n} {n} zebra"]
+        lines = [header, f"{n} {n} {len(bad)}", *bad]
+        return MMCase("mm_junk_value", seed, index,
+                      "\n".join(lines) + "\n", None, True)
+    # trait == 5: out-of-range coordinate.
+    bad = entries + [f"{n + 3} 1 1.0"]
+    lines = [header, f"{n} {n} {len(bad)}", *bad]
+    return MMCase("mm_oob_index", seed, index,
+                  "\n".join(lines) + "\n", None, True)

@@ -1,0 +1,449 @@
+"""Differential fuzzing harness: formats × drivers × ops vs the oracle.
+
+Each generated :class:`~repro.fuzz.generators.FuzzCase` is driven
+through a deterministic rotation of :class:`Combo` configurations —
+every storage format, through the serial kernels, the parallel drivers
+(:class:`~repro.parallel.spmv.ParallelSpMV` /
+:class:`~repro.parallel.spmv.ParallelSymmetricSpMV` with all three
+reductions) and the bound operators, for both SpM×V and SpM×M — and
+each result is checked against the dense NumPy oracle under the
+ULP-aware tolerance of :mod:`repro.fuzz.oracle`.
+
+A mismatch is shrunk (:mod:`repro.fuzz.shrink`) to a minimal
+reproducer and rendered as a ready-to-paste regression test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..formats import (
+    BCSRMatrix,
+    COOMatrix,
+    CSBMatrix,
+    CSBSymMatrix,
+    CSRMatrix,
+    CSXMatrix,
+    CSXSymMatrix,
+    SSSMatrix,
+    SymmetryError,
+    ValidationError,
+)
+from ..parallel import (
+    ParallelSpMV,
+    ParallelSymmetricSpMV,
+    partition_nnz_balanced,
+)
+from .generators import FuzzCase, generate_case, generate_mm_case
+from .oracle import check_against_oracle
+
+__all__ = [
+    "Combo",
+    "FuzzConfig",
+    "Mismatch",
+    "FuzzReport",
+    "all_combos",
+    "run_fuzz",
+    "assert_combo",
+]
+
+SYMMETRIC_FORMATS = ("sss", "csx-sym", "csb-sym")
+GENERAL_FORMATS = ("coo", "csr", "bcsr", "csb", "csx")
+GENERAL_DRIVER_FORMATS = ("csr", "csx")
+REDUCTIONS = ("naive", "effective", "indexed")
+
+#: Block size for the CSB formats (small, so tiny cases still tile).
+CSB_BETA = 4
+
+
+@dataclass(frozen=True)
+class Combo:
+    """One (format, driver, operation) configuration under test."""
+
+    fmt: str
+    driver: str  # "serial" | "parallel" | "bound"
+    op: str  # "spmv" | "spmm"
+    reduction: str = "indexed"
+    p: int = 2
+    k: int = 3
+
+    def describe(self) -> str:
+        bits = [self.fmt, self.driver, self.op]
+        if self.driver != "serial":
+            bits.append(f"p={self.p}")
+            if self.fmt in SYMMETRIC_FORMATS:
+                bits.append(self.reduction)
+        if self.op == "spmm":
+            bits.append(f"k={self.k}")
+        return "/".join(bits)
+
+    # ------------------------------------------------------------------
+    def _partitions(self, coo: COOMatrix, matrix=None):
+        parts = partition_nnz_balanced(coo.row_counts(), self.p)
+        if self.fmt == "csb-sym" and matrix is not None:
+            n_brows = -(-matrix.n_rows // matrix.beta)
+            return matrix.block_row_partitions(min(self.p, n_brows))
+        return parts
+
+    def _build(self, coo: COOMatrix):
+        """(matrix, apply_callable) for this combo."""
+        if self.driver == "serial":
+            builders = {
+                "coo": lambda: coo,
+                "csr": lambda: CSRMatrix.from_coo(coo),
+                "sss": lambda: SSSMatrix.from_coo(coo),
+                "bcsr": lambda: BCSRMatrix(coo, (2, 2)),
+                "csb": lambda: CSBMatrix(coo, beta=CSB_BETA),
+                "csb-sym": lambda: CSBSymMatrix(coo, beta=CSB_BETA),
+                "csx": lambda: CSXMatrix(coo),
+                "csx-sym": lambda: CSXSymMatrix(coo),
+            }
+            m = builders[self.fmt]()
+            return m.spmv if self.op == "spmv" else m.spmm
+
+        if self.fmt in SYMMETRIC_FORMATS:
+            if self.fmt == "sss":
+                m = SSSMatrix.from_coo(coo)
+                parts = self._partitions(coo)
+            elif self.fmt == "csx-sym":
+                parts = self._partitions(coo)
+                m = CSXSymMatrix(coo, partitions=parts)
+            else:
+                m = CSBSymMatrix(coo, beta=CSB_BETA)
+                parts = self._partitions(coo, m)
+            drv = ParallelSymmetricSpMV(m, parts, self.reduction)
+        else:
+            parts = self._partitions(coo)
+            if self.fmt == "csr":
+                m = CSRMatrix.from_coo(coo)
+            else:
+                m = CSXMatrix(coo, partitions=parts)
+            drv = ParallelSpMV(m, parts)
+
+        if self.driver == "parallel":
+            return drv
+        return drv.bind(None if self.op == "spmv" else self.k)
+
+    def run(self, case: FuzzCase) -> tuple[bool, str, float]:
+        """Drive the combo on ``case``; ``(ok, failure_kind, ratio)``.
+
+        ``failure_kind`` is ``""`` on success, ``"mismatch"`` on an
+        oracle disagreement, or ``"exception:<Type>"`` when building or
+        applying raised.
+        """
+        try:
+            dense = case.dense
+            apply = self._build(case.coo)
+            k = None if self.op == "spmv" else self.k
+            x = _rhs(case, k)
+            if self.driver == "bound":
+                try:
+                    # Two applications through the persistent workspace:
+                    # the second catches stale-state zeroing bugs.
+                    y0 = np.array(apply(_rhs(case, k, salt=1)))
+                    ok0, r0 = check_against_oracle(
+                        y0, dense, _rhs(case, k, salt=1)
+                    )
+                    y = np.array(apply(x))
+                finally:
+                    apply.close()
+                if not ok0:
+                    return False, "mismatch", r0
+            else:
+                y = apply(x)
+            ok, ratio = check_against_oracle(y, dense, x)
+            return (True, "", ratio) if ok else (False, "mismatch", ratio)
+        except Exception as exc:  # noqa: BLE001 - harness boundary
+            return False, f"exception:{type(exc).__name__}", float("inf")
+
+
+def _rhs(case: FuzzCase, k: Optional[int], salt: int = 0) -> np.ndarray:
+    rng = np.random.default_rng([case.seed, case.index, 777 + salt])
+    shape = (case.n,) if k is None else (case.n, k)
+    return rng.standard_normal(shape)
+
+
+def all_combos(k: int = 3) -> list[Combo]:
+    """The full format × driver × (spmv, spmm) configuration matrix."""
+    combos: list[Combo] = []
+    for op in ("spmv", "spmm"):
+        for fmt in GENERAL_FORMATS + SYMMETRIC_FORMATS:
+            combos.append(Combo(fmt, "serial", op, k=k))
+        for fmt in SYMMETRIC_FORMATS:
+            for red in REDUCTIONS:
+                combos.append(
+                    Combo(fmt, "parallel", op, reduction=red, p=3, k=k)
+                )
+            combos.append(Combo(fmt, "bound", op, p=2, k=k))
+        for fmt in GENERAL_DRIVER_FORMATS:
+            combos.append(Combo(fmt, "parallel", op, p=3, k=k))
+            combos.append(Combo(fmt, "bound", op, p=2, k=k))
+    return combos
+
+
+def _applicable(combo: Combo, case: FuzzCase) -> bool:
+    if case.symmetric:
+        return True
+    return combo.fmt not in SYMMETRIC_FORMATS
+
+
+# ----------------------------------------------------------------------
+# Run orchestration
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzConfig:
+    """Harness parameters (all deterministic given ``seed``)."""
+
+    cases: int = 500
+    seed: int = 0
+    budget: Optional[float] = None  # wall-clock seconds, None = no cap
+    k: int = 3
+    stride: int = 4  # each case runs 1/stride of the combo matrix
+    mm_every: int = 4  # dirty-MatrixMarket case every N matrix cases
+    shrink: bool = True
+    max_mismatches: int = 5
+
+
+@dataclass
+class Mismatch:
+    """One verified oracle disagreement (or harness-level crash)."""
+
+    case: FuzzCase
+    combo: Combo
+    kind: str
+    ratio: float
+    shrunk: Optional[FuzzCase] = None
+    reproducer: str = ""
+
+    def describe(self) -> str:
+        size = self.case.rows.size
+        extra = (
+            f", shrunk to {self.shrunk.rows.size} entries"
+            if self.shrunk is not None else ""
+        )
+        return (
+            f"{self.combo.describe()} on case "
+            f"{self.case.name}[seed={self.case.seed}, "
+            f"index={self.case.index}] ({size} raw entries{extra}): "
+            f"{self.kind}, error ratio {self.ratio:.3g}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one harness run."""
+
+    config: FuzzConfig
+    cases_run: int = 0
+    mm_cases_run: int = 0
+    checks_run: int = 0
+    rejections_checked: int = 0
+    combos_covered: set = field(default_factory=set)
+    mismatches: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.cases_run} matrix cases + {self.mm_cases_run} "
+            f"MatrixMarket cases, {self.checks_run} oracle checks, "
+            f"{self.rejections_checked} rejection checks, "
+            f"{len(self.combos_covered)} combos covered, "
+            f"{self.elapsed:.1f}s",
+            f"seed {self.config.seed} -> "
+            + ("PASS" if self.ok else f"{len(self.mismatches)} MISMATCH(ES)"),
+        ]
+        for m in self.mismatches:
+            lines.append("  " + m.describe())
+        return "\n".join(lines)
+
+
+def _check_mm_case(mm) -> tuple[bool, str]:
+    """Differential check of one dirty-MatrixMarket text."""
+    import io as _io
+
+    from ..matrices.mmio import read_matrix_market
+
+    try:
+        got = read_matrix_market(_io.StringIO(mm.text))
+    except ValidationError:
+        if mm.expect_error:
+            return True, ""
+        return False, "parse raised on well-formed text"
+    except Exception as exc:  # noqa: BLE001
+        return False, f"untyped parse error {type(exc).__name__}"
+    if mm.expect_error:
+        return False, "malformed text parsed silently"
+    if not np.array_equal(got.to_dense(), mm.dense):
+        return False, "parsed matrix differs from reference"
+    return True, ""
+
+
+def _check_symmetry_rejection(case: FuzzCase) -> list[tuple[Combo, str]]:
+    """Symmetric-only builders must reject a near-symmetric matrix."""
+    failures = []
+    builders = {
+        "sss": lambda c: SSSMatrix.from_coo(c),
+        "csx-sym": lambda c: CSXSymMatrix(c),
+        "csb-sym": lambda c: CSBSymMatrix(c, beta=CSB_BETA),
+    }
+    for fmt, build in builders.items():
+        try:
+            build(case.coo)
+        except SymmetryError:
+            continue
+        except Exception as exc:  # noqa: BLE001
+            failures.append(
+                (Combo(fmt, "serial", "spmv"),
+                 f"wrong-rejection:{type(exc).__name__}")
+            )
+            continue
+        failures.append(
+            (Combo(fmt, "serial", "spmv"), "accepted-asymmetric")
+        )
+    return failures
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run the differential harness; deterministic given the config."""
+    from .shrink import emit_regression_test, shrink_case
+
+    report = FuzzReport(config=config)
+    combos = all_combos(config.k)
+    start = time.monotonic()
+    mm_index = 0
+
+    for index in range(config.cases):
+        if config.budget is not None and (
+            time.monotonic() - start > config.budget
+        ):
+            break
+        case = generate_case(config.seed, index)
+
+        # Library canonicalization vs the raw accumulation oracle.
+        dense = case.dense
+        report.checks_run += 1
+        lib = case.coo.to_dense()
+        absmag = np.zeros(case.shape)
+        np.add.at(absmag, (case.rows, case.cols), np.abs(case.vals))
+        tol = 16 * np.finfo(np.float64).eps * absmag
+        if np.any(np.abs(lib - dense) > tol):
+            report.mismatches.append(
+                Mismatch(case, Combo("coo", "serial", "spmv"),
+                         "canonicalization-mismatch", float("inf"))
+            )
+
+        # Dirty (duplicate-preserving) instance must agree symmetric-
+        # verdict-wise with the oracle.
+        report.checks_run += 1
+        sym_oracle = bool(
+            np.allclose(dense, dense.T, rtol=1e-6, atol=0.0)
+        )
+        if case.dirty_coo.is_symmetric(rtol=1e-6) != sym_oracle:
+            report.mismatches.append(
+                Mismatch(case, Combo("coo", "serial", "spmv"),
+                         "symmetry-verdict-mismatch", float("inf"))
+            )
+
+        # A generator labelled "unsymmetric" can still draw a matrix
+        # that happens to be symmetric (empty, single diagonal entry);
+        # only genuinely asymmetric draws must be rejected.
+        if not case.symmetric and not sym_oracle:
+            report.rejections_checked += 3
+            for combo, kind in _check_symmetry_rejection(case):
+                report.mismatches.append(
+                    Mismatch(case, combo, kind, float("inf"))
+                )
+
+        for ci, combo in enumerate(combos):
+            if ci % config.stride != index % config.stride:
+                continue
+            if not _applicable(combo, case):
+                continue
+            ok, kind, ratio = combo.run(case)
+            report.checks_run += 1
+            report.combos_covered.add(combo.describe())
+            if not ok:
+                mis = Mismatch(case, combo, kind, ratio)
+                if config.shrink:
+                    mis.shrunk = shrink_case(case, combo, kind)
+                    mis.reproducer = emit_regression_test(
+                        mis.shrunk or case, combo, kind
+                    )
+                else:
+                    mis.reproducer = emit_regression_test(case, combo, kind)
+                report.mismatches.append(mis)
+            if len(report.mismatches) >= config.max_mismatches:
+                break
+        if len(report.mismatches) >= config.max_mismatches:
+            break
+
+        # Interleave dirty MatrixMarket texts.
+        if config.mm_every and index % config.mm_every == 0:
+            mm = generate_mm_case(config.seed, mm_index)
+            mm_index += 1
+            report.mm_cases_run += 1
+            report.checks_run += 1
+            ok, why = _check_mm_case(mm)
+            if not ok:
+                mm_fail = FuzzCase(
+                    name=mm.name, seed=mm.seed, index=mm.index,
+                    shape=(0, 0),
+                    rows=np.zeros(0, dtype=np.int64),
+                    cols=np.zeros(0, dtype=np.int64),
+                    vals=np.zeros(0), symmetric=True,
+                )
+                report.mismatches.append(
+                    Mismatch(mm_fail, Combo("coo", "serial", "spmv"),
+                             f"mmio:{why}", float("inf"))
+                )
+        report.cases_run += 1
+
+    report.elapsed = time.monotonic() - start
+    return report
+
+
+# ----------------------------------------------------------------------
+# Reproducer entry point (what the emitted regression tests call)
+# ----------------------------------------------------------------------
+def assert_combo(
+    shape: tuple[int, int],
+    rows,
+    cols,
+    vals,
+    *,
+    fmt: str,
+    driver: str,
+    op: str,
+    reduction: str = "indexed",
+    p: int = 2,
+    k: int = 3,
+    seed: int = 0,
+    index: int = 0,
+    symmetric: bool = True,
+) -> None:
+    """Re-run one (case, combo) pair and assert it matches the oracle.
+
+    Emitted reproducers call this with literal arrays, so a fuzz
+    failure can be pasted into the test suite verbatim.
+    """
+    case = FuzzCase(
+        name="reproducer", seed=seed, index=index, shape=tuple(shape),
+        rows=np.asarray(rows, dtype=np.int64),
+        cols=np.asarray(cols, dtype=np.int64),
+        vals=np.asarray(vals, dtype=np.float64),
+        symmetric=symmetric,
+    )
+    combo = Combo(fmt, driver, op, reduction=reduction, p=p, k=k)
+    ok, kind, ratio = combo.run(case)
+    assert ok, (
+        f"{combo.describe()} disagrees with the dense oracle "
+        f"({kind}, error ratio {ratio:.3g})"
+    )

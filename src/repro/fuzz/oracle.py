@@ -1,0 +1,72 @@
+"""Dense NumPy oracle with ULP-aware tolerances.
+
+Every kernel under test computes ``y[i] = sum_j a_ij * x_j`` in *some*
+summation order.  Two correct implementations may disagree by the
+accumulated rounding of their orderings, which for a row with ``m``
+terms is bounded by ``O(m) * eps * sum_j |a_ij * x_j|`` — a bound on
+the **magnitude sum**, not on the (possibly cancelling) result.  A
+fixed ``allclose(rtol=...)`` would either mask real bugs on
+well-conditioned rows or false-positive on cancelling / extreme-value
+rows; the per-element bound below does neither.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tolerance", "max_error_ratio", "check_against_oracle"]
+
+_EPS = float(np.finfo(np.float64).eps)
+
+#: Safety factor over the analytic worst case: two orderings (2x), the
+#: symmetric kernels' split direct/transposed accumulation, and the
+#: reduction phase's extra adds.
+_SAFETY = 8.0
+
+
+def tolerance(dense: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Elementwise acceptance bound for ``A @ x`` against any correct
+    summation order.
+
+    ``x`` may be ``(n,)`` or ``(n, k)``; the bound has the product's
+    shape.  Rows whose products are all exactly zero get a zero bound —
+    every correct kernel returns exactly ``0.0`` there.
+    """
+    abs_a = np.abs(dense)
+    mag = abs_a @ np.abs(x)
+    terms = (dense != 0).sum(axis=1).astype(np.float64) + 4.0
+    if x.ndim == 2:
+        terms = terms[:, None]
+    return _SAFETY * _EPS * terms * mag
+
+
+def max_error_ratio(
+    y: np.ndarray, ref: np.ndarray, tol: np.ndarray
+) -> float:
+    """``max |y - ref| / tol`` with 0/0 treated as in-tolerance.
+
+    A ratio <= 1 is a pass; the magnitude beyond 1 tells how badly a
+    mismatch exceeds the rounding budget (a real bug is typically
+    orders of magnitude out).
+    """
+    err = np.abs(y - ref)
+    if err.size == 0:
+        return 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(err == 0, 0.0, err / tol)
+    # err > 0 where tol == 0 divides to +inf: a hard mismatch.
+    return float(np.nanmax(ratio)) if ratio.size else 0.0
+
+
+def check_against_oracle(
+    y: np.ndarray, dense: np.ndarray, x: np.ndarray
+) -> tuple[bool, float]:
+    """``(ok, worst_ratio)`` of a kernel result against the dense
+    oracle under the ULP-aware bound."""
+    ref = dense @ x
+    if y.shape != ref.shape:
+        return False, float("inf")
+    if not np.isfinite(y).all():
+        return False, float("inf")
+    ratio = max_error_ratio(y, ref, tolerance(dense, x))
+    return ratio <= 1.0, ratio

@@ -5,6 +5,17 @@ with ``general`` or ``symmetric`` qualifiers. Symmetric files store the
 lower triangle (MatrixMarket convention) and are expanded on read, so a
 round trip through :func:`write_matrix_market` /
 :func:`read_matrix_market` is exact for our symmetric suite.
+
+Reading is *hardened*: malformed text raises a typed error from the
+:mod:`repro.formats.validate` taxonomy instead of silently producing a
+wrong matrix — duplicate coordinates raise
+:class:`~repro.formats.validate.CanonicalityError` (a duplicate in a
+symmetric file would otherwise be double-counted by the expansion),
+and entries above the diagonal of a symmetric file are mirrored into
+the lower triangle (or rejected with
+:class:`~repro.formats.validate.TriangleConventionError` under
+``upper="error"``) rather than being expanded as if they were lower
+entries.
 """
 
 from __future__ import annotations
@@ -16,6 +27,14 @@ from typing import Union
 import numpy as np
 
 from ..formats.coo import COOMatrix
+from ..formats.validate import (
+    BoundsError,
+    CanonicalityError,
+    ParseError,
+    SymmetryError,
+    TriangleConventionError,
+    check_finite,
+)
 
 __all__ = ["read_matrix_market", "write_matrix_market"]
 
@@ -35,10 +54,10 @@ def write_matrix_market(
     """
     if symmetric:
         if not coo.is_symmetric():
-            raise ValueError("matrix is not symmetric")
+            raise SymmetryError("matrix is not symmetric")
         out = coo.lower_triangle(strict=False)
     else:
-        out = coo
+        out = coo.canonicalize()
     qualifier = "symmetric" if symmetric else "general"
     lines = [f"{_HEADER} {qualifier}\n"]
     lines.append(f"{coo.n_rows} {coo.n_cols} {out.nnz}\n")
@@ -51,47 +70,132 @@ def write_matrix_market(
         path.write(data)
 
 
-def read_matrix_market(path: Union[str, Path, io.TextIOBase]) -> COOMatrix:
+def _parse_entries(entries: list[str]) -> np.ndarray:
+    """Parse coordinate lines into an ``(nnz, 3)`` float array, raising
+    :class:`ParseError` with the offending line on malformed input."""
+    tokens = [ln.split() for ln in entries]
+    for ln, toks in zip(entries, tokens):
+        if len(toks) != 3:
+            raise ParseError(f"malformed entry line: {ln!r}")
+    try:
+        return np.array(tokens, dtype=np.float64)
+    except ValueError:
+        for ln, toks in zip(entries, tokens):
+            try:
+                [float(t) for t in toks]
+            except ValueError:
+                raise ParseError(f"malformed entry line: {ln!r}") from None
+        raise  # pragma: no cover - unreachable
+
+
+def read_matrix_market(
+    path: Union[str, Path, io.TextIOBase], *, upper: str = "mirror"
+) -> COOMatrix:
     """Read a MatrixMarket coordinate file into a COO matrix.
 
-    Symmetric files are expanded to both triangles.
+    Symmetric files are expanded to both triangles.  Per the
+    MatrixMarket convention a symmetric file must store the *lower*
+    triangle only; entries above the diagonal are handled per
+    ``upper``:
+
+    * ``"mirror"`` (default): transposed into the lower triangle before
+      expansion (tolerates upper-triangle producers);
+    * ``"error"``: raise
+      :class:`~repro.formats.validate.TriangleConventionError`.
+
+    Duplicate coordinates (in either qualifier, and including a
+    symmetric file storing both ``(i, j)`` and ``(j, i)``) raise
+    :class:`~repro.formats.validate.CanonicalityError` — summing or
+    double-expanding them silently would corrupt the matrix.
     """
+    if upper not in ("mirror", "error"):
+        raise ValueError(f"upper must be 'mirror' or 'error', got {upper!r}")
     if isinstance(path, (str, Path)):
         text = Path(path).read_text()
     else:
         text = path.read()
     lines = text.splitlines()
     if not lines:
-        raise ValueError("empty MatrixMarket file")
+        raise ParseError("empty MatrixMarket file")
     header = lines[0].strip().lower()
     if not header.startswith("%%matrixmarket matrix coordinate real"):
-        raise ValueError(f"unsupported MatrixMarket header: {lines[0]!r}")
+        raise ParseError(f"unsupported MatrixMarket header: {lines[0]!r}")
     symmetric = header.endswith("symmetric")
     if not (symmetric or header.endswith("general")):
-        raise ValueError(f"unsupported qualifier in header: {lines[0]!r}")
+        raise ParseError(f"unsupported qualifier in header: {lines[0]!r}")
 
-    body = [ln for ln in lines[1:] if ln.strip() and not ln.startswith("%")]
+    # Comment lines may carry leading whitespace; strip before testing.
+    body = [
+        ln for ln in lines[1:]
+        if ln.strip() and not ln.lstrip().startswith("%")
+    ]
     if not body:
-        raise ValueError("missing size line")
+        raise ParseError("missing size line")
     dims = body[0].split()
     if len(dims) != 3:
-        raise ValueError(f"malformed size line: {body[0]!r}")
-    n_rows, n_cols, nnz = (int(t) for t in dims)
+        raise ParseError(f"malformed size line: {body[0]!r}")
+    try:
+        n_rows, n_cols, nnz = (int(t) for t in dims)
+    except ValueError:
+        raise ParseError(f"malformed size line: {body[0]!r}") from None
+    if n_rows < 0 or n_cols < 0 or nnz < 0:
+        raise ParseError(f"negative dimensions in size line: {body[0]!r}")
+    if symmetric and n_rows != n_cols:
+        raise ParseError(
+            f"symmetric qualifier on a non-square {n_rows}x{n_cols} matrix"
+        )
     entries = body[1:]
     if len(entries) != nnz:
-        raise ValueError(
+        raise ParseError(
             f"expected {nnz} entries, found {len(entries)}"
         )
     if nnz:
-        data = np.array(
-            [ln.split() for ln in entries], dtype=np.float64
-        )
-        rows = data[:, 0].astype(np.int64) - 1
-        cols = data[:, 1].astype(np.int64) - 1
+        data = _parse_entries(entries)
+        rows = data[:, 0]
+        cols = data[:, 1]
+        if np.any(rows != np.floor(rows)) or np.any(cols != np.floor(cols)):
+            raise ParseError("non-integer coordinates in entry lines")
+        if rows.min() < 1 or cols.min() < 1:
+            raise BoundsError("MatrixMarket coordinates are 1-based")
+        if rows.max() > n_rows or cols.max() > n_cols:
+            raise BoundsError(
+                f"entry coordinates exceed declared shape "
+                f"({n_rows}, {n_cols})"
+            )
+        rows = rows.astype(np.int64) - 1
+        cols = cols.astype(np.int64) - 1
         vals = data[:, 2]
+        check_finite(vals, "MatrixMarket values")
     else:
         rows = cols = np.zeros(0, dtype=np.int64)
         vals = np.zeros(0)
+
+    if symmetric and nnz:
+        above = cols > rows
+        if np.any(above):
+            if upper == "error":
+                i = int(np.flatnonzero(above)[0])
+                raise TriangleConventionError(
+                    "symmetric file stores entry "
+                    f"({int(rows[i]) + 1}, {int(cols[i]) + 1}) above the "
+                    "diagonal; MatrixMarket symmetric files are "
+                    "lower-triangle only"
+                )
+            rows[above], cols[above] = (
+                cols[above].copy(), rows[above].copy()
+            )
+
+    # A repeated coordinate would be summed (general) or double-counted
+    # by the symmetric expansion; per the MM spec entries are unique.
+    keys = rows * max(1, n_cols) + cols
+    uniq, counts = np.unique(keys, return_counts=True)
+    if uniq.size != keys.size:
+        r, c = divmod(int(uniq[counts > 1][0]), max(1, n_cols))
+        raise CanonicalityError(
+            f"duplicate coordinate ({r + 1}, {c + 1}) in MatrixMarket "
+            "file" + (" after lower-triangle canonicalization"
+                      if symmetric else "")
+        )
 
     if symmetric and nnz:
         off = rows != cols

@@ -12,6 +12,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..formats.validate import PartitionError, ShapeError, check_partitions
+
 __all__ = [
     "partition_rows_equal",
     "partition_nnz_balanced",
@@ -23,9 +25,9 @@ __all__ = [
 def partition_rows_equal(n_rows: int, n_threads: int) -> list[tuple[int, int]]:
     """Split ``[0, n_rows)`` into ``n_threads`` near-equal row ranges."""
     if n_threads < 1:
-        raise ValueError("need at least one thread")
+        raise PartitionError("need at least one thread")
     if n_rows < 0:
-        raise ValueError("negative row count")
+        raise PartitionError("negative row count")
     bounds = np.linspace(0, n_rows, n_threads + 1).round().astype(np.int64)
     return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_threads)]
 
@@ -39,17 +41,24 @@ def partition_nnz_balanced(
     *expanded* matrix (so symmetric formats balance their real work,
     including transposed contributions).
 
-    The split points are the positions where the cumulative weight
-    crosses each ``k/p`` quantile; partitions may be empty for very
-    skewed matrices, which downstream code must tolerate.
+    Each split point is placed at the ``k/p`` quantile of the
+    cumulative weight, choosing between the two candidate cuts around
+    the crossing row by whichever prefix weight lands *closer* to the
+    quantile.  When the cumulative weight hits a quantile exactly, the
+    cut therefore falls exactly on it (the prefix carries precisely
+    ``k/p`` of the total).  The previous ``searchsorted + 1`` rule
+    always assigned the crossing row to the left partition, overloading
+    it whenever excluding a heavy crossing row balances better.
+    Partitions may be empty for very skewed matrices, which downstream
+    code must tolerate.
     """
     if n_threads < 1:
-        raise ValueError("need at least one thread")
+        raise PartitionError("need at least one thread")
     weights = np.asarray(row_weights, dtype=np.float64)
     if weights.ndim != 1:
-        raise ValueError("row_weights must be 1-D")
+        raise ShapeError("row_weights must be 1-D")
     if weights.size and weights.min() < 0:
-        raise ValueError("row weights must be non-negative")
+        raise PartitionError("row weights must be non-negative")
     n_rows = weights.size
     if n_rows == 0:
         return [(0, 0)] * n_threads
@@ -58,7 +67,14 @@ def partition_nnz_balanced(
     if total == 0:
         return partition_rows_equal(n_rows, n_threads)
     targets = total * np.arange(1, n_threads) / n_threads
-    cuts = np.searchsorted(cum, targets, side="left") + 1
+    idx = np.minimum(
+        np.searchsorted(cum, targets, side="left"), n_rows - 1
+    )
+    # Candidate cuts: idx (crossing row goes right, prefix = cum[idx-1])
+    # vs idx + 1 (crossing row goes left, prefix = cum[idx]).
+    prev = np.where(idx > 0, cum[idx - 1], 0.0)
+    include = np.abs(cum[idx] - targets) <= np.abs(prev - targets)
+    cuts = idx + include
     bounds = np.concatenate(([0], np.minimum(cuts, n_rows), [n_rows]))
     bounds = np.maximum.accumulate(bounds)
     return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_threads)]
@@ -74,17 +90,6 @@ def partition_bounds_to_starts(
 def validate_partitions(
     partitions: Sequence[tuple[int, int]], n_rows: int
 ) -> None:
-    """Raise unless the partitions tile ``[0, n_rows)`` contiguously."""
-    prev = 0
-    for start, end in partitions:
-        if start != prev:
-            raise ValueError(
-                f"partition gap/overlap at row {prev}: got start {start}"
-            )
-        if end < start:
-            raise ValueError(f"negative partition ({start}, {end})")
-        prev = end
-    if prev != n_rows:
-        raise ValueError(
-            f"partitions end at {prev}, expected n_rows = {n_rows}"
-        )
+    """Raise :class:`~repro.formats.validate.PartitionError` unless the
+    partitions tile ``[0, n_rows)`` contiguously."""
+    check_partitions(partitions, n_rows)

@@ -18,6 +18,7 @@ import numpy as np
 from ..formats.base import SymmetricFormat
 from ..formats.csr import CSRMatrix
 from ..formats.csx.matrix import CSXMatrix
+from ..formats.validate import check_driver_x, prepare_driver_y
 from ..obs.tracer import Tracer, active as _active_tracer
 from .executor import Executor
 from .partition import validate_partitions
@@ -53,31 +54,10 @@ def _record_traffic(
         )
 
 
-def _check_driver_x(x: np.ndarray, n_cols: int) -> np.ndarray:
-    """Validate a driver input: a vector ``(n_cols,)`` or a multi-RHS
-    block ``(n_cols, k)``."""
-    x = np.asarray(x, dtype=np.float64)
-    if x.ndim == 1 and x.shape == (n_cols,):
-        return x
-    if x.ndim == 2 and x.shape[0] == n_cols and x.shape[1] >= 1:
-        return x
-    raise ValueError(
-        f"x has shape {x.shape}, expected ({n_cols},) or ({n_cols}, k)"
-    )
-
-
-def _prepare_driver_y(
-    y: Optional[np.ndarray], n_rows: int, x: np.ndarray
-) -> np.ndarray:
-    """Allocate (or validate and zero) the output matching ``x``'s
-    1-D/2-D layout."""
-    shape = (n_rows,) if x.ndim == 1 else (n_rows, x.shape[1])
-    if y is None:
-        return np.zeros(shape, dtype=np.float64)
-    if y.shape != shape:
-        raise ValueError(f"y has shape {y.shape}, expected {shape}")
-    y[:] = 0.0
-    return y
+# Operand validation lives in repro.formats.validate (shared error
+# taxonomy); these aliases keep the historic private names importable.
+_check_driver_x = check_driver_x
+_prepare_driver_y = prepare_driver_y
 
 
 class ParallelSymmetricSpMV:

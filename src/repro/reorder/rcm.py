@@ -64,6 +64,10 @@ def _pseudo_peripheral(
 def _bfs_levels(
     indptr: np.ndarray, indices: np.ndarray, start: int
 ) -> np.ndarray:
+    """BFS level of every vertex from ``start``; vertices in other
+    components stay at ``-1`` (excluded, never aliased to level 0 —
+    mapping them to 0 would let the pseudo-peripheral eccentricity
+    search wander across components on disconnected graphs)."""
     n = indptr.size - 1
     levels = np.full(n, -1, dtype=np.int64)
     levels[start] = 0
@@ -78,8 +82,6 @@ def _bfs_levels(
         new = neigh[levels[neigh] < 0]
         levels[new] = level
         frontier = new
-    # Unreached vertices (other components) keep -1; callers handle.
-    levels[levels < 0] = 0
     return levels
 
 

@@ -150,3 +150,50 @@ def test_empty_matrix():
     assert coo.nnz == 0
     y = coo.spmv(np.ones(4))
     assert np.array_equal(y, np.zeros(4))
+
+
+# ----------------------------------------------------------------------
+# Canonicality-aware symmetry checks (fuzz-hardening regressions)
+# ----------------------------------------------------------------------
+def test_is_symmetric_on_noncanonical_instance():
+    # Surviving duplicates used to make is_symmetric compare the raw
+    # entry arrays against the (canonicalized, shorter) transpose and
+    # report False for a perfectly symmetric matrix.
+    coo = COOMatrix(
+        (3, 3), [2, 0, 2, 1, 0], [0, 2, 0, 1, 0],
+        [3.0, 4.0, 1.0, 1.0, 2.0],
+        sum_duplicates=False,
+    )
+    assert not coo.is_canonical
+    assert coo.is_symmetric()
+    assert coo.is_structurally_symmetric()
+
+
+def test_is_symmetric_with_duplicates():
+    # Duplicates whose *sums* are symmetric: the dirty instance must
+    # agree with the canonical verdict.
+    coo = COOMatrix(
+        (2, 2), [1, 0, 1], [0, 1, 0], [1.0, 3.0, 2.0],
+        sum_duplicates=False,
+    )
+    assert coo.is_symmetric()
+
+
+def test_is_symmetric_asymmetric_noncanonical():
+    coo = COOMatrix(
+        (2, 2), [1, 0], [0, 1], [1.0, 5.0], sum_duplicates=False
+    )
+    assert not coo.is_symmetric()
+    assert coo.is_structurally_symmetric()
+
+
+def test_canonicalize():
+    dirty = COOMatrix(
+        (2, 2), [1, 0, 1], [0, 1, 0], [1.0, 3.0, 2.0],
+        sum_duplicates=False,
+    )
+    canon = dirty.canonicalize()
+    assert canon.is_canonical
+    assert np.array_equal(canon.to_dense(), dirty.to_dense())
+    # Already-canonical instances return themselves.
+    assert canon.canonicalize() is canon

@@ -1,0 +1,241 @@
+"""Tests for the differential fuzzing harness (repro.fuzz)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.formats import COOMatrix, CSRMatrix, SSSMatrix
+from repro.fuzz import (
+    CASE_KINDS,
+    Combo,
+    FuzzConfig,
+    all_combos,
+    assert_combo,
+    check_against_oracle,
+    emit_regression_test,
+    generate_case,
+    generate_mm_case,
+    run_fuzz,
+    shrink_case,
+    tolerance,
+)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def test_cases_are_seed_deterministic():
+    for index in (0, 7, 23):
+        a = generate_case(42, index)
+        b = generate_case(42, index)
+        assert a.name == b.name and a.shape == b.shape
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.cols, b.cols)
+        assert np.array_equal(a.vals, b.vals)
+
+
+def test_different_seeds_differ():
+    a = generate_case(1, 0)
+    b = generate_case(2, 0)
+    assert (
+        a.shape != b.shape
+        or a.rows.size != b.rows.size
+        or not np.array_equal(a.vals, b.vals)
+    )
+
+
+def test_every_kind_generates_valid_cases():
+    for index in range(len(CASE_KINDS)):
+        case = generate_case(5, index)
+        assert case.rows.size == case.cols.size == case.vals.size
+        assert np.isfinite(case.dense).all()
+        if case.symmetric:
+            assert np.allclose(case.dense, case.dense.T, rtol=1e-9)
+
+
+def test_mm_cases_parse_or_raise_as_declared():
+    from repro.formats import ValidationError
+    from repro.matrices import read_matrix_market
+
+    for index in range(12):
+        mm = generate_mm_case(9, index)
+        if mm.expect_error:
+            with pytest.raises(ValidationError):
+                read_matrix_market(io.StringIO(mm.text))
+        else:
+            got = read_matrix_market(io.StringIO(mm.text))
+            assert np.array_equal(got.to_dense(), mm.dense)
+
+
+# ----------------------------------------------------------------------
+# Oracle
+# ----------------------------------------------------------------------
+def test_oracle_accepts_exact_result():
+    dense = np.diag([1.0, 2.0, 3.0])
+    x = np.ones(3)
+    ok, ratio = check_against_oracle(dense @ x, dense, x)
+    assert ok and ratio == 0.0
+
+
+def test_oracle_rejects_corrupted_result():
+    dense = np.diag([1.0, 2.0, 3.0])
+    x = np.ones(3)
+    y = dense @ x
+    y[1] += 1e-8
+    ok, ratio = check_against_oracle(y, dense, x)
+    assert not ok and ratio > 1.0
+
+
+def test_oracle_rejects_shape_and_nan():
+    dense = np.eye(2)
+    x = np.ones(2)
+    assert not check_against_oracle(np.ones(3), dense, x)[0]
+    assert not check_against_oracle(np.array([1.0, np.nan]), dense, x)[0]
+
+
+def test_tolerance_scales_with_magnitude_not_result():
+    # A cancelling row: result ~0, but the bound follows |A| @ |x|.
+    dense = np.array([[1e8, -1e8]])
+    x = np.ones(2)
+    tol = tolerance(dense, x)
+    assert tol[0] > 1e-9  # far above eps * |result| = 0
+
+
+# ----------------------------------------------------------------------
+# Harness end-to-end
+# ----------------------------------------------------------------------
+def test_run_fuzz_small_run_passes():
+    report = run_fuzz(FuzzConfig(cases=24, seed=11, shrink=False))
+    assert report.ok, report.summary()
+    assert report.cases_run == 24
+    assert report.mm_cases_run > 0
+    # Combo rotation covers the whole matrix within `stride` cases.
+    assert len(report.combos_covered) == len(all_combos())
+
+
+def test_assert_combo_on_known_good_case():
+    assert_combo(
+        (2, 2), [0, 1, 0, 1], [0, 0, 1, 1], [2.0, 1.0, 1.0, 3.0],
+        fmt="sss", driver="parallel", op="spmv",
+        reduction="indexed", p=2, seed=0, index=0,
+    )
+    # The emitted-reproducer path must also detect wrongness: an
+    # asymmetric matrix through a symmetric format fails as exception.
+    with pytest.raises(AssertionError):
+        assert_combo(
+            (2, 2), [0], [1], [1.0],
+            fmt="sss", driver="serial", op="spmv",
+        )
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+class _PoisonCombo:
+    """Stub combo: 'fails' whenever the poison value 99.0 is stored."""
+
+    fmt, driver, op, reduction, p, k = "csr", "serial", "spmv", "indexed", 2, 3
+
+    def describe(self):
+        return "stub/poison"
+
+    def run(self, case):
+        if np.any(case.vals == 99.0):
+            return False, "mismatch", float("inf")
+        return True, "", 0.0
+
+
+def test_shrink_reduces_to_minimal_reproducer():
+    rng = np.random.default_rng(0)
+    n = 20
+    rows = rng.integers(0, n, 60)
+    cols = rng.integers(0, n, 60)
+    vals = rng.uniform(1.0, 2.0, 60)
+    vals[37] = 99.0
+    case = generate_case(0, 0)  # template for the dataclass fields
+    from repro.fuzz import FuzzCase
+
+    case = FuzzCase(
+        name="poison", seed=0, index=0, shape=(n, n),
+        rows=rows, cols=cols, vals=vals, symmetric=False,
+    )
+    combo = _PoisonCombo()
+    shrunk = shrink_case(case, combo, "mismatch")
+    assert shrunk is not None
+    assert shrunk.rows.size == 1
+    assert shrunk.vals[0] == 99.0
+    assert shrunk.shape[0] <= 2  # index compaction kicked in
+
+    src = emit_regression_test(shrunk, combo, "mismatch")
+    compile(src, "<fuzz-reproducer>", "exec")  # valid python
+    assert "assert_combo" in src and "99.0" in src
+
+
+def test_shrink_returns_none_for_flaky_failure():
+    case = generate_case(0, 0)
+    assert shrink_case(case, Combo("csr", "serial", "spmv"), "mismatch") is None
+
+
+# ----------------------------------------------------------------------
+# Fuzz-found regression: row sums must be row-local
+# ----------------------------------------------------------------------
+def test_csr_row_sums_are_row_local():
+    # Found by repro.fuzz (sym_extreme_values): the segment reduction
+    # used a global prefix-sum difference, so a row's rounding error
+    # scaled with the magnitude of every preceding row.  A tiny row
+    # after a huge one lost its entire value.
+    dense = np.array([[1e100, 0.0], [0.0, 3.0]])
+    y = CSRMatrix.from_dense(dense).spmv(np.array([1.0, 1.0]))
+    assert y[1] == 3.0  # exact: the row has a single product
+
+
+def test_csr_spmm_row_sums_are_row_local():
+    dense = np.array([[1e100, 0.0], [0.0, 3.0]])
+    X = np.ones((2, 2))
+    Y = CSRMatrix.from_dense(dense).spmm(X)
+    assert np.all(Y[1] == 3.0)
+
+
+def test_sss_row_sums_are_row_local():
+    # Same defect through the SSS direct (lower-triangle) part.
+    dense = np.zeros((3, 3))
+    dense[1, 0] = dense[0, 1] = 1e100
+    dense[2, 0] = dense[0, 2] = 3.0
+    m = SSSMatrix.from_coo(COOMatrix.from_dense(dense))
+    y = m.spmv(np.array([1.0, 0.0, 0.0]))
+    assert y[2] == 3.0
+
+
+def test_single_entry_rows_are_exact():
+    # Every 1-nnz row must equal its single rounded product exactly,
+    # independent of the rest of the matrix.
+    rng = np.random.default_rng(3)
+    n = 12
+    dense = np.zeros((n, n))
+    idx = rng.permutation(n)
+    vals = rng.uniform(-2, 2, n)
+    dense[np.arange(n), idx] = vals
+    x = rng.standard_normal(n)
+    y = CSRMatrix.from_dense(dense).spmv(x)
+    assert np.array_equal(y, vals * x[idx])
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_fuzz_smoke(capsys):
+    assert main(["fuzz", "--cases", "8", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_cli_fuzz_writes_reproducer_flag_accepted(tmp_path):
+    # A passing run writes no reproducer file.
+    path = tmp_path / "rep.py"
+    assert main(
+        ["fuzz", "--cases", "4", "--seed", "2",
+         "--reproducer", str(path)]
+    ) == 0
+    assert not path.exists()

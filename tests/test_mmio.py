@@ -98,3 +98,112 @@ def test_values_preserved_exactly(tmp_path):
     write_matrix_market(path, coo)
     back = read_matrix_market(path)
     assert np.array_equal(np.sort(back.vals), np.sort(vals))
+
+
+# ----------------------------------------------------------------------
+# Input-hardening regressions (found/pinned by the repro.fuzz pass)
+# ----------------------------------------------------------------------
+def test_comment_with_leading_whitespace_skipped():
+    # Comment lines indented with whitespace used to reach the entry
+    # parser and fail as malformed entries.
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "  % indented comment\n"
+        "2 2 1\n"
+        "\t% tab-indented comment\n"
+        "1 2 3.5\n"
+    )
+    coo = read_matrix_market(io.StringIO(text))
+    assert coo.to_dense()[0, 1] == 3.5
+
+
+def test_symmetric_upper_entry_mirrored():
+    # Per the MM convention a symmetric file stores the lower triangle;
+    # an upper entry used to be expanded as if it were lower, silently
+    # mis-placing the value.  It is now mirrored before expansion.
+    text = (
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "1 3 2.5\n"
+        "2 2 1.0\n"
+    )
+    dense = read_matrix_market(io.StringIO(text)).to_dense()
+    assert dense[0, 2] == 2.5 and dense[2, 0] == 2.5
+    assert dense[1, 1] == 1.0
+
+
+def test_symmetric_upper_entry_error_mode():
+    from repro.formats import TriangleConventionError
+
+    text = (
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 1\n"
+        "1 3 2.5\n"
+    )
+    with pytest.raises(TriangleConventionError):
+        read_matrix_market(io.StringIO(text), upper="error")
+
+
+def test_duplicate_entries_rejected():
+    # Duplicates fed into the symmetric expansion with
+    # ``sum_duplicates=False`` used to double-count downstream.
+    from repro.formats import CanonicalityError
+
+    text = (
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 2\n"
+        "2 1 1.0\n"
+        "2 1 1.0\n"
+    )
+    with pytest.raises(CanonicalityError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_duplicate_via_mirror_rejected():
+    # A lower entry and its transposed twin collide after mirroring.
+    from repro.formats import CanonicalityError
+
+    text = (
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 2\n"
+        "2 1 1.0\n"
+        "1 2 1.0\n"
+    )
+    with pytest.raises(CanonicalityError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_junk_value_rejected():
+    from repro.formats import ParseError
+
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 zebra\n"
+    )
+    with pytest.raises(ParseError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_out_of_range_index_rejected():
+    from repro.formats import BoundsError
+
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "5 1 1.0\n"
+    )
+    with pytest.raises(BoundsError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_nonfinite_value_rejected():
+    from repro.formats import NonFiniteError
+
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 nan\n"
+    )
+    with pytest.raises(NonFiniteError):
+        read_matrix_market(io.StringIO(text))

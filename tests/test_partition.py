@@ -106,3 +106,51 @@ def test_validate_rejects_short_cover():
 def test_validate_rejects_negative_range():
     with pytest.raises(ValueError):
         validate_partitions([(0, 10), (10, 5)], 10)
+
+
+# ----------------------------------------------------------------------
+# Boundary behavior of the nnz-balanced cuts (fuzz-hardening pass)
+# ----------------------------------------------------------------------
+def test_nnz_balanced_heavy_crossing_row_not_forced_left():
+    # The old ``searchsorted + 1`` rule always pushed the crossing row
+    # into the left partition: weights [1, 5] split 2 ways came out as
+    # loads [6, 0] instead of [1, 5].
+    parts = partition_nnz_balanced(np.array([1.0, 5.0]), 2)
+    validate_partitions(parts, 2)
+    assert parts == [(0, 1), (1, 2)]
+
+
+def test_nnz_balanced_exact_quantile_hits_unchanged():
+    # Exact hits were already load-optimal and must keep cutting after
+    # the crossing row.
+    parts = partition_nnz_balanced(np.ones(8), 4)
+    assert parts == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    st.lists(st.integers(1, 20), min_size=1, max_size=40),
+    st.integers(1, 6),
+)
+@settings(max_examples=80, deadline=None)
+def test_nnz_balanced_cuts_are_load_optimal(ws, p):
+    """Every un-collided boundary sits at the prefix weight closest to
+    its ``i/p`` quantile target — no boundary can be improved by moving
+    it to any other row."""
+    weights = np.asarray(ws, dtype=np.float64)
+    n = weights.size
+    parts = partition_nnz_balanced(weights, p)
+    validate_partitions(parts, n)
+    cum = np.concatenate([[0.0], np.cumsum(weights)])
+    bounds = [s for s, _ in parts] + [n]
+    total = float(weights.sum())
+    for i in range(1, p):
+        b = bounds[i]
+        if b <= bounds[i - 1] or b >= n:
+            continue  # collided/clamped with a neighbouring cut
+        target = total * i / p
+        best = float(np.min(np.abs(cum - target)))
+        assert abs(cum[b] - target) <= best + 1e-9

@@ -106,3 +106,37 @@ def test_rcm_with_precomputed_perm(rng):
     reordered, perm_out = rcm_reorder(m, perm)
     assert perm_out is perm
     assert reordered.is_symmetric()
+
+
+# ----------------------------------------------------------------------
+# Disconnected-graph regressions (fuzz-hardening pass)
+# ----------------------------------------------------------------------
+def test_bfs_levels_leave_other_components_at_minus_one():
+    # Unreachable vertices used to be mapped to level 0, aliasing them
+    # with the start vertex and corrupting the pseudo-peripheral
+    # eccentricity search on disconnected graphs.
+    from repro.reorder.rcm import _adjacency, _bfs_levels
+
+    dense = np.zeros((6, 6))
+    dense[0, 1] = dense[1, 0] = 1.0
+    dense[1, 2] = dense[2, 1] = 1.0
+    dense[4, 5] = dense[5, 4] = 1.0  # second component (+ isolated 3)
+    indptr, indices = _adjacency(COOMatrix.from_dense(dense))
+    levels = _bfs_levels(indptr, indices, 0)
+    assert np.array_equal(levels[:3], [0, 1, 2])
+    assert np.all(levels[3:] == -1)
+
+
+def test_multi_component_visits_each_component_contiguously():
+    # Chain 0-1-2, chain 3-4, isolated 5: CM must exhaust one component
+    # before restarting in the next.
+    dense = np.zeros((6, 6))
+    for i, j in [(0, 1), (1, 2), (3, 4)]:
+        dense[i, j] = dense[j, i] = 1.0
+    coo = COOMatrix.from_dense(dense)
+    perm = cuthill_mckee(coo)
+    assert np.array_equal(np.sort(perm), np.arange(6))
+    component = np.array([0, 0, 0, 1, 1, 2])
+    visited = component[perm]
+    changes = np.count_nonzero(np.diff(visited) != 0)
+    assert changes == 2  # each component is one contiguous run

@@ -1,0 +1,143 @@
+"""Unit tests for the shared validation layer (repro.formats.validate)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    BoundsError,
+    CanonicalityError,
+    COOMatrix,
+    CSBSymMatrix,
+    CSXSymMatrix,
+    DTypeError,
+    NonFiniteError,
+    ParseError,
+    PartitionError,
+    ShapeError,
+    SSSMatrix,
+    SymmetryError,
+    TriangleConventionError,
+    ValidationError,
+)
+from repro.formats.validate import (
+    check_driver_x,
+    check_finite,
+    check_index_bounds,
+    check_partitions,
+    prepare_driver_y,
+)
+
+
+# ----------------------------------------------------------------------
+# Taxonomy: every error must remain catchable as the historic builtin.
+# ----------------------------------------------------------------------
+def test_all_errors_are_value_errors():
+    for err in (
+        ValidationError, ShapeError, BoundsError, NonFiniteError,
+        CanonicalityError, TriangleConventionError, SymmetryError,
+        ParseError, PartitionError, DTypeError,
+    ):
+        assert issubclass(err, ValueError)
+
+
+def test_dtype_error_is_also_type_error():
+    assert issubclass(DTypeError, TypeError)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def test_check_finite_accepts_finite():
+    check_finite(np.array([1.0, -2.0, 0.0]), "vals")
+
+
+@pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+def test_check_finite_rejects_nonfinite(bad):
+    with pytest.raises(NonFiniteError):
+        check_finite(np.array([1.0, bad]), "vals")
+
+
+def test_check_index_bounds():
+    check_index_bounds(np.array([0, 2]), np.array([1, 0]), (3, 2))
+    with pytest.raises(BoundsError):
+        check_index_bounds(np.array([3]), np.array([0]), (3, 2))
+    with pytest.raises(BoundsError):
+        check_index_bounds(np.array([0]), np.array([-1]), (3, 2))
+
+
+def test_check_partitions():
+    check_partitions([(0, 2), (2, 5)], 5)
+    with pytest.raises(PartitionError):
+        check_partitions([(0, 2), (3, 5)], 5)  # gap
+    with pytest.raises(PartitionError):
+        check_partitions([(0, 3), (2, 5)], 5)  # overlap
+    with pytest.raises(PartitionError):
+        check_partitions([(0, 5)], 6)  # short cover
+
+
+def test_check_driver_x():
+    # x is upcast (historic driver behavior); shape is strict.
+    x = check_driver_x(np.zeros(3, dtype=np.float32), 3)
+    assert x.dtype == np.float64
+    with pytest.raises(ValueError):
+        check_driver_x(np.zeros(4), 3)
+
+
+def test_prepare_driver_y_allocates_and_validates():
+    x = np.zeros(3)
+    y = prepare_driver_y(None, 3, x)
+    assert y.shape == (3,) and y.dtype == np.float64
+    with pytest.raises(ValueError):
+        prepare_driver_y(np.zeros(2), 3, x)
+    with pytest.raises(TypeError):
+        prepare_driver_y(np.zeros(3, dtype=np.float32), 3, x)
+
+
+# ----------------------------------------------------------------------
+# Construction-time checks
+# ----------------------------------------------------------------------
+def test_coo_rejects_nan_by_default():
+    with pytest.raises(NonFiniteError):
+        COOMatrix((2, 2), [0], [1], [np.nan])
+
+
+def test_coo_allows_nonfinite_when_opted_in():
+    coo = COOMatrix((2, 2), [0], [1], [np.nan], allow_nonfinite=True)
+    assert np.isnan(coo.vals).any()
+    # Derived objects of a permissive matrix must not start raising.
+    assert np.isnan(coo.transpose().vals).any()
+
+
+def test_coo_tracks_canonicality():
+    canon = COOMatrix((2, 2), [1, 0], [0, 1], [1.0, 2.0])
+    assert canon.is_canonical
+    # Entries are always sorted at construction; non-canonical means
+    # duplicate coordinates survived (sum_duplicates=False).
+    dirty = COOMatrix(
+        (2, 2), [1, 1], [0, 0], [1.0, 2.0], sum_duplicates=False
+    )
+    assert not dirty.is_canonical
+    nodup = COOMatrix(
+        (2, 2), [1, 0], [0, 1], [1.0, 2.0], sum_duplicates=False
+    )
+    assert nodup.is_canonical
+
+
+# ----------------------------------------------------------------------
+# Symmetric builders raise the typed error (still a ValueError).
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda c: SSSMatrix.from_coo(c),
+        lambda c: CSXSymMatrix(c),
+        lambda c: CSBSymMatrix(c, beta=2),
+    ],
+    ids=["sss", "csx-sym", "csb-sym"],
+)
+def test_symmetric_builders_raise_symmetry_error(build):
+    asym = COOMatrix((2, 2), [0], [1], [1.0])
+    with pytest.raises(SymmetryError):
+        build(asym)
+    with pytest.raises(ValueError):
+        build(asym)
