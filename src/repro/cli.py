@@ -47,6 +47,7 @@ from .obs import (
     write_trace,
 )
 from .parallel import Executor, ParallelSpMV, ParallelSymmetricSpMV
+from .resilience import ChaosPlan
 from .reorder import bandwidth_stats
 from .solvers import conjugate_gradient
 
@@ -78,9 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "loadable trace document (JSON) to PATH",
         )
         p.add_argument(
-            "--executor", default="serial", choices=("serial", "threads"),
+            "--executor", default="serial",
+            choices=("serial", "threads", "chaos"),
             help="task executor; 'threads' gives per-thread timelines "
-                 "in the trace",
+                 "in the trace, 'chaos' perturbs scheduling (delays + "
+                 "reordered completions, no injected exceptions) to "
+                 "smoke-test determinism",
         )
 
     p_spmv = sub.add_parser("spmv", help="run one SpM×V configuration")
@@ -141,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip ddmin reduction of failing cases",
     )
     p_fuzz.add_argument(
+        "--chaos", action="store_true",
+        help="re-run parallel/bound combos under a fault-injecting "
+             "chaos executor; injected faults must surface as typed "
+             "errors or leave the output oracle-correct",
+    )
+    p_fuzz.add_argument(
         "--reproducer", metavar="PATH", default=None,
         help="write the first mismatch's ready-to-paste regression "
              "test to PATH",
@@ -198,7 +208,16 @@ def _trace_setup(args):
     """(tracer, executor) for a traceable subcommand; the tracer is a
     recording one only when ``--trace`` was given."""
     tracer = Tracer(enabled=args.trace is not None)
-    executor = Executor(args.executor) if args.executor != "serial" else None
+    if args.executor == "chaos":
+        # Scheduling perturbation only — delays and reordered
+        # completions keep the two-phase algorithm bit-correct; no
+        # injected exceptions from the CLI.
+        plan = ChaosPlan(seed=0, p_raise=0.0, p_delay=0.5, max_delay_ms=0.2)
+        executor = Executor("chaos", plan=plan)
+    elif args.executor == "threads":
+        executor = Executor("threads")
+    else:
+        executor = None
     return tracer, executor
 
 
@@ -334,6 +353,7 @@ def _cmd_fuzz(args) -> int:
         k=args.k,
         shrink=not args.no_shrink,
         max_mismatches=args.max_mismatches,
+        chaos=args.chaos,
     )
     report = run_fuzz(config)
     print(report.summary())

@@ -34,9 +34,16 @@ from ..formats import (
     ValidationError,
 )
 from ..parallel import (
+    Executor,
     ParallelSpMV,
     ParallelSymmetricSpMV,
     partition_nnz_balanced,
+)
+from ..resilience import (
+    BatchExecutionError,
+    ChaosInjectedError,
+    ChaosPlan,
+    PoisonedOperatorError,
 )
 from .generators import FuzzCase, generate_case, generate_mm_case
 from .oracle import check_against_oracle
@@ -89,7 +96,7 @@ class Combo:
             return matrix.block_row_partitions(min(self.p, n_brows))
         return parts
 
-    def _build(self, coo: COOMatrix):
+    def _build(self, coo: COOMatrix, executor: Optional[Executor] = None):
         """(matrix, apply_callable) for this combo."""
         if self.driver == "serial":
             builders = {
@@ -115,29 +122,40 @@ class Combo:
             else:
                 m = CSBSymMatrix(coo, beta=CSB_BETA)
                 parts = self._partitions(coo, m)
-            drv = ParallelSymmetricSpMV(m, parts, self.reduction)
+            drv = ParallelSymmetricSpMV(
+                m, parts, self.reduction, executor=executor
+            )
         else:
             parts = self._partitions(coo)
             if self.fmt == "csr":
                 m = CSRMatrix.from_coo(coo)
             else:
                 m = CSXMatrix(coo, partitions=parts)
-            drv = ParallelSpMV(m, parts)
+            drv = ParallelSpMV(m, parts, executor=executor)
 
         if self.driver == "parallel":
             return drv
         return drv.bind(None if self.op == "spmv" else self.k)
 
-    def run(self, case: FuzzCase) -> tuple[bool, str, float]:
+    def run(
+        self, case: FuzzCase, chaos_plan: Optional[ChaosPlan] = None
+    ) -> tuple[bool, str, float]:
         """Drive the combo on ``case``; ``(ok, failure_kind, ratio)``.
 
         ``failure_kind`` is ``""`` on success, ``"mismatch"`` on an
         oracle disagreement, or ``"exception:<Type>"`` when building or
-        applying raised.
+        applying raised. A ``chaos_plan`` routes the parallel/bound
+        drivers through ``Executor("chaos", plan=...)`` — injected
+        faults then surface as the typed containment exceptions, which
+        the harness classifies (serial combos ignore the plan: there is
+        no batch to disrupt).
         """
+        executor = None
+        if chaos_plan is not None and self.driver != "serial":
+            executor = Executor("chaos", plan=chaos_plan)
         try:
             dense = case.dense
-            apply = self._build(case.coo)
+            apply = self._build(case.coo, executor)
             k = None if self.op == "spmv" else self.k
             x = _rhs(case, k)
             if self.driver == "bound":
@@ -159,6 +177,9 @@ class Combo:
             return (True, "", ratio) if ok else (False, "mismatch", ratio)
         except Exception as exc:  # noqa: BLE001 - harness boundary
             return False, f"exception:{type(exc).__name__}", float("inf")
+        finally:
+            if executor is not None:
+                executor.close()
 
 
 def _rhs(case: FuzzCase, k: Optional[int], salt: int = 0) -> np.ndarray:
@@ -206,6 +227,10 @@ class FuzzConfig:
     mm_every: int = 4  # dirty-MatrixMarket case every N matrix cases
     shrink: bool = True
     max_mismatches: int = 5
+    #: Re-run every parallel/bound combo through a chaos executor with a
+    #: rotated fault plan; injected faults must either be contained in
+    #: the typed resilience exceptions or leave the output bit-correct.
+    chaos: bool = False
 
 
 @dataclass
@@ -242,6 +267,8 @@ class FuzzReport:
     mm_cases_run: int = 0
     checks_run: int = 0
     rejections_checked: int = 0
+    chaos_checks: int = 0
+    chaos_contained: int = 0  # chaos runs stopped by a typed error
     combos_covered: set = field(default_factory=set)
     mismatches: list = field(default_factory=list)
     elapsed: float = 0.0
@@ -251,10 +278,16 @@ class FuzzReport:
         return not self.mismatches
 
     def summary(self) -> str:
+        chaos = (
+            f", {self.chaos_checks} chaos checks "
+            f"({self.chaos_contained} contained)"
+            if self.chaos_checks else ""
+        )
         lines = [
             f"fuzz: {self.cases_run} matrix cases + {self.mm_cases_run} "
             f"MatrixMarket cases, {self.checks_run} oracle checks, "
-            f"{self.rejections_checked} rejection checks, "
+            f"{self.rejections_checked} rejection checks"
+            f"{chaos}, "
             f"{len(self.combos_covered)} combos covered, "
             f"{self.elapsed:.1f}s",
             f"seed {self.config.seed} -> "
@@ -309,6 +342,32 @@ def _check_symmetry_rejection(case: FuzzCase) -> list[tuple[Combo, str]]:
             (Combo(fmt, "serial", "spmv"), "accepted-asymmetric")
         )
     return failures
+
+
+#: Exceptions that count as *contained* chaos outcomes: the executor,
+#: bound operator, or injected fault itself surfaced through the typed
+#: resilience taxonomy instead of corrupting the output.
+_CONTAINED_ERRORS = frozenset(
+    cls.__name__
+    for cls in (BatchExecutionError, PoisonedOperatorError, ChaosInjectedError)
+)
+
+
+def _chaos_plan(config: FuzzConfig, index: int, ci: int) -> ChaosPlan:
+    """Rotated deterministic fault plan for one (case, combo) pair.
+
+    Alternates exception-bearing and delay/reorder-only plans so both
+    halves of the containment property get exercised: typed-error
+    propagation on one half, bit-identical output under pure scheduling
+    perturbation on the other.
+    """
+    return ChaosPlan(
+        seed=config.seed * 1_000_003 + index * 101 + ci,
+        p_raise=0.25 if (index + ci) % 2 == 0 else 0.0,
+        p_delay=0.3,
+        max_delay_ms=0.3,
+        reorder=True,
+    )
 
 
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
@@ -380,6 +439,33 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                 else:
                     mis.reproducer = emit_regression_test(case, combo, kind)
                 report.mismatches.append(mis)
+
+            # Containment property: the same combo under an injected
+            # fault plan must either raise a typed resilience error or
+            # produce oracle-correct output — never corrupt silently.
+            if config.chaos and combo.driver != "serial" and ok:
+                plan = _chaos_plan(config, index, ci)
+                ok_c, kind_c, ratio_c = combo.run(case, chaos_plan=plan)
+                report.checks_run += 1
+                report.chaos_checks += 1
+                if not ok_c and kind_c.split(":", 1)[-1] in _CONTAINED_ERRORS:
+                    report.chaos_contained += 1
+                    ok_c = True
+                if not ok_c:
+                    mis = Mismatch(case, combo, f"chaos:{kind_c}", ratio_c)
+                    # ddmin shrinking replays without the chaos plan, so
+                    # it cannot reproduce a chaos-only failure; emit a
+                    # replay recipe instead of a shrunk reproducer.
+                    mis.reproducer = (
+                        f"# chaos replay: seed={config.seed} "
+                        f"index={index} combo={combo.describe()} "
+                        f"plan(seed={plan.seed}, p_raise={plan.p_raise}, "
+                        f"p_delay={plan.p_delay}, "
+                        f"max_delay_ms={plan.max_delay_ms})\n"
+                        f"# rerun: repro fuzz --chaos "
+                        f"--seed {config.seed} --cases {config.cases}\n"
+                    )
+                    report.mismatches.append(mis)
             if len(report.mismatches) >= config.max_mismatches:
                 break
         if len(report.mismatches) >= config.max_mismatches:

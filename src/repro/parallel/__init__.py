@@ -1,6 +1,12 @@
 """Thread partitioning, local-vector reduction methods and the
 multithreaded SpM×V orchestration of Section III."""
 
+from ..resilience import (
+    BatchExecutionError,
+    ChaosPlan,
+    OperatorClosedError,
+    PoisonedOperatorError,
+)
 from .bound import BoundOperator, BoundSpMV, BoundSymmetricSpMV
 from .coloring import (
     ColoredSymmetricSpMV,
@@ -28,6 +34,10 @@ from .spmv import ParallelSpMV, ParallelSymmetricSpMV
 
 __all__ = [
     "Executor",
+    "ChaosPlan",
+    "BatchExecutionError",
+    "PoisonedOperatorError",
+    "OperatorClosedError",
     "partition_nnz_balanced",
     "partition_rows_equal",
     "validate_partitions",

@@ -24,9 +24,12 @@ from typing import Optional
 import numpy as np
 
 from ..obs.tracer import active as _active_tracer, warn as _obs_warn
+from ..resilience.errors import OperatorClosedError, PoisonedOperatorError
 from .spmv import _record_traffic
 
 __all__ = ["BoundOperator", "BoundSymmetricSpMV", "BoundSpMV"]
+
+_POISON_POLICIES = ("recover", "raise")
 
 
 class BoundOperator:
@@ -49,19 +52,38 @@ class BoundOperator:
     k : int, optional
         Right-hand sides per application; ``None`` binds the 1-D
         SpM×V signature.
+    on_poison : {"recover", "raise"}
+        What a call after a failed/interrupted application does. A
+        fault mid-apply marks the operator *poisoned* (its workspaces
+        may hold partial writes). ``"recover"`` (default) fully
+        re-zeroes every workspace and proceeds, counting the event on
+        the ``resilience.operator_recovered`` warning counter;
+        ``"raise"`` fails with a typed
+        :class:`~repro.resilience.errors.PoisonedOperatorError` until
+        :meth:`recover` is called explicitly. Either way ``apply``
+        never returns a partially-written ``y``.
     """
 
-    def __init__(self, driver, k: Optional[int] = None):
+    def __init__(
+        self, driver, k: Optional[int] = None, on_poison: str = "recover"
+    ):
         if k is not None:
             k = int(k)
             if k < 1:
                 raise ValueError(
                     f"need at least one right-hand side, got k={k}"
                 )
+        if on_poison not in _POISON_POLICIES:
+            raise ValueError(
+                f"on_poison must be one of {_POISON_POLICIES}, "
+                f"got {on_poison!r}"
+            )
         self.driver = driver
         self.k = k
+        self.on_poison = on_poison
         self.n_calls = 0
         self._closed = False
+        self._poisoned = False
         m = driver.matrix
         shape = (m.n_rows,) if k is None else (m.n_rows, k)
         self._y = np.zeros(shape, dtype=np.float64)
@@ -114,13 +136,45 @@ class BoundOperator:
     def closed(self) -> bool:
         return self._closed
 
-    def bind(self, k: Optional[int] = None):
+    @property
+    def poisoned(self) -> bool:
+        """True after a failed/interrupted application until the next
+        recovery (automatic under ``on_poison="recover"``, explicit via
+        :meth:`recover` otherwise)."""
+        return self._poisoned
+
+    def recover(self) -> None:
+        """Clear the poisoned state: every workspace — output and
+        locals — is re-zeroed *in full* (not just the per-call
+        effective windows, which assume the previous call completed
+        cleanly). Counted on ``resilience.operator_recovered``. No-op
+        on a healthy operator."""
+        if self._closed:
+            raise OperatorClosedError(
+                "operator is closed; bind() a new one"
+            )
+        if not self._poisoned:
+            return
+        _obs_warn("resilience.operator_recovered")
+        self._full_rezero()
+        self._poisoned = False
+
+    def _full_rezero(self) -> None:
+        """Unconditional full-extent workspace clear (recovery path;
+        the per-call :meth:`_zero_workspaces` may be window-restricted)."""
+        self._y[...] = 0.0
+
+    def bind(self, k: Optional[int] = None, on_poison: Optional[str] = None):
         """Idempotent re-bind: returns ``self`` when the signature
         already matches, else binds the underlying driver afresh (so a
         bound operator can be passed anywhere a driver is expected)."""
-        if k == self.k and not self._closed:
+        if (
+            k == self.k
+            and not self._closed
+            and on_poison in (None, self.on_poison)
+        ):
             return self
-        return self.driver.bind(k)
+        return self.driver.bind(k, on_poison=on_poison or self.on_poison)
 
     def _expected_x_shape(self) -> tuple[int, ...]:
         return self._x_shape
@@ -132,9 +186,22 @@ class BoundOperator:
 
         Returns the workspace (overwritten by the next call) unless
         ``out`` is given, in which case the result is copied there.
+
+        Raises :class:`OperatorClosedError` after ``close()``, and —
+        under ``on_poison="raise"`` — :class:`PoisonedOperatorError`
+        after a failed application; see :meth:`recover`.
         """
         if self._closed:
-            raise RuntimeError("operator is closed; bind() a new one")
+            raise OperatorClosedError(
+                "operator is closed; bind() a new one"
+            )
+        if self._poisoned:
+            if self.on_poison == "raise":
+                raise PoisonedOperatorError(
+                    "operator poisoned by a failed apply; call recover() "
+                    "or bind with on_poison='recover'"
+                )
+            self.recover()
         x = np.asarray(x, dtype=np.float64)
         if x.shape != self._x_shape:
             raise ValueError(
@@ -160,10 +227,17 @@ class BoundOperator:
         self._zero_workspaces()
         self._x = x
         try:
-            self.driver.executor.run_batch(self._tasks)
+            self.driver.executor.run_batch(
+                self._tasks, reset=self._zero_workspaces
+            )
+            self._finish()
+        except BaseException:
+            # Workspaces may be partially written; never let the next
+            # call's window-restricted zeroing compute on top of them.
+            self._poison()
+            raise
         finally:
             self._x = None
-        self._finish()
         self.n_calls += 1
         if out is not None:
             np.copyto(out, self._y)
@@ -184,12 +258,19 @@ class BoundOperator:
             try:
                 with tracer.span("spmv.mult"):
                     self.driver.executor.run_batch(
-                        self._tasks, label="spmv.mult.task"
+                        self._tasks, label="spmv.mult.task",
+                        reset=self._zero_workspaces,
                     )
+                with tracer.span("spmv.reduce"):
+                    self._finish()
+            except BaseException as exc:
+                tracer.event(
+                    "bound.poisoned", error=type(exc).__name__
+                )
+                self._poison()
+                raise
             finally:
                 self._x = None
-            with tracer.span("spmv.reduce"):
-                self._finish()
             tracer.count("bound.calls")
             _record_traffic(
                 tracer, self.driver.matrix, self.k,
@@ -200,6 +281,13 @@ class BoundOperator:
             np.copyto(out, self._y)
             return out
         return self._y
+
+    def _poison(self) -> None:
+        """Mark the operator's workspaces as possibly holding partial
+        writes (failed or interrupted application)."""
+        if not self._poisoned:
+            self._poisoned = True
+            _obs_warn("resilience.operator_poisoned")
 
     def close(self) -> None:
         """Release the workspaces and the format's lazy execution
@@ -282,6 +370,14 @@ class BoundSymmetricSpMV(BoundOperator):
     def _zero_workspaces(self) -> None:
         self._y[...] = 0.0
         self.driver.reduction.zero_locals(self._locals)
+
+    def _full_rezero(self) -> None:
+        # Recovery cannot trust the window-restricted zeroing: clear
+        # the local buffers over their full extent.
+        self._y[...] = 0.0
+        for buf in self._locals:
+            if buf is not None:
+                buf[...] = 0.0
 
     def _finish(self) -> None:
         self.driver.reduction.reduce(self._y, self._locals)

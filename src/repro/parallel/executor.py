@@ -1,7 +1,7 @@
 """Thread-task execution backends.
 
 The library needs to run "one task per thread" twice per SpM×V (the
-multiplication phase and the reduction phase). Two backends exist:
+multiplication phase and the reduction phase). Three backends exist:
 
 * ``serial`` (default) — tasks run sequentially in deterministic order.
   Correctness and the traffic instrumentation are identical to a
@@ -12,16 +12,35 @@ multiplication phase and the reduction phase). Two backends exist:
   inside its kernels, so this demonstrates genuine concurrency, but
   wall-clock scaling on the host says nothing about the paper's
   platforms and is only used by the sanity benchmarks.
+* ``chaos`` — the ``threads`` backend with a deterministic
+  :class:`~repro.resilience.chaos.ChaosPlan` injecting per-task
+  exceptions, delays and submission reorders, so every failure path of
+  the containment machinery is reachable in tests and from
+  ``repro fuzz --chaos``.
+
+Failure containment (all parallel backends): when any task raises,
+``run_batch`` first awaits or cancels **every** sibling future — so no
+task can keep mutating shared output buffers after the call returns —
+then raises one :class:`~repro.resilience.errors.BatchExecutionError`
+aggregating every task's exception with its ``tid`` and the batch
+label. An optional ``fallback="serial"`` mode degrades gracefully: the
+failed batch is retried once serially (after the caller-supplied
+``reset`` re-zeroes any partially-written workspaces), counted on the
+``resilience.serial_fallback`` warning counter.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, Optional, Sequence
 
-from ..obs.tracer import active as _active_tracer
+from ..obs.tracer import active as _active_tracer, warn as _obs_warn
+from ..resilience.chaos import ChaosPlan
+from ..resilience.errors import BatchExecutionError, TaskFailure
 
 __all__ = ["Executor"]
+
+_MODES = ("serial", "threads", "chaos")
 
 
 class Executor:
@@ -29,19 +48,42 @@ class Executor:
 
     Parameters
     ----------
-    mode : {"serial", "threads"}
+    mode : {"serial", "threads", "chaos"}
     max_workers : int, optional
-        Worker count for the ``threads`` backend (defaults to the task
+        Worker count for the pooled backends (defaults to the task
         count of each batch).
+    plan : ChaosPlan, optional
+        Fault plan for the ``chaos`` backend (default: a delay/reorder
+        only ``ChaosPlan(seed=0)`` — scheduling chaos, no exceptions).
+        Rejected for other modes.
+    fallback : {None, "serial"}
+        ``"serial"`` retries a failed batch once, serially, after
+        re-zeroing workspaces through the caller's ``reset`` hook.
     """
 
-    def __init__(self, mode: str = "serial", max_workers: Optional[int] = None):
-        if mode not in ("serial", "threads"):
+    def __init__(
+        self,
+        mode: str = "serial",
+        max_workers: Optional[int] = None,
+        *,
+        plan: Optional[ChaosPlan] = None,
+        fallback: Optional[str] = None,
+    ):
+        if mode not in _MODES:
             raise ValueError(f"unknown executor mode {mode!r}")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if plan is not None and mode != "chaos":
+            raise ValueError("plan= is only meaningful with mode='chaos'")
+        if fallback not in (None, "serial"):
+            raise ValueError(f"unknown fallback {fallback!r}")
         self.mode = mode
         self.max_workers = max_workers
+        self.plan = (
+            plan if plan is not None else ChaosPlan(0)
+        ) if mode == "chaos" else None
+        self.fallback = fallback
+        self.n_batches = 0
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
 
@@ -49,6 +91,7 @@ class Executor:
         self,
         tasks: Sequence[Callable[[], None]],
         label: Optional[str] = None,
+        reset: Optional[Callable[[], None]] = None,
     ) -> None:
         """Execute all tasks; returns when every task has finished.
 
@@ -58,30 +101,112 @@ class Executor:
         When a tracer is active, each task runs inside a span named
         ``label`` (default ``"task"``) with its batch index as the
         ``tid`` attribute — recorded on the executing thread, so the
-        Chrome export shows the real per-thread timeline.
+        Chrome export shows the real per-thread timeline; a task that
+        raises additionally records a ``task.error`` instant event.
+
+        On failure every sibling future is awaited or cancelled first,
+        then a single :class:`BatchExecutionError` aggregates all task
+        exceptions — by the time it propagates, nothing from this batch
+        is still writing. ``reset`` is only invoked before the
+        ``fallback="serial"`` retry, to restore partially-written
+        workspaces to their pre-batch state.
         """
         if not tasks:
             return
+        tasks = list(tasks)
         tracer = _active_tracer()
-        if tracer.enabled:
-            name = label or "task"
+        name = label or "task"
+        batch = self.n_batches
+        self.n_batches += 1
 
-            def _traced(task, i):
-                def run() -> None:
-                    with tracer.span(name, tid=i):
-                        task()
+        def instrumented(task_list):
+            if not tracer.enabled:
+                return task_list
+            return [
+                self._traced(tracer, name, i, task)
+                for i, task in enumerate(task_list)
+            ]
 
-                return run
-
-            tasks = [_traced(task, i) for i, task in enumerate(tasks)]
         if self.mode == "serial":
-            for task in tasks:
+            for task in instrumented(tasks):
                 task()
             return
-        pool = self._ensure_pool(len(tasks))
-        futures = [pool.submit(task) for task in tasks]
-        for f in futures:
-            f.result()  # propagate exceptions
+
+        if self.mode == "chaos":
+            exec_tasks = [
+                self.plan.wrap(batch, i, task) for i, task in enumerate(tasks)
+            ]
+            order = self.plan.submission_order(batch, len(tasks))
+        else:
+            exec_tasks = tasks
+            order = list(range(len(tasks)))
+
+        try:
+            self._run_pooled(instrumented(exec_tasks), order, name, batch)
+        except BatchExecutionError:
+            if self.fallback != "serial":
+                raise
+            # Graceful degradation: one warning-counted serial retry of
+            # the *original* tasks (no chaos wrapping — an injected
+            # fault is a backend property, not a task property).
+            _obs_warn("resilience.serial_fallback")
+            if tracer.enabled:
+                tracer.event("batch.fallback", label=name, batch=batch)
+            if reset is not None:
+                reset()
+            tid = 0
+            try:
+                for tid, task in enumerate(instrumented(tasks)):
+                    task()
+            except BaseException as exc:
+                raise BatchExecutionError(
+                    name, batch, [TaskFailure(tid, exc)],
+                    n_tasks=len(tasks),
+                ) from exc
+
+    @staticmethod
+    def _traced(tracer, name: str, tid: int, task):
+        def run() -> None:
+            with tracer.span(name, tid=tid):
+                try:
+                    task()
+                except BaseException as exc:
+                    tracer.event(
+                        "task.error", tid=tid, error=type(exc).__name__
+                    )
+                    raise
+
+        return run
+
+    def _run_pooled(
+        self, exec_tasks: list, order: list, name: str, batch: int
+    ) -> None:
+        pool = self._ensure_pool(len(exec_tasks))
+        futures = {pool.submit(exec_tasks[i]): i for i in order}
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        if not any(f.exception() is not None for f in done):
+            return
+        # Containment: a failure must not leave siblings running —
+        # cancel whatever has not started, then await the rest, so no
+        # future is still mutating shared output when we raise.
+        for f in not_done:
+            f.cancel()
+        if not_done:
+            wait(not_done)
+        failures = []
+        n_cancelled = 0
+        for f, tid in futures.items():
+            if f.cancelled():
+                n_cancelled += 1
+                continue
+            exc = f.exception()
+            if exc is not None:
+                failures.append(TaskFailure(tid, exc))
+        _obs_warn("resilience.batch_failure")
+        raise BatchExecutionError(
+            name, batch, failures,
+            n_tasks=len(exec_tasks), n_cancelled=n_cancelled,
+        )
 
     def _ensure_pool(self, n_tasks: int) -> ThreadPoolExecutor:
         """Pool sized for the *current* batch: with no explicit
@@ -90,7 +215,10 @@ class Executor:
         would silently serialize the excess tasks forever)."""
         want = self.max_workers if self.max_workers is not None else n_tasks
         if self._pool is not None and want > self._pool_size:
-            self._pool.shutdown()
+            # wait=True: every worker of the replaced pool has exited
+            # before the grown pool takes over — no orphaned threads
+            # holding references to earlier batches' buffers.
+            self._pool.shutdown(wait=True)
             self._pool = None
         if self._pool is None:
             self._pool_size = want
@@ -99,7 +227,7 @@ class Executor:
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_size = 0
 

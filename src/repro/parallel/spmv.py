@@ -129,10 +129,17 @@ class ParallelSymmetricSpMV:
 
             return task
 
+        def reset() -> None:
+            # Pre-batch workspace state for the executor's serial
+            # fallback: zeroed output and locals.
+            y[...] = 0.0
+            self.reduction.zero_locals(locals_)
+
         with tracer.span("spmv.mult"):
             self.executor.run_batch(
                 [make_mult_task(tid) for tid in range(self.n_threads)],
                 label="spmv.mult.task",
+                reset=reset,
             )
 
         # Phase 2 — reduction (Alg. 3 lines 12-16 / Section III-C).
@@ -143,15 +150,17 @@ class ParallelSymmetricSpMV:
             _record_traffic(tracer, self.matrix, k, self.reduction)
         return y
 
-    def bind(self, k: Optional[int] = None):
+    def bind(self, k: Optional[int] = None, on_poison: str = "recover"):
         """Return a :class:`~repro.parallel.bound.BoundSymmetricSpMV`:
         persistent workspaces, precompiled tasks and scatters, for
         repeated application with this signature (``k=None`` = 1-D
         SpM×V, integer ``k`` = ``(N, k)`` SpM×M). The amortize-
-        across-calls layer iterative solvers use."""
+        across-calls layer iterative solvers use. ``on_poison``
+        selects the failed-apply policy (see
+        :class:`~repro.parallel.bound.BoundOperator`)."""
         from .bound import BoundSymmetricSpMV
 
-        return BoundSymmetricSpMV(self, k)
+        return BoundSymmetricSpMV(self, k, on_poison=on_poison)
 
     def footprint(self, k: int = 1) -> ReductionFootprint:
         """Working-set accounting of the configured reduction (``k``
@@ -221,10 +230,14 @@ class ParallelSpMV:
 
                 return task
 
+        def reset() -> None:
+            y[...] = 0.0
+
         with tracer.span("spmv.mult"):
             self.executor.run_batch(
                 [make_task(tid) for tid in range(self.n_threads)],
                 label="spmv.mult.task",
+                reset=reset,
             )
         if tracer.enabled:
             tracer.count("spmv.calls")
@@ -233,10 +246,11 @@ class ParallelSpMV:
             )
         return y
 
-    def bind(self, k: Optional[int] = None):
+    def bind(self, k: Optional[int] = None, on_poison: str = "recover"):
         """Return a :class:`~repro.parallel.bound.BoundSpMV` with
         persistent output workspace and precompiled tasks for repeated
-        application with this signature."""
+        application with this signature; ``on_poison`` selects the
+        failed-apply policy."""
         from .bound import BoundSpMV
 
-        return BoundSpMV(self, k)
+        return BoundSpMV(self, k, on_poison=on_poison)

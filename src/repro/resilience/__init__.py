@@ -1,0 +1,47 @@
+"""Fault injection and failure containment for the execution stack.
+
+PR 4's differential fuzzer hardened the library against adversarial
+*inputs*; ``repro.resilience`` does the same for adversarial
+*execution*. It owns two things:
+
+* the **typed execution-failure taxonomy** (:mod:`.errors`):
+  :class:`BatchExecutionError` (a task batch failed after full
+  containment — every sibling awaited or cancelled),
+  :class:`PoisonedOperatorError` / :class:`OperatorClosedError` (a
+  bound operator applied from an unsafe state), all
+  ``RuntimeError``-catchable, mirroring the ``ValidationError``
+  convention of :mod:`repro.formats.validate`; and
+* the **deterministic chaos plans** (:mod:`.chaos`): seed-derived
+  per-``(batch, tid)`` exceptions, delays and submission reorders that
+  ``Executor(mode="chaos", plan=...)`` injects, so every failure path
+  is reachable from tests and from ``repro fuzz --chaos``.
+
+The containment machinery itself lives where the state lives —
+:mod:`repro.parallel.executor` (await/cancel + aggregation + serial
+fallback), :mod:`repro.parallel.bound` (workspace poisoning and
+recovery) and :mod:`repro.solvers` (breakdown diagnoses) — and records
+``resilience.*`` warning counters through :mod:`repro.obs`. See
+DESIGN.md §4f for the failure model.
+"""
+
+from .chaos import NO_FAULT, ChaosPlan, FaultSpec
+from .errors import (
+    BatchExecutionError,
+    ChaosInjectedError,
+    ExecutionError,
+    OperatorClosedError,
+    PoisonedOperatorError,
+    TaskFailure,
+)
+
+__all__ = [
+    "ChaosPlan",
+    "FaultSpec",
+    "NO_FAULT",
+    "ExecutionError",
+    "TaskFailure",
+    "BatchExecutionError",
+    "PoisonedOperatorError",
+    "OperatorClosedError",
+    "ChaosInjectedError",
+]

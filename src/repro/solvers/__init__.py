@@ -1,12 +1,19 @@
 """Iterative solvers: instrumented non-preconditioned CG (Alg. 1) and
-the multi-RHS block CG riding the SpM×M fast path."""
+the multi-RHS block CG riding the SpM×M fast path. All three guard
+their recurrences (non-finite scalars, indefinite curvature,
+stagnation) and report faults as typed :class:`Breakdown` diagnoses
+instead of iterating to ``max_iter``."""
 
 from .block_cg import BlockCGResult, block_conjugate_gradient
 from .cg import CGResult, bind_operator, conjugate_gradient
+from .guards import BREAKDOWN_KINDS, Breakdown, BreakdownDetector
 from .pcg import jacobi_preconditioner, preconditioned_conjugate_gradient
 from .vecops import OpCounter, VectorOps
 
 __all__ = [
+    "Breakdown",
+    "BreakdownDetector",
+    "BREAKDOWN_KINDS",
     "CGResult",
     "conjugate_gradient",
     "bind_operator",

@@ -20,8 +20,9 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..obs.tracer import Tracer, active as _active_tracer
+from ..obs.tracer import Tracer, active as _active_tracer, warn as _obs_warn
 from .cg import bind_operator
+from .guards import DEFAULT_STAGNATION_WINDOW, Breakdown
 from .vecops import OpCounter
 
 __all__ = ["BlockCGResult", "block_conjugate_gradient"]
@@ -41,10 +42,20 @@ class BlockCGResult:
     vector_flops: float
     vector_bytes: float
     residual_history: Optional[np.ndarray] = None  # (iters+1, k)
+    #: Per-column typed diagnosis (length k); ``None`` entries are
+    #: columns that ran clean. A column with a breakdown never counts
+    #: as converged.
+    breakdowns: Optional[list] = None
 
     @property
     def all_converged(self) -> bool:
         return bool(np.all(self.converged))
+
+    @property
+    def any_breakdown(self) -> bool:
+        return self.breakdowns is not None and any(
+            bd is not None for bd in self.breakdowns
+        )
 
 
 def block_conjugate_gradient(
@@ -57,6 +68,7 @@ def block_conjugate_gradient(
     record_history: bool = False,
     counter: Optional[OpCounter] = None,
     trace: Optional[Tracer] = None,
+    stagnation_window: int = DEFAULT_STAGNATION_WINDOW,
 ) -> BlockCGResult:
     """Solve ``A X = B`` column-wise for symmetric positive definite
     ``A``, sharing one SpM×M per iteration across all columns.
@@ -123,9 +135,29 @@ def block_conjugate_gradient(
     history = [res_norms.copy()] if record_history else None
 
     converged = res_norms <= thresholds
-    # Columns that hit a non-SPD direction stop updating but never
-    # count as converged.
+    # Columns that break down — non-SPD direction, non-finite scalars,
+    # stagnation — stop updating but never count as converged; each
+    # carries its typed diagnosis in ``breakdowns``.
     stalled = np.zeros(k, dtype=bool)
+    breakdowns: list[Optional[Breakdown]] = [None] * k
+    best_norms = np.where(np.isfinite(res_norms), res_norms, np.inf)
+    since_improve = np.zeros(k, dtype=np.int64)
+
+    def stall(mask: np.ndarray, kind: str, it: int, what: str, values):
+        """Record per-column diagnoses and retire those columns."""
+        nonlocal stalled
+        for j in np.flatnonzero(mask):
+            breakdowns[j] = Breakdown(
+                kind, it, f"column {j}: {what} = {float(values[j]):.6g}",
+                float(values[j]),
+            )
+        stalled |= mask
+
+    # A contaminated b_j breaks its column down before iterating.
+    stall(
+        ~np.isfinite(res_norms) & ~converged, "nonfinite", 0,
+        "initial residual norm", res_norms,
+    )
 
     P = R.copy()
     ops.add(0.0, 16.0 * n * k)
@@ -140,8 +172,16 @@ def block_conjugate_gradient(
             ops.add(2.0 * n * k, _F8 * 2 * n * k)
 
             active = ~(converged | stalled)
-            stalled |= active & (pq <= 0)
-            active &= pq > 0
+            finite_pq = np.isfinite(pq)
+            stall(
+                active & ~finite_pq, "nonfinite", it,
+                "curvature pᵀAp", pq,
+            )
+            stall(
+                active & finite_pq & (pq <= 0), "indefinite", it,
+                "non-positive curvature pᵀAp", pq,
+            )
+            active &= finite_pq & (pq > 0)
 
             alpha = np.where(active, rs / np.where(pq != 0, pq, 1.0), 0.0)
             X += alpha * P                         # x_j ← x_j + α_j p_j
@@ -150,6 +190,9 @@ def block_conjugate_gradient(
 
             rs_new = np.einsum("ij,ij->j", R, R)
             ops.add(2.0 * n * k, _F8 * n * k)
+            bad_rs = active & ~np.isfinite(rs_new)
+            stall(bad_rs, "nonfinite", it, "residual norm²", rs_new)
+            active &= ~bad_rs
             res_norms = np.where(active, np.sqrt(rs_new), res_norms)
         if record_history:
             history.append(res_norms.copy())
@@ -158,18 +201,40 @@ def block_conjugate_gradient(
             iteration=it,
             residual=float(np.max(np.where(active, res_norms, 0.0)))
             if np.any(active)
-            else float(np.max(res_norms)),
+            else float(np.max(np.where(np.isfinite(res_norms), res_norms,
+                                       0.0))),
             active_columns=int(np.count_nonzero(active)),
         )
         with tracer.span("cg.vecops"):
             converged |= active & (res_norms <= thresholds)
             active &= ~converged
 
+            # Per-column stagnation window over the best residual seen.
+            improved = active & (res_norms < best_norms)
+            best_norms = np.where(improved, res_norms, best_norms)
+            since_improve = np.where(
+                improved, 0,
+                np.where(active, since_improve + 1, since_improve),
+            )
+            stagnant = active & (since_improve >= stagnation_window)
+            stall(
+                stagnant, "stagnation", it,
+                "stalled residual norm", res_norms,
+            )
+            active &= ~stagnant
+
             beta = np.where(active, rs_new / np.where(rs != 0, rs, 1.0), 0.0)
             P = np.where(active, R + beta * P, P)  # p_j ← r_j + β_j p_j
             ops.add(2.0 * n * k, _F8 * 3 * n * k)
             rs = np.where(active, rs_new, rs)
 
+    if any(bd is not None for bd in breakdowns):
+        _obs_warn("resilience.cg_breakdown")
+        first = next(bd for bd in breakdowns if bd is not None)
+        tracer.event(
+            "cg.breakdown", kind=first.kind, iteration=first.iteration,
+            columns=int(sum(bd is not None for bd in breakdowns)),
+        )
     return BlockCGResult(
         X,
         converged,
@@ -179,4 +244,5 @@ def block_conjugate_gradient(
         ops.flops,
         ops.bytes,
         np.array(history) if record_history else None,
+        breakdowns=breakdowns,
     )

@@ -1,0 +1,130 @@
+"""Breakdown detection shared by the CG family of solvers.
+
+The classic CG recurrence silently misbehaves on three inputs the
+solver cannot rule out up front: a NaN/inf contaminated operator or
+right-hand side (every subsequent iterate is garbage, yet the loop
+happily runs to ``max_iter``), an indefinite matrix (``pᵀAp ≤ 0``
+divides by a non-positive curvature), and a stagnating system (the
+residual stops improving but never crosses the tolerance). Each solver
+threads its per-iteration scalars through a :class:`BreakdownDetector`
+and returns the resulting typed :class:`Breakdown` diagnosis in its
+result instead of burning the remaining iterations — the acceptance
+bound is detection within two iterations of the fault.
+
+An optional restart-once policy (``restart=True`` on the solvers)
+gives the recurrence one clean re-seeding — fresh residual
+``r = b − A·x`` from the current iterate — before the breakdown is
+final; useful when accumulated rounding (not the system itself) broke
+the search direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Breakdown", "BreakdownDetector", "BREAKDOWN_KINDS"]
+
+BREAKDOWN_KINDS = ("nonfinite", "indefinite", "stagnation")
+
+#: Iterations without any best-residual improvement before the
+#: stagnation diagnosis fires. CG's residual norm is not monotone, so
+#: the window is generous — transient plateaus of a healthy solve are
+#: far shorter than this.
+DEFAULT_STAGNATION_WINDOW = 50
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Typed diagnosis of why a CG-family solve stopped early.
+
+    ``kind`` is one of :data:`BREAKDOWN_KINDS`:
+
+    * ``"nonfinite"`` — a recurrence scalar (``pᵀAp``, ``rᵀr``, ``rᵀz``)
+      went NaN/inf: the operator, preconditioner or right-hand side is
+      contaminated.
+    * ``"indefinite"`` — ``pᵀAp ≤ 0``: the matrix is not positive
+      definite along the search direction.
+    * ``"stagnation"`` — no best-residual improvement for the detector's
+      whole window.
+    """
+
+    kind: str
+    iteration: int
+    detail: str
+    value: float = float("nan")
+
+    def describe(self) -> str:
+        return f"{self.kind} at iteration {self.iteration}: {self.detail}"
+
+
+class BreakdownDetector:
+    """Per-solve breakdown state machine (one instance per column for
+    the block solver). All checks return a :class:`Breakdown` on
+    detection and ``None`` on a healthy value; the caller decides
+    whether to stop or restart."""
+
+    def __init__(self, stagnation_window: int = DEFAULT_STAGNATION_WINDOW):
+        if stagnation_window < 1:
+            raise ValueError(
+                f"stagnation_window must be >= 1, got {stagnation_window}"
+            )
+        self.stagnation_window = stagnation_window
+        self.best_residual = math.inf
+        self.iters_since_improvement = 0
+
+    def check_curvature(self, pq: float, it: int) -> Optional[Breakdown]:
+        """Validate the curvature ``pᵀAp`` of one iteration."""
+        if not math.isfinite(pq):
+            return Breakdown(
+                "nonfinite", it, f"curvature pᵀAp = {pq}", float(pq)
+            )
+        if pq <= 0.0:
+            return Breakdown(
+                "indefinite", it,
+                f"non-positive curvature pᵀAp = {pq:.6g} "
+                "(matrix not positive definite along p)",
+                float(pq),
+            )
+        return None
+
+    def check_scalar(
+        self, value: float, it: int, what: str
+    ) -> Optional[Breakdown]:
+        """Validate any other recurrence scalar (``rᵀr``, ``rᵀz``…)."""
+        if not math.isfinite(value):
+            return Breakdown(
+                "nonfinite", it, f"{what} = {value}", float(value)
+            )
+        return None
+
+    def observe_residual(
+        self, res_norm: float, it: int
+    ) -> Optional[Breakdown]:
+        """Feed one iteration's residual norm; detects non-finite
+        residuals immediately and stagnation after the window."""
+        if not math.isfinite(res_norm):
+            return Breakdown(
+                "nonfinite", it, f"residual norm = {res_norm}",
+                float(res_norm),
+            )
+        if res_norm < self.best_residual:
+            self.best_residual = res_norm
+            self.iters_since_improvement = 0
+            return None
+        self.iters_since_improvement += 1
+        if self.iters_since_improvement >= self.stagnation_window:
+            return Breakdown(
+                "stagnation", it,
+                f"no residual improvement below {self.best_residual:.6g} "
+                f"for {self.iters_since_improvement} iterations",
+                float(res_norm),
+            )
+        return None
+
+    def reset(self) -> None:
+        """Forget stagnation history (after a restart re-seeded the
+        recurrence)."""
+        self.best_residual = math.inf
+        self.iters_since_improvement = 0

@@ -15,8 +15,9 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..obs.tracer import Tracer, active as _active_tracer
-from .cg import CGResult, bind_operator
+from ..obs.tracer import Tracer, active as _active_tracer, warn as _obs_warn
+from .cg import CGResult, _note_breakdown, bind_operator
+from .guards import DEFAULT_STAGNATION_WINDOW, Breakdown, BreakdownDetector
 from .vecops import OpCounter, VectorOps
 
 __all__ = ["jacobi_preconditioner", "preconditioned_conjugate_gradient"]
@@ -48,13 +49,18 @@ def preconditioned_conjugate_gradient(
     max_iter: Optional[int] = None,
     counter: Optional[OpCounter] = None,
     trace: Optional[Tracer] = None,
+    restart: bool = False,
+    stagnation_window: int = DEFAULT_STAGNATION_WINDOW,
 ) -> CGResult:
     """Solve ``A x = b`` with left-preconditioned CG.
 
-    Same contract as :func:`repro.solvers.cg.conjugate_gradient`; the
-    preconditioner application is counted as one vector op per
-    iteration (3n element traffic, n flops for Jacobi) and telemetered
-    under its own "cg.precond" span.
+    Same contract as :func:`repro.solvers.cg.conjugate_gradient` —
+    including the breakdown guards (non-finite scalars, non-positive
+    curvature, stagnation → ``CGResult.breakdown``) and the
+    ``restart=True`` restart-once policy; the preconditioner
+    application is counted as one vector op per iteration (3n element
+    traffic, n flops for Jacobi) and telemetered under its own
+    "cg.precond" span.
     """
     b = np.asarray(b, dtype=np.float64)
     n = b.size
@@ -84,21 +90,38 @@ def preconditioned_conjugate_gradient(
 
     b_norm = float(np.linalg.norm(b))
     threshold = tol * (b_norm if b_norm > 0 else 1.0)
+    detector = BreakdownDetector(stagnation_window)
 
-    with tracer.span("cg.precond"):
-        z = precond(r)
-    ops.counter.add(float(n), 24.0 * n)
-    rz = ops.dot(r, z)
-    res_norm = float(np.linalg.norm(r))
-    if res_norm <= threshold:
+    def reseed():
+        """(z, rz) from the current residual (initial seed + restarts)."""
+        with tracer.span("cg.precond"):
+            z = precond(r)
+        ops.counter.add(float(n), 24.0 * n)
+        return z, ops.dot(r, z)
+
+    def result(converged, it, breakdown=None):
         return CGResult(
-            x, True, 0, res_norm, n_spmv,
+            x, converged, it, res_norm, n_spmv,
             ops.counter.flops, ops.counter.bytes,
+            breakdown=breakdown,
         )
+
+    z, rz = reseed()
+    res_norm = float(np.linalg.norm(r))
+    bd = detector.check_scalar(res_norm, 0, "initial residual norm")
+    if bd is None:
+        bd = detector.check_scalar(float(rz), 0, "initial rᵀz")
+    if bd is not None:
+        _note_breakdown(tracer, bd)
+        return result(False, 0, bd)
+    if res_norm <= threshold:
+        return result(True, 0)
 
     p = z.copy()
     ops.counter.add(0.0, 16.0 * n)
     converged = False
+    breakdown: Optional[Breakdown] = None
+    restarted = False
     it = 0
     for it in range(1, max_iter + 1):
         with tracer.span("cg.spmv"):
@@ -106,14 +129,42 @@ def preconditioned_conjugate_gradient(
         n_spmv += 1
         with tracer.span("cg.vecops"):
             pq = ops.dot(p, q)
-            indefinite = pq <= 0
-            if not indefinite:
+            bd = detector.check_curvature(float(pq), it)
+            if bd is None:
                 alpha = rz / pq
                 ops.axpy(alpha, p, x)
                 ops.axpy(-alpha, q, r)
                 res_norm = float(np.linalg.norm(r))
                 ops.counter.add(2.0 * n, 8.0 * n)
-        if indefinite:
+                bd = detector.observe_residual(res_norm, it)
+        if bd is not None:
+            if restart and not restarted and bool(np.isfinite(x).all()):
+                restarted = True
+                _obs_warn("resilience.cg_restart")
+                tracer.event("cg.restart", iteration=it, kind=bd.kind)
+                with tracer.span("cg.spmv"):
+                    Ax = spmv(x)
+                n_spmv += 1
+                r = b - Ax
+                ops.counter.add(float(n), 24.0 * n)
+                res_norm = float(np.linalg.norm(r))
+                detector.reset()
+                bd = detector.check_scalar(
+                    res_norm, it, "post-restart residual norm"
+                )
+                if bd is None:
+                    if res_norm <= threshold:
+                        converged = True
+                        break
+                    z, rz = reseed()
+                    bd = detector.check_scalar(
+                        float(rz), it, "post-restart rᵀz"
+                    )
+                    if bd is None:
+                        p = z.copy()
+                        ops.counter.add(0.0, 16.0 * n)
+                        continue
+            breakdown = bd
             break
         tracer.event("cg.iter", iteration=it, residual=res_norm)
         if res_norm <= threshold:
@@ -124,11 +175,14 @@ def preconditioned_conjugate_gradient(
         ops.counter.add(float(n), 24.0 * n)
         with tracer.span("cg.vecops"):
             rz_new = ops.dot(r, z)
+            bd = detector.check_scalar(float(rz_new), it, "rᵀz")
+            if bd is not None:
+                breakdown = bd
+                break
             beta = rz_new / rz
             ops.xpay(z, beta, p)
         rz = rz_new
 
-    return CGResult(
-        x, converged, it, res_norm, n_spmv,
-        ops.counter.flops, ops.counter.bytes,
-    )
+    if breakdown is not None:
+        _note_breakdown(tracer, breakdown)
+    return result(converged, it, breakdown)

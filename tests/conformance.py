@@ -44,6 +44,7 @@ __all__ = [
     "build_format",
     "build_symmetric",
     "build_unsymmetric",
+    "chaos_benign_executor",
     "partitions_for",
     "rhs_block",
 ]
@@ -242,6 +243,26 @@ def build_unsymmetric(case_name: str, fmt: str, layout: str):
     if fmt == "csx":
         return CSXMatrix(coo, partitions=parts), parts
     raise ValueError(f"unknown driver format {fmt!r}")
+
+
+def chaos_benign_executor(seed: int = 0):
+    """Chaos executor whose plan only perturbs scheduling.
+
+    Delays and reordered completions, no raised faults: tasks still
+    write their disjoint regions and the reduction runs on the caller
+    thread, so every driver must stay *bit-identical* to its serial
+    execution under this executor.
+    """
+    from repro.parallel import Executor
+    from repro.resilience import ChaosPlan
+
+    return Executor(
+        "chaos",
+        plan=ChaosPlan(
+            seed=seed, p_raise=0.0, p_delay=0.6, max_delay_ms=0.2,
+            reorder=True,
+        ),
+    )
 
 
 def rhs_block(n: int, k: int | None, seed: int = 99) -> np.ndarray:

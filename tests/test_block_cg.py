@@ -108,3 +108,57 @@ def test_iteration_cap_reported():
     res = block_conjugate_gradient(sss.spmm, B, tol=1e-14, max_iter=2)
     assert res.iterations == 2
     assert not res.all_converged
+
+
+# ----------------------------------------------------------------------
+# Per-column breakdown guards: a faulted column stalls with a typed
+# diagnosis while healthy columns keep converging.
+# ----------------------------------------------------------------------
+def test_nan_column_stalls_others_converge(spd_setup):
+    dense, sss, B = spd_setup
+    bad = B.copy()
+    bad[:, 1] = np.nan  # contaminate one right-hand side
+    res = block_conjugate_gradient(sss.spmm, bad, tol=1e-10)
+    assert not res.converged[1]
+    assert res.breakdowns is not None
+    assert res.breakdowns[1] is not None
+    assert res.breakdowns[1].kind == "nonfinite"
+    assert res.any_breakdown
+    # The clean columns are untouched by the neighbour's fault.
+    clean = [j for j in range(B.shape[1]) if j != 1]
+    assert np.all(res.converged[clean])
+    expected = np.linalg.solve(dense, B[:, clean])
+    assert np.allclose(res.X[:, clean], expected, atol=1e-6)
+    assert all(res.breakdowns[j] is None for j in clean)
+
+
+def test_nan_column_does_not_burn_max_iter(spd_setup):
+    # Regression: a NaN pᵀAp column used to be neither converged nor
+    # stalled, so the shared loop ran to max_iter even when every other
+    # column had finished.
+    dense, sss, _ = spd_setup
+    bad = np.full((dense.shape[0], 1), np.nan)
+    res = block_conjugate_gradient(sss.spmm, bad, tol=1e-10, max_iter=800)
+    assert not res.converged[0]
+    assert res.breakdowns[0] is not None
+    assert res.iterations <= 2
+
+
+def test_indefinite_column_diagnosed():
+    dense = np.diag([2.0, -1.0, 3.0])
+    sss = SSSMatrix.from_coo(COOMatrix.from_dense(dense))
+    B = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    res = block_conjugate_gradient(sss.spmm, B, tol=1e-12, max_iter=100)
+    # Column 1 drives energy into the negative eigendirection.
+    assert not res.converged[1]
+    assert res.breakdowns[1] is not None
+    assert res.breakdowns[1].kind == "indefinite"
+    assert "column 1" in res.breakdowns[1].detail
+
+
+def test_clean_solve_reports_no_breakdowns(spd_setup):
+    dense, sss, B = spd_setup
+    res = block_conjugate_gradient(sss.spmm, B, tol=1e-10)
+    assert res.all_converged
+    assert not res.any_breakdown
+    assert all(bd is None for bd in res.breakdowns)

@@ -136,3 +136,125 @@ def test_indefinite_direction_bails():
     csr = CSRMatrix.from_dense(dense)
     res = conjugate_gradient(csr.spmv, np.array([0.0, 1.0]), tol=1e-12)
     assert not res.converged
+
+
+# ----------------------------------------------------------------------
+# Breakdown guards (repro.solvers.guards): faults stop the iteration
+# with a typed diagnosis instead of burning max_iter.
+# ----------------------------------------------------------------------
+def _faulty_after(spmv, n_clean, fail_times=None):
+    """Operator returning NaN on selected applications (all past
+    ``n_clean`` by default, or exactly the 1-based calls in
+    ``fail_times``)."""
+    calls = {"n": 0}
+
+    def apply(x):
+        calls["n"] += 1
+        y = np.asarray(spmv(x))
+        bad = (
+            calls["n"] in fail_times
+            if fail_times is not None
+            else calls["n"] > n_clean
+        )
+        return np.full_like(y, np.nan) if bad else y
+
+    return apply
+
+
+def test_nan_operator_breaks_down_within_two_iterations(spd_system):
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    fault_at = 4  # the 4th SpM×V returns NaN
+    res = conjugate_gradient(
+        _faulty_after(csr.spmv, fault_at - 1), b, tol=1e-12, max_iter=500
+    )
+    assert not res.converged
+    assert res.breakdown is not None
+    assert res.breakdown.kind == "nonfinite"
+    # Detection within two iterations of the fault, not at max_iter.
+    assert res.iterations <= fault_at + 2
+    assert res.n_spmv <= fault_at + 2
+    assert "iteration" in res.breakdown.describe()
+
+
+def test_nan_rhs_breaks_down_before_iterating(spd_system):
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    bad_b = b.copy()
+    bad_b[0] = np.nan
+    res = conjugate_gradient(csr.spmv, bad_b, tol=1e-12)
+    assert not res.converged
+    assert res.breakdown is not None
+    assert res.breakdown.kind == "nonfinite"
+    assert res.iterations == 0
+    assert res.n_spmv == 0
+
+
+def test_indefinite_breakdown_is_typed():
+    dense = np.array([[1.0, 0.0], [0.0, -1.0]])  # not SPD
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(
+        csr.spmv, np.array([0.0, 1.0]), tol=1e-12, max_iter=200
+    )
+    assert not res.converged
+    assert res.breakdown is not None
+    assert res.breakdown.kind == "indefinite"
+    assert res.iterations <= 2
+    assert res.breakdown.value <= 0
+
+
+def test_stagnation_detected(spd_system):
+    # A non-symmetric perturbation keeps pᵀAp > 0 (SPD symmetric part)
+    # while destroying CG's convergence: the residual stops improving
+    # and the stagnation window fires instead of burning max_iter.
+    dense, _, b = spd_system
+    n = dense.shape[0]
+    rng = np.random.default_rng(5)
+    skew = rng.standard_normal((n, n))
+    skew = (skew - skew.T) * np.abs(dense).max()
+    A = dense + skew
+
+    res = conjugate_gradient(
+        lambda x: A @ x, b, tol=1e-14, max_iter=5000,
+        stagnation_window=25,
+    )
+    assert not res.converged
+    assert res.breakdown is not None
+    assert res.breakdown.kind == "stagnation"
+    assert res.iterations < 5000
+
+
+def test_restart_recovers_from_transient_fault(spd_system):
+    dense, x_true, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    # Exactly one application (the 3rd) is faulted; restart re-seeds
+    # r = b - A·x from the still-finite iterate and converges.
+    res = conjugate_gradient(
+        _faulty_after(csr.spmv, 0, fail_times={3}),
+        b, tol=1e-10, restart=True,
+    )
+    assert res.converged
+    assert res.breakdown is None
+    assert np.allclose(res.x, x_true, atol=1e-5)
+
+
+def test_second_breakdown_is_final_even_with_restart(spd_system):
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    res = conjugate_gradient(
+        _faulty_after(csr.spmv, 2), b, tol=1e-12, restart=True,
+        max_iter=500,
+    )
+    assert not res.converged
+    assert res.breakdown is not None
+    assert res.breakdown.kind == "nonfinite"
+
+
+def test_breakdown_counts_warning(spd_system):
+    from repro.obs import reset_warning_counts, warning_counts
+
+    dense, _, b = spd_system
+    csr = CSRMatrix.from_dense(dense)
+    reset_warning_counts()
+    conjugate_gradient(_faulty_after(csr.spmv, 1), b, max_iter=50)
+    assert warning_counts().get("resilience.cg_breakdown") == 1

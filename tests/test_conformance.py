@@ -24,6 +24,7 @@ from tests.conformance import (
     build_format,
     build_symmetric,
     build_unsymmetric,
+    chaos_benign_executor,
     reference_product,
     rhs_block,
 )
@@ -107,6 +108,68 @@ def test_unsymmetric_driver_spmm(case, fmt, k):
     kernel = ParallelSpMV(matrix, parts)
     X = rhs_block(matrix.n_cols, k)
     assert np.allclose(kernel(X), reference_product(case, X))
+
+
+def _plan_seed(*labels: str) -> int:
+    """Deterministic plan seed per parametrization (hash() is
+    randomized per process, so it would not reproduce across runs)."""
+    return sum(ord(c) for c in "/".join(labels))
+
+
+# ----------------------------------------------------------------------
+# Chaos-mode sweep: when the injected faults are delays and reordered
+# completions only, the two-phase algorithm is data-race-free by
+# construction (disjoint writes + caller-thread reduction), so every
+# driver must produce output *bit-identical* to its serial execution.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("k", [None, 3])
+@pytest.mark.parametrize("method", REDUCTIONS)
+@pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_symmetric_driver_chaos_bit_identical(case, fmt, method, k):
+    matrix, parts = build_symmetric(case, fmt, "thirds")
+    x = rhs_block(matrix.n_cols, k)
+    serial = ParallelSymmetricSpMV(matrix, parts, method)(x)
+    ex = chaos_benign_executor(seed=_plan_seed(case, fmt, method))
+    try:
+        chaotic = ParallelSymmetricSpMV(
+            matrix, parts, method, executor=ex
+        )(x)
+    finally:
+        ex.close()
+    assert np.array_equal(serial, chaotic)
+
+
+@pytest.mark.parametrize("k", [None, 3])
+@pytest.mark.parametrize("fmt", UNSYMMETRIC_DRIVER_FORMATS)
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_unsymmetric_driver_chaos_bit_identical(case, fmt, k):
+    matrix, parts = build_unsymmetric(case, fmt, "thirds")
+    x = rhs_block(matrix.n_cols, k)
+    serial = ParallelSpMV(matrix, parts)(x)
+    ex = chaos_benign_executor(seed=_plan_seed(case, fmt))
+    try:
+        chaotic = ParallelSpMV(matrix, parts, executor=ex)(x)
+    finally:
+        ex.close()
+    assert np.array_equal(serial, chaotic)
+
+
+@pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
+def test_bound_operator_chaos_bit_identical(fmt):
+    matrix, parts = build_symmetric("random", fmt, "thirds")
+    x = rhs_block(matrix.n_cols, None)
+    serial = ParallelSymmetricSpMV(matrix, parts, "indexed")(x)
+    ex = chaos_benign_executor(seed=7)
+    op = ParallelSymmetricSpMV(
+        matrix, parts, "indexed", executor=ex
+    ).bind()
+    try:
+        assert np.array_equal(op(x), serial)
+        assert np.array_equal(op(x), serial)  # workspace reuse
+    finally:
+        op.close()
+        ex.close()
 
 
 @pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)

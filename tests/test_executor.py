@@ -1,6 +1,7 @@
 """Unit tests for the thread-task executor backends."""
 
 import threading
+import time
 
 import pytest
 
@@ -105,3 +106,50 @@ def test_explicit_max_workers_pool_stable():
         pool = ex._pool
         ex.run_batch([lambda: None for _ in range(6)])
         assert ex._pool is pool  # capped pools never regrow
+
+
+def test_failure_waits_for_slow_sibling():
+    # Regression: run_batch used to re-raise on the first failed future
+    # while sibling tasks were still running — the caller could observe
+    # (and re-zero) buffers a live task then kept writing. Now the
+    # error only propagates once every sibling has finished.
+    writes = []
+    started = threading.Event()
+
+    def boom():
+        # Only fail once the sibling is provably in flight (started and
+        # uncancellable), so the test exercises the await path, not the
+        # cancellation path.
+        assert started.wait(timeout=5.0)
+        raise RuntimeError("failure with sibling in flight")
+
+    def slow_writer():
+        started.set()
+        time.sleep(0.1)
+        writes.append("late write")
+
+    with Executor("threads", max_workers=2) as ex:
+        with pytest.raises(RuntimeError):
+            ex.run_batch([boom, slow_writer])
+        # Containment: by the time the error propagates, the slow
+        # sibling has completed — no in-flight writer survives.
+        assert writes == ["late write"]
+
+
+def test_pool_growth_retires_old_workers():
+    # Regression: growing the pool replaced it without an explicit
+    # wait=True shutdown; old workers could outlive the swap. Record
+    # the first pool's threads and check none survives the growth.
+    first_pool_threads = []
+    lock = threading.Lock()
+
+    def record():
+        with lock:
+            first_pool_threads.append(threading.current_thread())
+
+    with Executor("threads") as ex:
+        ex.run_batch([record, record])  # sizes the pool at 2
+        ex.run_batch([lambda: None for _ in range(6)])  # forces growth
+        assert ex._pool_size >= 6
+        assert first_pool_threads
+        assert not any(t.is_alive() for t in first_pool_threads)

@@ -109,3 +109,79 @@ def test_pcg_max_iter_cap(sym_dense_medium, rng):
         tol=1e-300, max_iter=4,
     )
     assert not res.converged and res.iterations == 4
+
+
+# ----------------------------------------------------------------------
+# Breakdown guards: same contract as the plain CG.
+# ----------------------------------------------------------------------
+def _faulty_after(spmv, n_clean):
+    calls = {"n": 0}
+
+    def apply(x):
+        calls["n"] += 1
+        y = np.asarray(spmv(x))
+        return np.full_like(y, np.nan) if calls["n"] > n_clean else y
+
+    return apply
+
+
+def test_pcg_nan_operator_breaks_down(sym_dense_medium, rng):
+    csr = CSRMatrix.from_dense(sym_dense_medium)
+    b = rng.standard_normal(sym_dense_medium.shape[0])
+    precond = jacobi_preconditioner(np.diag(sym_dense_medium))
+    res = preconditioned_conjugate_gradient(
+        _faulty_after(csr.spmv, 2), b, precond, tol=1e-12, max_iter=500
+    )
+    assert not res.converged
+    assert res.breakdown is not None
+    assert res.breakdown.kind == "nonfinite"
+    assert res.iterations <= 5  # within two iterations of the fault
+
+
+def test_pcg_nan_preconditioner_breaks_down(sym_dense_medium, rng):
+    csr = CSRMatrix.from_dense(sym_dense_medium)
+    b = rng.standard_normal(sym_dense_medium.shape[0])
+
+    def bad_precond(r):
+        return np.full_like(r, np.nan)
+
+    res = preconditioned_conjugate_gradient(
+        csr.spmv, b, bad_precond, tol=1e-12, max_iter=500
+    )
+    assert not res.converged
+    assert res.breakdown is not None
+    assert res.breakdown.kind == "nonfinite"
+    assert res.iterations == 0  # caught at the initial rᵀz
+
+
+def test_pcg_indefinite_breakdown(rng):
+    dense = np.diag([1.0, -1.0, 2.0])
+    csr = CSRMatrix.from_dense(dense)
+    precond = jacobi_preconditioner(np.array([1.0, 1.0, 2.0]))
+    res = preconditioned_conjugate_gradient(
+        csr.spmv, np.array([0.0, 1.0, 0.0]), precond, max_iter=100
+    )
+    assert not res.converged
+    assert res.breakdown is not None
+    assert res.breakdown.kind == "indefinite"
+    assert res.iterations <= 2
+
+
+def test_pcg_restart_recovers_transient_fault(sym_dense_medium, rng):
+    csr = CSRMatrix.from_dense(sym_dense_medium)
+    x_true = rng.standard_normal(sym_dense_medium.shape[0])
+    b = sym_dense_medium @ x_true
+    precond = jacobi_preconditioner(np.diag(sym_dense_medium))
+    calls = {"n": 0}
+
+    def transient(x):
+        calls["n"] += 1
+        y = csr.spmv(x)
+        return np.full_like(y, np.nan) if calls["n"] == 3 else y
+
+    res = preconditioned_conjugate_gradient(
+        transient, b, precond, tol=1e-10, restart=True
+    )
+    assert res.converged
+    assert res.breakdown is None
+    assert np.allclose(res.x, x_true, atol=1e-5)

@@ -1,0 +1,427 @@
+"""Fault-injection chaos executor and failure containment.
+
+Covers the resilience taxonomy end to end:
+
+* :class:`ChaosPlan` — deterministic fault derivation, validation,
+  explicit overrides;
+* ``Executor`` containment — typed :class:`BatchExecutionError`
+  aggregation, sibling await/cancel, ``fallback="serial"`` degradation;
+* bound-operator poisoning — auto-recovery vs ``on_poison="raise"``,
+  full-extent workspace re-zeroing, :class:`OperatorClosedError`;
+* the containment property itself, as a hypothesis sweep over fault
+  plans: every application either raises a typed resilience error or
+  returns output bit-identical to the serial execution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import reset_warning_counts, warning_counts
+from repro.parallel import (
+    Executor,
+    ParallelSpMV,
+    ParallelSymmetricSpMV,
+)
+from repro.resilience import (
+    BatchExecutionError,
+    ChaosInjectedError,
+    ChaosPlan,
+    ExecutionError,
+    FaultSpec,
+    OperatorClosedError,
+    PoisonedOperatorError,
+)
+
+from tests.conformance import (
+    build_symmetric,
+    build_unsymmetric,
+    reference_product,
+    rhs_block,
+)
+
+CONTAINED = (BatchExecutionError, PoisonedOperatorError, ChaosInjectedError)
+
+
+# ----------------------------------------------------------------------
+# ChaosPlan: deterministic derivation and validation
+# ----------------------------------------------------------------------
+def test_plan_is_deterministic():
+    a = ChaosPlan(42, p_raise=0.3, p_delay=0.3)
+    b = ChaosPlan(42, p_raise=0.3, p_delay=0.3)
+    for batch in range(5):
+        for tid in range(8):
+            assert a.fault_for(batch, tid) == b.fault_for(batch, tid)
+        assert a.submission_order(batch, 8) == b.submission_order(batch, 8)
+
+
+def test_plan_seeds_differ():
+    a = ChaosPlan(1, p_raise=0.5, p_delay=0.4)
+    b = ChaosPlan(2, p_raise=0.5, p_delay=0.4)
+    faults_a = [a.fault_for(0, t) for t in range(64)]
+    faults_b = [b.fault_for(0, t) for t in range(64)]
+    assert faults_a != faults_b
+
+
+def test_plan_draws_every_action():
+    plan = ChaosPlan(7, p_raise=0.35, p_delay=0.35)
+    actions = {
+        plan.fault_for(b, t).action for b in range(8) for t in range(8)
+    }
+    assert actions == {"none", "delay", "raise"}
+
+
+def test_plan_explicit_overrides_win():
+    plan = ChaosPlan(
+        0, p_raise=0.0, p_delay=0.0,
+        faults={(3, 1): FaultSpec("raise")},
+    )
+    assert plan.fault_for(3, 1).action == "raise"
+    assert plan.fault_for(3, 0).action == "none"
+    assert not plan.exception_free
+
+
+def test_plan_exception_free_property():
+    assert ChaosPlan(0, p_raise=0.0, p_delay=0.9).exception_free
+    assert not ChaosPlan(0, p_raise=0.1).exception_free
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        ChaosPlan(0, p_raise=0.8, p_delay=0.4)  # sums past 1
+    with pytest.raises(ValueError):
+        ChaosPlan(0, p_raise=-0.1)
+    with pytest.raises(ValueError):
+        ChaosPlan(0, max_delay_ms=-1.0)
+
+
+def test_plan_reorder_off_is_identity():
+    plan = ChaosPlan(5, reorder=False)
+    assert plan.submission_order(0, 6) == list(range(6))
+
+
+def test_plan_rejected_outside_chaos_mode():
+    with pytest.raises(ValueError):
+        Executor("threads", plan=ChaosPlan(0))
+    with pytest.raises(ValueError):
+        Executor("serial", plan=ChaosPlan(0))
+
+
+def test_unknown_fallback_rejected():
+    with pytest.raises(ValueError):
+        Executor("threads", fallback="retry-forever")
+
+
+# ----------------------------------------------------------------------
+# Executor containment
+# ----------------------------------------------------------------------
+def _raise_all_plan(n_tasks: int, batches: int = 4) -> ChaosPlan:
+    """Every task of the first ``batches`` batches raises."""
+    return ChaosPlan(
+        0, p_raise=0.0, p_delay=0.0, reorder=False,
+        faults={
+            (b, t): FaultSpec("raise")
+            for b in range(batches) for t in range(n_tasks)
+        },
+    )
+
+
+def test_batch_error_aggregates_all_failures():
+    plan = _raise_all_plan(3)
+    with Executor("chaos", plan=plan) as ex:
+        with pytest.raises(BatchExecutionError) as exc_info:
+            ex.run_batch([lambda: None] * 3, label="spmv.mult")
+    err = exc_info.value
+    assert err.label == "spmv.mult"
+    assert err.batch == 0
+    assert err.n_tasks == 3
+    # Every task either raised (recorded with its tid) or was cancelled
+    # before starting — nothing is unaccounted for.
+    assert len(err.failures) + err.n_cancelled == 3
+    tids = [f.tid for f in err.failures]
+    assert tids == sorted(tids)
+    assert set(tids) <= set(range(3))
+    assert all(
+        isinstance(f.error, ChaosInjectedError) for f in err.failures
+    )
+    assert isinstance(err.first, ChaosInjectedError)
+    assert isinstance(err, RuntimeError)  # taxonomy stays catchable
+
+
+def test_batch_error_is_typed_execution_error():
+    assert issubclass(BatchExecutionError, ExecutionError)
+    assert issubclass(PoisonedOperatorError, ExecutionError)
+    assert issubclass(OperatorClosedError, ExecutionError)
+    assert issubclass(ChaosInjectedError, ExecutionError)
+    assert issubclass(ExecutionError, RuntimeError)
+
+
+def test_chaos_injected_error_carries_coordinates():
+    plan = ChaosPlan(0, faults={(0, 2): FaultSpec("raise")}, p_delay=0.0)
+    with Executor("chaos", plan=plan) as ex:
+        with pytest.raises(BatchExecutionError) as exc_info:
+            ex.run_batch([lambda: None] * 4)
+    failure = exc_info.value.failures[0]
+    assert failure.tid == 2
+    assert failure.error.batch == 0
+    assert failure.error.tid == 2
+
+
+def test_batch_failure_counts_warning():
+    reset_warning_counts()
+    plan = _raise_all_plan(2, batches=1)
+    with Executor("chaos", plan=plan) as ex:
+        with pytest.raises(BatchExecutionError):
+            ex.run_batch([lambda: None] * 2)
+    assert warning_counts().get("resilience.batch_failure") == 1
+
+
+def test_serial_fallback_recovers_batch():
+    reset_warning_counts()
+    plan = _raise_all_plan(4, batches=1)
+    ran = []
+    resets = []
+    tasks = [lambda i=i: ran.append(i) for i in range(4)]
+    with Executor("chaos", plan=plan, fallback="serial") as ex:
+        ex.run_batch(tasks, reset=lambda: resets.append(True))
+    # The retry ran every *original* task (unwrapped) after reset().
+    assert sorted(ran) == [0, 1, 2, 3]
+    assert resets == [True]
+    assert warning_counts().get("resilience.serial_fallback") == 1
+
+
+def test_serial_fallback_still_fails_on_genuine_error():
+    plan = _raise_all_plan(1, batches=1)
+
+    def genuinely_broken():
+        raise ZeroDivisionError("task bug, not chaos")
+
+    with Executor("chaos", plan=plan, fallback="serial") as ex:
+        with pytest.raises(BatchExecutionError) as exc_info:
+            ex.run_batch([genuinely_broken])
+    assert isinstance(exc_info.value.first, ZeroDivisionError)
+
+
+def test_chaos_delay_only_matches_threads_semantics():
+    done = set()
+    plan = ChaosPlan(3, p_raise=0.0, p_delay=0.8, max_delay_ms=0.2)
+    with Executor("chaos", plan=plan) as ex:
+        ex.run_batch([lambda i=i: done.add(i) for i in range(10)])
+    assert done == set(range(10))
+
+
+# ----------------------------------------------------------------------
+# Driver-level containment: a faulted parallel apply never returns a
+# silently wrong vector.
+# ----------------------------------------------------------------------
+def test_parallel_driver_contains_injected_fault():
+    matrix, parts = build_symmetric("random", "sss", "thirds")
+    x = rhs_block(matrix.n_cols, None)
+    plan = _raise_all_plan(len(parts), batches=1)
+    ex = Executor("chaos", plan=plan)
+    try:
+        kernel = ParallelSymmetricSpMV(matrix, parts, "indexed", executor=ex)
+        with pytest.raises(BatchExecutionError):
+            kernel(x)
+        # Batch 1 draws no fault: the same kernel then runs clean.
+        assert np.allclose(kernel(x), reference_product("random", x))
+    finally:
+        ex.close()
+
+
+def test_unsymmetric_driver_contains_injected_fault():
+    matrix, parts = build_unsymmetric("random", "csr", "thirds")
+    x = rhs_block(matrix.n_cols, None)
+    plan = _raise_all_plan(len(parts), batches=1)
+    ex = Executor("chaos", plan=plan)
+    try:
+        kernel = ParallelSpMV(matrix, parts, executor=ex)
+        with pytest.raises(BatchExecutionError):
+            kernel(x)
+        assert np.allclose(kernel(x), reference_product("random", x))
+    finally:
+        ex.close()
+
+
+def test_driver_fallback_serial_degrades_gracefully():
+    reset_warning_counts()
+    matrix, parts = build_symmetric("random", "sss", "thirds")
+    x = rhs_block(matrix.n_cols, None)
+    plan = _raise_all_plan(len(parts), batches=1)
+    ex = Executor("chaos", plan=plan, fallback="serial")
+    try:
+        kernel = ParallelSymmetricSpMV(matrix, parts, "indexed", executor=ex)
+        y = kernel(x)  # faulted batch degrades to one serial retry
+    finally:
+        ex.close()
+    assert np.allclose(y, reference_product("random", x))
+    assert warning_counts().get("resilience.serial_fallback") == 1
+
+
+# ----------------------------------------------------------------------
+# Bound-operator poisoning
+# ----------------------------------------------------------------------
+def _bound_with_faults(fmt="sss", on_poison="recover", batches=1):
+    matrix, parts = build_symmetric("random", fmt, "thirds")
+    plan = _raise_all_plan(len(parts), batches=batches)
+    ex = Executor("chaos", plan=plan)
+    driver = ParallelSymmetricSpMV(matrix, parts, "indexed", executor=ex)
+    return driver.bind(on_poison=on_poison), ex
+
+
+def test_failed_apply_poisons_operator():
+    op, ex = _bound_with_faults()
+    x = rhs_block(op.matrix.n_cols, None)
+    try:
+        assert not op.poisoned
+        with pytest.raises(BatchExecutionError):
+            op(x)
+        assert op.poisoned
+    finally:
+        op.close()
+        ex.close()
+
+
+def test_poisoned_operator_auto_recovers():
+    reset_warning_counts()
+    op, ex = _bound_with_faults(on_poison="recover")
+    x = rhs_block(op.matrix.n_cols, None)
+    try:
+        with pytest.raises(BatchExecutionError):
+            op(x)
+        # Default policy: the next call re-zeroes in full and computes.
+        y = op(x)
+        assert not op.poisoned
+        assert np.allclose(y, reference_product("random", x))
+        assert warning_counts().get("resilience.operator_poisoned") == 1
+        assert warning_counts().get("resilience.operator_recovered") == 1
+    finally:
+        op.close()
+        ex.close()
+
+
+def test_poisoned_operator_raise_policy():
+    op, ex = _bound_with_faults(on_poison="raise")
+    x = rhs_block(op.matrix.n_cols, None)
+    try:
+        with pytest.raises(BatchExecutionError):
+            op(x)
+        with pytest.raises(PoisonedOperatorError):
+            op(x)
+        op.recover()
+        assert not op.poisoned
+        y = op(x)
+        assert np.allclose(y, reference_product("random", x))
+    finally:
+        op.close()
+        ex.close()
+
+
+def test_recover_is_noop_on_healthy_operator():
+    reset_warning_counts()
+    matrix, parts = build_symmetric("random", "sss", "thirds")
+    op = ParallelSymmetricSpMV(matrix, parts, "indexed").bind()
+    try:
+        op.recover()
+        assert "resilience.operator_recovered" not in warning_counts()
+    finally:
+        op.close()
+
+
+def test_invalid_poison_policy_rejected():
+    matrix, parts = build_symmetric("random", "sss", "thirds")
+    driver = ParallelSymmetricSpMV(matrix, parts, "indexed")
+    with pytest.raises(ValueError):
+        driver.bind(on_poison="ignore")
+
+
+def test_apply_after_close_is_typed():
+    matrix, parts = build_symmetric("random", "sss", "thirds")
+    op = ParallelSymmetricSpMV(matrix, parts, "indexed").bind()
+    op.close()
+    x = rhs_block(matrix.n_cols, None)
+    with pytest.raises(OperatorClosedError):
+        op(x)
+    with pytest.raises(RuntimeError):  # old call sites keep working
+        op(x)
+    with pytest.raises(OperatorClosedError):
+        op.recover()
+
+
+def test_poisoned_spmm_recovers_bit_identical():
+    # Multi-RHS path: the (p, N, k) locals are re-zeroed in full, so
+    # the post-recovery result is bit-identical to an untouched solve.
+    matrix, parts = build_symmetric("random", "csx-sym", "thirds")
+    X = rhs_block(matrix.n_cols, 3)
+    clean = ParallelSymmetricSpMV(matrix, parts, "effective")(X)
+    plan = _raise_all_plan(len(parts), batches=1)
+    ex = Executor("chaos", plan=plan)
+    op = ParallelSymmetricSpMV(
+        matrix, parts, "effective", executor=ex
+    ).bind(3)
+    try:
+        with pytest.raises(BatchExecutionError):
+            op(X)
+        assert np.array_equal(op(X), clean)
+    finally:
+        op.close()
+        ex.close()
+
+
+# ----------------------------------------------------------------------
+# The containment property, as a hypothesis sweep over fault plans:
+# contained typed error XOR bit-identical output — never silent
+# corruption.
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=25)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    p_raise=st.floats(min_value=0.0, max_value=0.5),
+    p_delay=st.floats(min_value=0.0, max_value=0.5),
+    fmt=st.sampled_from(("sss", "csx-sym")),
+    reduction=st.sampled_from(("naive", "effective", "indexed")),
+)
+def test_chaos_containment_property(seed, p_raise, p_delay, fmt, reduction):
+    matrix, parts = build_symmetric("random", fmt, "thirds")
+    x = rhs_block(matrix.n_cols, None)
+    serial = ParallelSymmetricSpMV(matrix, parts, reduction)(x)
+    plan = ChaosPlan(
+        seed, p_raise=p_raise, p_delay=p_delay, max_delay_ms=0.2
+    )
+    ex = Executor("chaos", plan=plan)
+    try:
+        kernel = ParallelSymmetricSpMV(
+            matrix, parts, reduction, executor=ex
+        )
+        for _ in range(3):  # several batches sample several fault draws
+            try:
+                y = kernel(x)
+            except CONTAINED:
+                continue  # contained: typed error, no output to trust
+            assert np.array_equal(y, serial)
+    finally:
+        ex.close()
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_chaos_containment_property_bound(seed):
+    matrix, parts = build_symmetric("random", "sss", "thirds")
+    x = rhs_block(matrix.n_cols, None)
+    serial = ParallelSymmetricSpMV(matrix, parts, "indexed")(x)
+    plan = ChaosPlan(seed, p_raise=0.3, p_delay=0.3, max_delay_ms=0.2)
+    ex = Executor("chaos", plan=plan)
+    op = ParallelSymmetricSpMV(
+        matrix, parts, "indexed", executor=ex
+    ).bind()
+    try:
+        for _ in range(4):
+            try:
+                y = op(x)
+            except CONTAINED:
+                continue
+            assert np.array_equal(y, serial)
+    finally:
+        op.close()
+        ex.close()
