@@ -80,9 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--executor", default="serial",
-            choices=("serial", "threads", "chaos"),
+            choices=("serial", "threads", "processes", "chaos"),
             help="task executor; 'threads' gives per-thread timelines "
-                 "in the trace, 'chaos' perturbs scheduling (delays + "
+                 "in the trace, 'processes' runs GIL-free workers over "
+                 "shared-memory workspaces (engages through the bound "
+                 "operator), 'chaos' perturbs scheduling (delays + "
                  "reordered completions, no injected exceptions) to "
                  "smoke-test determinism",
         )
@@ -143,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--no-shrink", action="store_true",
         help="skip ddmin reduction of failing cases",
+    )
+    p_fuzz.add_argument(
+        "--executor", default=None,
+        choices=("threads", "processes"),
+        help="run the parallel/bound combos on this executor backend "
+             "instead of the default serial one (the fuzz-smoke CI "
+             "rotates through them)",
     )
     p_fuzz.add_argument(
         "--chaos", action="store_true",
@@ -214,8 +223,8 @@ def _trace_setup(args):
         # injected exceptions from the CLI.
         plan = ChaosPlan(seed=0, p_raise=0.0, p_delay=0.5, max_delay_ms=0.2)
         executor = Executor("chaos", plan=plan)
-    elif args.executor == "threads":
-        executor = Executor("threads")
+    elif args.executor in ("threads", "processes"):
+        executor = Executor(args.executor)
     else:
         executor = None
     return tracer, executor
@@ -238,7 +247,16 @@ def _cmd_spmv(args) -> int:
     rng = np.random.default_rng(0)
     x = rng.standard_normal(coo.n_cols)
     with tracing(tracer):
-        y = kernel(x)
+        if args.executor == "processes":
+            # The process backend engages through the bound operator
+            # (segments + worker pool are a bind-time investment).
+            op = kernel.bind()
+            try:
+                y = np.array(op(x))
+            finally:
+                op.close()
+        else:
+            y = kernel(x)
     ref = CSRMatrix.from_coo(coo).spmv(x)
     ok = np.allclose(y, ref)
     platform = PLATFORMS[args.platform]
@@ -318,11 +336,19 @@ def _cmd_cg(args) -> int:
     matrix, parts = build_format(coo, args.format, args.threads)
     tracer, executor = _trace_setup(args)
     spmv = _make_kernel(matrix, parts, "indexed", executor)
+    if args.executor == "processes":
+        # Bind here (CG's own bind is idempotent on a bound operator)
+        # so the worker pool and segments get an explicit close below.
+        spmv = spmv.bind()
     rng = np.random.default_rng(0)
     x_true = rng.standard_normal(coo.n_rows)
     b = CSRMatrix.from_coo(coo).spmv(x_true)
-    with tracing(tracer):
-        res = conjugate_gradient(spmv, b, tol=args.tol)
+    try:
+        with tracing(tracer):
+            res = conjugate_gradient(spmv, b, tol=args.tol)
+    finally:
+        if args.executor == "processes":
+            spmv.close()
     err = float(np.abs(res.x - x_true).max())
     print(
         f"CG on {args.matrix} [{args.format}, {args.threads} threads]: "
@@ -354,6 +380,7 @@ def _cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         max_mismatches=args.max_mismatches,
         chaos=args.chaos,
+        executor_mode=args.executor,
     )
     report = run_fuzz(config)
     print(report.summary())

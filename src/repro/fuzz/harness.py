@@ -138,7 +138,10 @@ class Combo:
         return drv.bind(None if self.op == "spmv" else self.k)
 
     def run(
-        self, case: FuzzCase, chaos_plan: Optional[ChaosPlan] = None
+        self,
+        case: FuzzCase,
+        chaos_plan: Optional[ChaosPlan] = None,
+        executor_mode: Optional[str] = None,
     ) -> tuple[bool, str, float]:
         """Drive the combo on ``case``; ``(ok, failure_kind, ratio)``.
 
@@ -148,11 +151,17 @@ class Combo:
         drivers through ``Executor("chaos", plan=...)`` — injected
         faults then surface as the typed containment exceptions, which
         the harness classifies (serial combos ignore the plan: there is
-        no batch to disrupt).
+        no batch to disrupt). ``executor_mode`` instead picks a plain
+        backend ("threads"/"processes") for the parallel/bound drivers
+        — the cross-backend rotation of the fuzz-smoke CI job; note the
+        process backend only truly engages for bound combos.
         """
         executor = None
-        if chaos_plan is not None and self.driver != "serial":
-            executor = Executor("chaos", plan=chaos_plan)
+        if self.driver != "serial":
+            if chaos_plan is not None:
+                executor = Executor("chaos", plan=chaos_plan)
+            elif executor_mode is not None:
+                executor = Executor(executor_mode, max_workers=2)
         try:
             dense = case.dense
             apply = self._build(case.coo, executor)
@@ -231,6 +240,9 @@ class FuzzConfig:
     #: rotated fault plan; injected faults must either be contained in
     #: the typed resilience exceptions or leave the output bit-correct.
     chaos: bool = False
+    #: Executor backend for the parallel/bound combos ("threads" or
+    #: "processes"; None keeps the drivers' default serial executor).
+    executor_mode: Optional[str] = None
 
 
 @dataclass
@@ -426,7 +438,9 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                 continue
             if not _applicable(combo, case):
                 continue
-            ok, kind, ratio = combo.run(case)
+            ok, kind, ratio = combo.run(
+                case, executor_mode=config.executor_mode
+            )
             report.checks_run += 1
             report.combos_covered.add(combo.describe())
             if not ok:

@@ -155,6 +155,26 @@ class Tracer:
             return NULL_SPAN
         return _Span(self._buffer(), name, attrs or None)
 
+    def record_span(
+        self, name: str, dur_ns: int, *,
+        start_ns: Optional[int] = None, **attrs,
+    ) -> None:
+        """Record a span that was timed *elsewhere* — e.g. a task
+        executed in a worker process, whose duration came back over the
+        pool pipe with its ``pid``. Recorded on the calling thread's
+        buffer; when ``start_ns`` is omitted, the span is back-dated so
+        it ends now."""
+        if not self.enabled:
+            return
+        buf = self._buffer()
+        start = (
+            start_ns if start_ns is not None
+            else perf_counter_ns() - int(dur_ns)
+        )
+        buf.events.append(
+            SpanEvent(name, start, int(dur_ns), buf.depth, attrs or None)
+        )
+
     def event(self, name: str, **attrs) -> None:
         """Record an instant (zero-duration) event, e.g. one solver
         iteration's residual."""

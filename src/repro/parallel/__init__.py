@@ -6,6 +6,8 @@ from ..resilience import (
     ChaosPlan,
     OperatorClosedError,
     PoisonedOperatorError,
+    RemoteTaskError,
+    WorkerCrashError,
 )
 from .bound import BoundOperator, BoundSpMV, BoundSymmetricSpMV
 from .coloring import (
@@ -30,6 +32,7 @@ from .reduction import (
     ReductionMethod,
     make_reduction,
 )
+from .shm import live_segments, shared_memory_available
 from .spmv import ParallelSpMV, ParallelSymmetricSpMV
 
 __all__ = [
@@ -38,6 +41,10 @@ __all__ = [
     "BatchExecutionError",
     "PoisonedOperatorError",
     "OperatorClosedError",
+    "WorkerCrashError",
+    "RemoteTaskError",
+    "live_segments",
+    "shared_memory_available",
     "partition_nnz_balanced",
     "partition_rows_equal",
     "validate_partitions",

@@ -27,9 +27,69 @@ from ..obs.tracer import active as _active_tracer, warn as _obs_warn
 from ..resilience.errors import OperatorClosedError, PoisonedOperatorError
 from .spmv import _record_traffic
 
-__all__ = ["BoundOperator", "BoundSymmetricSpMV", "BoundSpMV"]
+__all__ = [
+    "BoundOperator",
+    "BoundSymmetricSpMV",
+    "BoundSpMV",
+    "compile_symmetric_tasks",
+    "compile_unsymmetric_tasks",
+]
 
 _POISON_POLICIES = ("recover", "raise")
+
+
+def compile_symmetric_tasks(
+    matrix, reduction, partitions, k: Optional[int], y, locals_, get_x
+) -> list:
+    """Per-thread multiplication closures for the two-phase symmetric
+    driver. Shared by the parent's bound operator and the process-pool
+    workers (which call it against their own zero-copy views of the
+    same shared-memory workspaces), so both sides execute the one task
+    definition. ``get_x`` defers the input read to call time."""
+    multi = k is not None
+    tasks = []
+    for tid, (start, end) in enumerate(partitions):
+        y_direct, y_local = reduction.thread_targets(tid, y, locals_)
+        kernel = matrix.spmm_partition if multi else matrix.spmv_partition
+
+        def task(kernel=kernel, y_direct=y_direct, y_local=y_local,
+                 start=start, end=end) -> None:
+            kernel(get_x(), y_direct, y_local, start, end)
+
+        tasks.append(task)
+    return tasks
+
+
+def compile_unsymmetric_tasks(
+    matrix, partitions, k: Optional[int], y, get_x
+) -> list:
+    """Per-thread closures for the row-partitioned unsymmetric driver,
+    matching the unbound dispatch: CSX partitions execute by index,
+    CSR by row range. Shared with the process-pool workers like
+    :func:`compile_symmetric_tasks`."""
+    multi = k is not None
+    tasks = []
+    if hasattr(matrix, "spmv_partition_only"):
+        for tid in range(len(partitions)):
+            kernel = (
+                matrix.spmm_partition_only
+                if multi
+                else matrix.spmv_partition_only
+            )
+
+            def task(kernel=kernel, tid=tid) -> None:
+                kernel(get_x(), y, tid)
+
+            tasks.append(task)
+    else:
+        for start, end in partitions:
+            kernel = matrix.spmm_rows if multi else matrix.spmv_rows
+
+            def task(kernel=kernel, start=start, end=end) -> None:
+                kernel(get_x(), y, start, end)
+
+            tasks.append(task)
+    return tasks
 
 
 class BoundOperator:
@@ -89,12 +149,18 @@ class BoundOperator:
         self._y = np.zeros(shape, dtype=np.float64)
         self._x: Optional[np.ndarray] = None
         self._x_shape = (m.n_cols,) if k is None else (m.n_cols, k)
+        self._x_staged: Optional[np.ndarray] = None
+        self._remote = None
+        self._arenas: list = []
         tracer = _active_tracer()
         with tracer.span("bind", k=k, threads=driver.n_threads):
             with tracer.span("bind.precompile"):
                 self._precompile()
             with tracer.span("bind.workspaces"):
                 self._allocate_workspaces()
+            if getattr(driver.executor, "mode", None) == "processes":
+                with tracer.span("bind.processes"):
+                    self._setup_process_backend()
             with tracer.span("bind.tasks"):
                 self._tasks = self._build_tasks()
         # Elements _zero_workspaces clears per call (constant once
@@ -116,6 +182,79 @@ class BoundOperator:
     def _build_tasks(self) -> list:
         """One precompiled closure per thread; each reads ``self._x``."""
         raise NotImplementedError
+
+    def _setup_process_backend(self) -> None:
+        """Migrate the workspaces into shared memory and spin up the
+        long-lived worker pool (``processes`` executor only).
+
+        Two arenas per operator: a *data* arena holding the pickled
+        driver state with its array buffers carved out-of-band
+        (protocol 5 — workers reconstruct the matrix zero-copy), and a
+        *workspace* arena holding ``y``, the staged input slot and the
+        reduction's local buffers. The parent's ``self._y`` /
+        ``self._locals`` are re-pointed at arena views, so the existing
+        zero/reduce/recover machinery — and the serial fallback, which
+        runs the parent-side closures — operate on the very memory the
+        workers write.
+        """
+        from . import shm as _shm
+        from .procpool import ProcessPool, WorkerSpec
+
+        driver = self.driver
+        executor = driver.executor
+        reduction = getattr(driver, "reduction", None)
+        payload, table, data = _shm.pack_to_arena(
+            (driver.matrix, tuple(driver.partitions), reduction)
+        )
+        self._arenas.append(data)
+
+        locals_ = getattr(self, "_locals", None)
+        shapes = [(self._y.shape, np.float64), (self._x_shape, np.float64)]
+        if locals_:
+            shapes.extend(
+                (buf.shape, np.float64) for buf in locals_ if buf is not None
+            )
+        ws = _shm.SharedArena(_shm.workspace_capacity(shapes))
+        self._arenas.append(ws)
+
+        new_y, y_off = ws.alloc(self._y.shape)
+        self._y = new_y
+        self._x_staged, x_off = ws.alloc(self._x_shape)
+        locals_refs: list = []
+        if locals_ is not None:
+            for i, buf in enumerate(locals_):
+                if buf is None:
+                    locals_refs.append(None)
+                else:
+                    arr, off = ws.alloc(buf.shape)
+                    locals_[i] = arr
+                    locals_refs.append((off, tuple(buf.shape)))
+
+        spec = WorkerSpec(
+            kind="sym" if reduction is not None else "unsym",
+            payload=payload,
+            table=table,
+            data_name=data.name,
+            ws_name=ws.name,
+            x_ref=(x_off, tuple(self._x_shape)),
+            y_ref=(y_off, tuple(self._y.shape)),
+            locals_refs=locals_refs,
+            k=self.k,
+            plan=executor.plan,
+        )
+        n_workers = driver.n_threads
+        if executor.max_workers is not None:
+            n_workers = min(n_workers, executor.max_workers)
+        self._remote = ProcessPool(spec, n_workers)
+
+    def _stage_input(self, x: np.ndarray) -> np.ndarray:
+        """Copy the call's input into the shared staging slot (process
+        backend) so the workers see it; identity otherwise."""
+        if self._x_staged is not None:
+            if x is not self._x_staged:
+                np.copyto(self._x_staged, x)
+            return self._x_staged
+        return x
 
     def _zero_workspaces(self) -> None:
         self._y[...] = 0.0
@@ -225,10 +364,11 @@ class BoundOperator:
         overhead benchmark times this directly as the zero-
         instrumentation control for the disabled-tracer overhead."""
         self._zero_workspaces()
-        self._x = x
+        self._x = self._stage_input(x)
         try:
             self.driver.executor.run_batch(
-                self._tasks, reset=self._zero_workspaces
+                self._tasks, reset=self._zero_workspaces,
+                remote=self._remote,
             )
             self._finish()
         except BaseException:
@@ -254,12 +394,13 @@ class BoundOperator:
             with tracer.span("bound.zero"):
                 self._zero_workspaces()
             tracer.count("bound.zeroed_elements", self._zero_volume)
-            self._x = x
+            self._x = self._stage_input(x)
             try:
                 with tracer.span("spmv.mult"):
                     self.driver.executor.run_batch(
                         self._tasks, label="spmv.mult.task",
                         reset=self._zero_workspaces,
+                        remote=self._remote,
                     )
                 with tracer.span("spmv.reduce"):
                     self._finish()
@@ -299,7 +440,16 @@ class BoundOperator:
         self._closed = True
         self._tasks = []
         self._y = None
+        self._x_staged = None
         with _active_tracer().span("bound.close"):
+            # Pool before arenas: workers must have detached (or been
+            # terminated) before the owner unlinks the segments.
+            if self._remote is not None:
+                self._remote.close()
+                self._remote = None
+            for arena in self._arenas:
+                arena.close()
+            self._arenas = []
             self.driver.matrix.clear_caches()
 
     def __enter__(self) -> "BoundOperator":
@@ -349,23 +499,11 @@ class BoundSymmetricSpMV(BoundOperator):
         return int(self.driver.reduction.zeroed_elements(self.k))
 
     def _build_tasks(self) -> list:
-        matrix = self.driver.matrix
-        reduction = self.driver.reduction
-        multi = self.k is not None
-        tasks = []
-        for tid in range(self.driver.n_threads):
-            start, end = self.driver.partitions[tid]
-            y_direct, y_local = reduction.thread_targets(
-                tid, self._y, self._locals
-            )
-            kernel = matrix.spmm_partition if multi else matrix.spmv_partition
-
-            def task(kernel=kernel, y_direct=y_direct, y_local=y_local,
-                     start=start, end=end) -> None:
-                kernel(self._x, y_direct, y_local, start, end)
-
-            tasks.append(task)
-        return tasks
+        return compile_symmetric_tasks(
+            self.driver.matrix, self.driver.reduction,
+            self.driver.partitions, self.k, self._y, self._locals,
+            lambda: self._x,
+        )
 
     def _zero_workspaces(self) -> None:
         self._y[...] = 0.0
@@ -400,30 +538,7 @@ class BoundSpMV(BoundOperator):
         self.driver.matrix.precompile(self.k)
 
     def _build_tasks(self) -> list:
-        matrix = self.driver.matrix
-        multi = self.k is not None
-        tasks = []
-        # Match the unbound driver's dispatch: CSX partitions execute by
-        # index, CSR by row range.
-        if hasattr(matrix, "spmv_partition_only"):
-            for tid in range(self.driver.n_threads):
-                kernel = (
-                    matrix.spmm_partition_only
-                    if multi
-                    else matrix.spmv_partition_only
-                )
-
-                def task(kernel=kernel, tid=tid) -> None:
-                    kernel(self._x, self._y, tid)
-
-                tasks.append(task)
-        else:
-            for tid in range(self.driver.n_threads):
-                start, end = self.driver.partitions[tid]
-                kernel = matrix.spmm_rows if multi else matrix.spmv_rows
-
-                def task(kernel=kernel, start=start, end=end) -> None:
-                    kernel(self._x, self._y, start, end)
-
-                tasks.append(task)
-        return tasks
+        return compile_unsymmetric_tasks(
+            self.driver.matrix, self.driver.partitions, self.k,
+            self._y, lambda: self._x,
+        )

@@ -1,7 +1,7 @@
-"""Thread-task execution backends.
+"""Task execution backends (thread pools and process pools).
 
 The library needs to run "one task per thread" twice per SpM×V (the
-multiplication phase and the reduction phase). Three backends exist:
+multiplication phase and the reduction phase). Four backends exist:
 
 * ``serial`` (default) — tasks run sequentially in deterministic order.
   Correctness and the traffic instrumentation are identical to a
@@ -12,6 +12,15 @@ multiplication phase and the reduction phase). Three backends exist:
   inside its kernels, so this demonstrates genuine concurrency, but
   wall-clock scaling on the host says nothing about the paper's
   platforms and is only used by the sanity benchmarks.
+* ``processes`` — GIL-free true parallelism over
+  ``multiprocessing.shared_memory`` workspaces. The backend only
+  engages through a *bound* operator (whose ``bind`` builds the
+  segments and the long-lived worker pool; see DESIGN.md §4g): plain
+  closures cannot cross a process boundary, so an unbound driver on
+  this executor degrades to the thread pool with a one-time
+  ``executor.processes_inline`` warning. A ``plan=`` composes chaos
+  injection with the process backend — dispatch order is perturbed in
+  the parent, raise/delay faults fire inside the workers.
 * ``chaos`` — the ``threads`` backend with a deterministic
   :class:`~repro.resilience.chaos.ChaosPlan` injecting per-task
   exceptions, delays and submission reorders, so every failure path of
@@ -37,10 +46,14 @@ from typing import Callable, Optional, Sequence
 from ..obs.tracer import active as _active_tracer, warn as _obs_warn
 from ..resilience.chaos import ChaosPlan
 from ..resilience.errors import BatchExecutionError, TaskFailure
+from .shm import shared_memory_available as _shm_available
 
 __all__ = ["Executor"]
 
-_MODES = ("serial", "threads", "chaos")
+_MODES = ("serial", "threads", "processes", "chaos")
+
+#: Modes that accept a ``plan=`` (fault injection / scheduling chaos).
+_PLAN_MODES = ("chaos", "processes")
 
 
 class Executor:
@@ -48,17 +61,24 @@ class Executor:
 
     Parameters
     ----------
-    mode : {"serial", "threads", "chaos"}
+    mode : {"serial", "threads", "processes", "chaos"}
     max_workers : int, optional
         Worker count for the pooled backends (defaults to the task
         count of each batch).
     plan : ChaosPlan, optional
         Fault plan for the ``chaos`` backend (default: a delay/reorder
-        only ``ChaosPlan(seed=0)`` — scheduling chaos, no exceptions).
-        Rejected for other modes.
+        only ``ChaosPlan(seed=0)`` — scheduling chaos, no exceptions)
+        or the ``processes`` backend (default: no plan; when given,
+        raise/delay faults fire inside the workers and the dispatch
+        order is perturbed in the parent). Rejected for other modes.
     fallback : {None, "serial"}
         ``"serial"`` retries a failed batch once, serially, after
         re-zeroing workspaces through the caller's ``reset`` hook.
+
+    Construction is fail-fast: an unknown mode, an unusable backend
+    (``processes`` without working shared memory) or a misplaced
+    ``plan=`` raises a typed ``ValueError`` here, not at the first
+    ``run_batch``.
     """
 
     def __init__(
@@ -70,28 +90,41 @@ class Executor:
         fallback: Optional[str] = None,
     ):
         if mode not in _MODES:
-            raise ValueError(f"unknown executor mode {mode!r}")
+            raise ValueError(
+                f"unknown executor mode {mode!r}; choose from {_MODES}"
+            )
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        if plan is not None and mode != "chaos":
-            raise ValueError("plan= is only meaningful with mode='chaos'")
+        if plan is not None and mode not in _PLAN_MODES:
+            raise ValueError(
+                f"plan= is only meaningful with mode in {_PLAN_MODES}"
+            )
         if fallback not in (None, "serial"):
             raise ValueError(f"unknown fallback {fallback!r}")
+        if mode == "processes" and not _shm_available():
+            raise ValueError(
+                "executor mode 'processes' needs working "
+                "multiprocessing.shared_memory, which this platform "
+                "does not provide; use 'threads' or 'serial'"
+            )
         self.mode = mode
         self.max_workers = max_workers
-        self.plan = (
-            plan if plan is not None else ChaosPlan(0)
-        ) if mode == "chaos" else None
+        if mode == "chaos":
+            self.plan = plan if plan is not None else ChaosPlan(0)
+        else:
+            self.plan = plan  # processes: optional; others: None
         self.fallback = fallback
         self.n_batches = 0
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
+        self._warned_inline = False
 
     def run_batch(
         self,
         tasks: Sequence[Callable[[], None]],
         label: Optional[str] = None,
         reset: Optional[Callable[[], None]] = None,
+        remote=None,
     ) -> None:
         """Execute all tasks; returns when every task has finished.
 
@@ -103,6 +136,17 @@ class Executor:
         ``tid`` attribute — recorded on the executing thread, so the
         Chrome export shows the real per-thread timeline; a task that
         raises additionally records a ``task.error`` instant event.
+        The process backend records the equivalent spans from worker-
+        reported durations, attributed with the worker ``pid``.
+
+        ``remote`` is the ``processes`` dispatch handle — a
+        :class:`~repro.parallel.procpool.ProcessPool` a bound operator
+        passes in, whose workers execute the *shared-memory* mirror of
+        ``tasks`` by index. ``tasks`` itself stays authoritative for
+        the serial fallback path, which runs the parent-side closures
+        over the very same shared arrays. A ``processes`` executor
+        called without ``remote`` (an unbound driver) degrades to the
+        thread pool and counts ``executor.processes_inline`` once.
 
         On failure every sibling future is awaited or cancelled first,
         then a single :class:`BatchExecutionError` aggregates all task
@@ -137,12 +181,26 @@ class Executor:
                 self.plan.wrap(batch, i, task) for i, task in enumerate(tasks)
             ]
             order = self.plan.submission_order(batch, len(tasks))
+        elif self.plan is not None:  # processes + chaos plan
+            exec_tasks = tasks
+            order = self.plan.submission_order(batch, len(tasks))
         else:
             exec_tasks = tasks
             order = list(range(len(tasks)))
 
         try:
-            self._run_pooled(instrumented(exec_tasks), order, name, batch)
+            if self.mode == "processes" and remote is not None:
+                remote.run(batch, len(tasks), order, label=name)
+            else:
+                if self.mode == "processes" and not self._warned_inline:
+                    # Closures cannot cross a process boundary; only
+                    # bound operators carry the shared-memory state the
+                    # workers need. Degrade loudly, once.
+                    self._warned_inline = True
+                    _obs_warn("executor.processes_inline")
+                self._run_pooled(
+                    instrumented(exec_tasks), order, name, batch
+                )
         except BatchExecutionError:
             if self.fallback != "serial":
                 raise

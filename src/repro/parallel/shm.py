@@ -1,0 +1,277 @@
+"""Shared-memory arenas for the process-pool executor backend.
+
+The process backend ships *data*, not arrays: at bind time the matrix
+arrays, the input/output vectors and the per-thread local reduction
+buffers are placed into ``multiprocessing.shared_memory`` segments, and
+per-call messages carry only task descriptors (batch number, thread
+ids). Workers attach once at pool spin-up and reconstruct zero-copy
+NumPy views over the segments.
+
+Two segments exist per bound operator:
+
+* the **data arena** — the pickled driver state ``(matrix, partitions,
+  reduction)`` with every NumPy payload extracted out-of-band via
+  pickle protocol 5 and packed, 64-byte aligned, into the segment.
+  Workers rebuild the objects with ``pickle.loads(payload,
+  buffers=...)`` so the reconstructed index/value arrays *view* the
+  shared pages instead of copying them;
+* the **workspace arena** — the ``y`` output, the staged ``x`` input
+  and the non-``None`` local reduction buffers, referenced by
+  ``(offset, shape)`` so parent and workers address the same memory.
+
+Lifecycle notes (CPython 3.11 semantics this module works around):
+
+* ``SharedMemory.close()`` raises ``BufferError`` while NumPy views of
+  the segment are alive. The owner therefore **unlinks first** (frees
+  the name and the resource-tracker entry) and then attempts the
+  close, swallowing ``BufferError`` — the OS releases the pages when
+  the last mapping dies.
+* Attaching registers the segment with the ``resource_tracker`` even
+  for non-owners (no ``track=`` parameter before 3.13). Pool workers
+  must **not** unregister after attaching: children of *every* start
+  method — fork by inheritance, spawn/forkserver through the tracker
+  fd in their preparation data — talk to the parent's tracker, where
+  registration is an idempotent set-add. A worker-side unregister
+  removes the shared entry, so the parent's eventual unlink-time
+  unregister hits a ``KeyError`` inside the tracker process.
+  ``attach(untrack=True)`` exists only for a genuinely unrelated
+  process (own tracker), which would otherwise unlink the segment at
+  its exit while the owner still uses it.
+
+Every arena registers a ``weakref.finalize`` backstop, so a bound
+operator that is garbage-collected without ``close()`` still releases
+its segments (and the leak remains observable through the existing
+``bound_operator.unclosed_gc`` warning counter). :func:`live_segments`
+exposes the names this process currently owns or has attached — the
+lifecycle tests assert it is empty after teardown.
+"""
+
+from __future__ import annotations
+
+import pickle
+import weakref
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SharedArena",
+    "aligned_nbytes",
+    "live_segments",
+    "pack_to_arena",
+    "shared_memory_available",
+    "unpack_from_arena",
+]
+
+#: Cache-line alignment of every carved allocation (avoids false
+#: sharing between the per-thread buffers of adjacent offsets).
+_ALIGN = 64
+
+#: Segment names this process currently holds open (owner or attached).
+_LIVE: set = set()
+
+
+@lru_cache(maxsize=1)
+def shared_memory_available() -> bool:
+    """Probe once whether POSIX/Windows shared memory actually works
+    here (import success is not enough: /dev/shm may be unmounted or
+    sealed in a sandbox)."""
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            seg.buf[0] = 1
+        finally:
+            seg.unlink()
+            seg.close()
+        return True
+    except Exception:  # pragma: no cover - environment-specific
+        return False
+
+
+def live_segments() -> list:
+    """Names of shared-memory segments this process holds open right
+    now. The lifecycle regression tests assert this drains to empty
+    after ``close()`` (and after finalizer-driven cleanup)."""
+    return sorted(_LIVE)
+
+
+def aligned_nbytes(shape: Sequence[int], dtype=np.float64) -> int:
+    """Byte length of one allocation, rounded up to the arena
+    alignment."""
+    nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _release(shm, owner: bool, name: str) -> None:
+    """Idempotent segment teardown shared by ``close()`` and the GC
+    finalizer."""
+    _LIVE.discard(name)
+    if owner:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+    try:
+        shm.close()
+    except BufferError:
+        # NumPy views of the segment are still exported (the caller may
+        # hold the result array). The name and tracker entry are
+        # already released by unlink; the OS frees the pages when the
+        # last mapping dies with those views. SharedMemory.__del__
+        # would retry close() and raise the same BufferError as an
+        # unraisable at GC/interpreter exit — neutralize the retry.
+        shm.close = lambda: None
+
+
+class SharedArena:
+    """One shared-memory segment with sequential aligned carving.
+
+    Create as owner with a byte capacity, or ``attach()`` to an
+    existing segment by name from a worker process. ``alloc`` carves
+    zero-initialized arrays (fresh segments are zero pages); ``view``
+    re-materializes an array from an ``(offset, shape)`` reference in
+    another process.
+    """
+
+    def __init__(self, capacity: int):
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(int(capacity), _ALIGN)
+        )
+        self.owner = True
+        self._cursor = 0
+        _LIVE.add(self._shm.name)
+        self._finalizer = weakref.finalize(
+            self, _release, self._shm, True, self._shm.name
+        )
+
+    @classmethod
+    def attach(cls, name: str, *, untrack: bool = False) -> "SharedArena":
+        """Worker-side attach. Leave ``untrack`` False in pool workers
+        (they share the owner's resource tracker, whatever the start
+        method); pass True only from an unrelated process with its own
+        tracker — see the module docstring."""
+        from multiprocessing import shared_memory
+
+        self = cls.__new__(cls)
+        self._shm = shared_memory.SharedMemory(name=name)
+        self.owner = False
+        self._cursor = 0
+        if untrack:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(self._shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker variants
+                pass
+        _LIVE.add(name)
+        self._finalizer = weakref.finalize(
+            self, _release, self._shm, False, name
+        )
+        return self
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def alloc(
+        self, shape: Sequence[int], dtype=np.float64
+    ) -> tuple[np.ndarray, int]:
+        """Carve the next aligned region; returns ``(array, offset)``."""
+        offset = self._cursor
+        nbytes = aligned_nbytes(shape, dtype)
+        if offset + nbytes > self._shm.size:
+            raise ValueError(
+                f"arena overflow: need {offset + nbytes} B of "
+                f"{self._shm.size} B"
+            )
+        self._cursor += nbytes
+        return self.view(offset, shape, dtype), offset
+
+    def view(
+        self, offset: int, shape: Sequence[int], dtype=np.float64
+    ) -> np.ndarray:
+        """Array viewing the segment at ``offset`` (any process)."""
+        count = int(np.prod(shape, dtype=np.int64))
+        return np.frombuffer(
+            self._shm.buf, dtype=dtype, count=count, offset=offset
+        ).reshape(tuple(shape))
+
+    def close(self) -> None:
+        """Owner: unlink + close (BufferError-tolerant). Attached:
+        close only. Idempotent."""
+        if self._finalizer.detach() is not None:
+            _release(self._shm, self.owner, self._shm.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = "owner" if self.owner else "attached"
+        return f"<SharedArena {self.name} {role} {self._shm.size}B>"
+
+
+# ----------------------------------------------------------------------
+# Protocol-5 out-of-band packing of driver state
+# ----------------------------------------------------------------------
+def pack_to_arena(obj) -> tuple[bytes, list, "SharedArena"]:
+    """Pickle ``obj`` with its array payloads extracted out-of-band and
+    packed into a fresh arena.
+
+    Returns ``(payload, table, arena)`` where ``payload`` is the
+    in-band pickle stream and ``table`` lists ``(offset, nbytes)`` per
+    out-of-band buffer, in pickling order — exactly what
+    :func:`unpack_from_arena` consumes on the worker side.
+    """
+    buffers: list = []
+    payload = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    raws = [buf.raw() for buf in buffers]
+    capacity = sum(aligned_nbytes((raw.nbytes,), np.uint8) for raw in raws)
+    arena = SharedArena(capacity)
+    table = []
+    for raw in raws:
+        dest, offset = arena.alloc((raw.nbytes,), np.uint8)
+        if raw.nbytes:
+            dest[...] = np.frombuffer(raw, dtype=np.uint8)
+        table.append((offset, raw.nbytes))
+    return payload, table, arena
+
+
+def unpack_from_arena(arena: SharedArena, payload: bytes, table: Sequence):
+    """Rebuild the object packed by :func:`pack_to_arena`, with every
+    out-of-band array viewing the arena's pages (zero copy)."""
+    buffers = [
+        memoryview(arena._shm.buf)[offset:offset + nbytes]
+        for offset, nbytes in table
+    ]
+    return pickle.loads(payload, buffers=buffers)
+
+
+def workspace_capacity(
+    shapes: Sequence[tuple[Sequence[int], "np.dtype"]]
+) -> int:
+    """Total arena bytes for a list of ``(shape, dtype)`` workspaces."""
+    return sum(aligned_nbytes(shape, dtype) for shape, dtype in shapes)
+
+
+def start_method() -> str:
+    """The process start method the pool will use: ``fork`` where the
+    platform offers it (cheap spin-up, inherited tracker), else
+    ``spawn``; overridable with ``REPRO_PROCESS_START``."""
+    import multiprocessing
+    import os
+
+    override = os.environ.get("REPRO_PROCESS_START", "").strip()
+    methods = multiprocessing.get_all_start_methods()
+    if override:
+        if override not in methods:
+            raise ValueError(
+                f"REPRO_PROCESS_START={override!r} not in {methods}"
+            )
+        return override
+    return "fork" if "fork" in methods else "spawn"

@@ -7,6 +7,14 @@ then the reduction of local vectors into the output.
 
 :class:`ParallelSpMV` is the unsymmetric counterpart (CSR / CSX): rows
 are independent, so there is no reduction phase at all.
+
+Both drivers execute through an :class:`~repro.parallel.executor
+.Executor`. The ``processes`` backend only engages through
+``driver.bind(...)`` — binding migrates the workspaces into shared
+memory and spins up the worker pool; a plain ``driver(x)`` call on a
+``processes`` executor runs its per-call closures on the thread pool
+instead (with a one-time ``executor.processes_inline`` warning), since
+closures cannot cross a process boundary.
 """
 
 from __future__ import annotations

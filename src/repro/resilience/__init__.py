@@ -31,7 +31,9 @@ from .errors import (
     ExecutionError,
     OperatorClosedError,
     PoisonedOperatorError,
+    RemoteTaskError,
     TaskFailure,
+    WorkerCrashError,
 )
 
 __all__ = [
@@ -44,4 +46,6 @@ __all__ = [
     "PoisonedOperatorError",
     "OperatorClosedError",
     "ChaosInjectedError",
+    "WorkerCrashError",
+    "RemoteTaskError",
 ]

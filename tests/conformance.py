@@ -36,6 +36,7 @@ from repro.formats import (
 __all__ = [
     "ConformanceCase",
     "CASES",
+    "EXECUTOR_BACKENDS",
     "SERIAL_FORMATS",
     "SYMMETRIC_FORMATS",
     "UNSYMMETRIC_DRIVER_FORMATS",
@@ -45,6 +46,7 @@ __all__ = [
     "build_symmetric",
     "build_unsymmetric",
     "chaos_benign_executor",
+    "make_backend_executor",
     "partitions_for",
     "rhs_block",
 ]
@@ -263,6 +265,26 @@ def chaos_benign_executor(seed: int = 0):
             reorder=True,
         ),
     )
+
+
+#: Plain executor backends the cross-backend conformance suite sweeps;
+#: every one must be *bit-identical* to serial on the whole battery.
+EXECUTOR_BACKENDS = ("serial", "threads", "processes")
+
+
+def make_backend_executor(backend: str, max_workers: int = 2):
+    """Executor for one conformance backend, or a pytest skip when the
+    platform cannot provide it (``processes`` without working shared
+    memory — e.g. a sandbox with /dev/shm sealed)."""
+    import pytest
+
+    from repro.parallel import Executor, shared_memory_available
+
+    if backend == "processes" and not shared_memory_available():
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    if backend == "serial":
+        return Executor("serial")
+    return Executor(backend, max_workers=max_workers)
 
 
 def rhs_block(n: int, k: int | None, seed: int = 99) -> np.ndarray:

@@ -12,10 +12,11 @@ same seeded battery of edge-case matrices against the dense reference:
 import numpy as np
 import pytest
 
-from repro.parallel import ParallelSpMV, ParallelSymmetricSpMV
+from repro.parallel import ParallelSpMV, ParallelSymmetricSpMV, live_segments
 
 from tests.conformance import (
     CASES,
+    EXECUTOR_BACKENDS,
     PARTITION_LAYOUTS,
     REDUCTIONS,
     SERIAL_FORMATS,
@@ -25,6 +26,7 @@ from tests.conformance import (
     build_symmetric,
     build_unsymmetric,
     chaos_benign_executor,
+    make_backend_executor,
     reference_product,
     rhs_block,
 )
@@ -182,3 +184,73 @@ def test_driver_output_block_reuse(fmt):
     out = kernel(X, Y)
     assert out is Y
     assert np.allclose(Y, reference_product("random", X))
+
+
+# ----------------------------------------------------------------------
+# Cross-backend sweep: the same bound operator on every executor
+# backend must be *bit-identical* to serial — same kernels, same shared
+# workspaces layout, same summation order. ``processes`` additionally
+# must leave zero shared-memory segments behind (skipped gracefully
+# where the platform has no working shared memory).
+# ----------------------------------------------------------------------
+def _run_bound(driver, x):
+    op = driver.bind(None if x.ndim == 1 else x.shape[1])
+    try:
+        return np.array(op(x))
+    finally:
+        op.close()
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+@pytest.mark.parametrize("method", REDUCTIONS)
+@pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_symmetric_backend_bit_identical(case, fmt, method, backend):
+    matrix, parts = build_symmetric(case, fmt, "thirds")
+    x = rhs_block(matrix.n_cols, None)
+    serial = np.array(ParallelSymmetricSpMV(matrix, parts, method)(x))
+    ex = make_backend_executor(backend)
+    try:
+        got = _run_bound(
+            ParallelSymmetricSpMV(matrix, parts, method, executor=ex), x
+        )
+    finally:
+        ex.close()
+    assert np.array_equal(got, serial)
+    if backend == "processes":
+        assert not live_segments()
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+@pytest.mark.parametrize("fmt", UNSYMMETRIC_DRIVER_FORMATS)
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_unsymmetric_backend_bit_identical(case, fmt, backend):
+    matrix, parts = build_unsymmetric(case, fmt, "thirds")
+    x = rhs_block(matrix.n_cols, None)
+    serial = np.array(ParallelSpMV(matrix, parts)(x))
+    ex = make_backend_executor(backend)
+    try:
+        got = _run_bound(ParallelSpMV(matrix, parts, executor=ex), x)
+    finally:
+        ex.close()
+    assert np.array_equal(got, serial)
+    if backend == "processes":
+        assert not live_segments()
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+@pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
+def test_symmetric_backend_spmm_bit_identical(fmt, backend):
+    matrix, parts = build_symmetric("random", fmt, "thirds")
+    X = rhs_block(matrix.n_cols, 4)
+    serial = np.array(ParallelSymmetricSpMV(matrix, parts, "indexed")(X))
+    ex = make_backend_executor(backend)
+    try:
+        got = _run_bound(
+            ParallelSymmetricSpMV(matrix, parts, "indexed", executor=ex), X
+        )
+    finally:
+        ex.close()
+    assert np.array_equal(got, serial)
+    if backend == "processes":
+        assert not live_segments()
