@@ -15,11 +15,13 @@ from common import (
     built_format_reordered,
     reordered_matrix,
     suite_matrix,
+    timed_repeat,
     write_result,
 )
 from repro.analysis import preprocessing_cost, render_table
-from repro.formats import CSRMatrix
+from repro.formats import CSRMatrix, SSSMatrix
 from repro.machine import DUNNINGTON, GAINESTOWN
+from repro.parallel import build_coloring_schedule, distance2_coloring
 
 
 def compute_preproc():
@@ -40,6 +42,47 @@ def compute_preproc():
                     [name, tag, platform.name, cost.csr_spmv_equivalents]
                 )
             averages[(tag, platform.name)] = float(np.mean(equivalents))
+    return rows, averages
+
+
+def compute_coloring_preproc(p: int = 8):
+    """Measured distance-2 coloring + schedule build, in serial CSR
+    SpM×V equivalents — the same break-even currency as CSX above.
+
+    The quotient is the number of SpM×V applications after which the
+    one-off schedule build has amortized, assuming coloring then runs
+    at local-vector speed (the gate ``bench_coloring_reduction.py``
+    enforces at ``p >= 2``).
+    """
+    rows = []
+    averages = {}
+    rng = np.random.default_rng(17)
+    for tag, matrix_of in (
+        ("native", suite_matrix),
+        ("rcm", reordered_matrix),
+    ):
+        equivalents = []
+        for name in MATRIX_NAMES:
+            coo = matrix_of(name)
+            csr = CSRMatrix.from_coo(coo)
+            sss = SSSMatrix.from_coo(coo)
+            x = rng.standard_normal(coo.n_cols)
+            t_spmv = timed_repeat(
+                lambda: csr.spmv(x), repeats=5
+            )["p50_ms"]
+            t_build = timed_repeat(
+                lambda: build_coloring_schedule(
+                    sss, p, colors=distance2_coloring(sss)
+                ),
+                repeats=3,
+            )["p50_ms"]
+            t_color = timed_repeat(
+                lambda: distance2_coloring(sss), repeats=3
+            )["p50_ms"]
+            units = (t_build + t_color) / max(t_spmv, 1e-9)
+            equivalents.append(units)
+            rows.append([name, tag, units])
+        averages[tag] = float(np.mean(equivalents))
     return rows, averages
 
 
@@ -83,3 +126,26 @@ def test_preprocessing_cost(benchmark):
         averages[("rcm", "Dunnington")]
         > 0.9 * averages[("native", "Dunnington")]
     )
+
+
+def test_coloring_schedule_cost(benchmark):
+    rows, averages = benchmark.pedantic(
+        compute_coloring_preproc, rounds=1, iterations=1
+    )
+    text = render_table(
+        ["suite", "avg CSR-SpMV units"],
+        [[tag, avg] for tag, avg in averages.items()],
+        title="coloring preprocessing cost "
+              "(distance-2 coloring + schedule build, measured)",
+        floatfmt="{:.1f}",
+    ) + "\n\n" + render_table(
+        ["matrix", "suite", "CSR-SpMV units"],
+        rows,
+        floatfmt="{:.1f}",
+    )
+    write_result("coloring_preproc_cost", text)
+    # A one-off cost in the tens-to-hundreds of SpM×V range: cheaper
+    # than CSX's compile-everything pass by construction, and clearly
+    # amortizable inside one CG solve of a few hundred iterations.
+    for tag, avg in averages.items():
+        assert 0 < avg < 5000, (tag, avg)

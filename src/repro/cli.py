@@ -36,6 +36,7 @@ import numpy as np
 
 from .analysis import build_format, render_series, render_table
 from .formats import CSRMatrix, CSXSymMatrix, SSSMatrix
+from .formats.validate import ValidationError
 from .machine import PLATFORMS, predict_serial_csr, predict_spmv
 from .matrices import SUITE, get_entry
 from .obs import (
@@ -94,7 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_spmv.add_argument("--format", default="sss", choices=_FORMATS)
     p_spmv.add_argument(
         "--reduction", default="indexed",
-        choices=("naive", "effective", "indexed"),
+        choices=("naive", "effective", "indexed", "coloring"),
+        help="local-vector reduction strategy, or 'coloring' for the "
+             "conflict-free color-scheduled kernel (symmetric formats "
+             "only: sss, csx-sym)",
     )
     p_spmv.add_argument(
         "--platform", default="dunnington", choices=sorted(PLATFORMS)
@@ -110,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cg = sub.add_parser("cg", help="CG solve on a suite matrix")
     common(p_cg)
     p_cg.add_argument("--format", default="sss", choices=_FORMATS)
+    p_cg.add_argument(
+        "--reduction", default="indexed",
+        choices=("naive", "effective", "indexed", "coloring"),
+        help="reduction strategy for the symmetric kernel (ignored by "
+             "unsymmetric formats, except 'coloring' which they reject)",
+    )
     p_cg.add_argument("--tol", type=float, default=1e-8)
     traceable(p_cg)
 
@@ -210,6 +220,13 @@ def _make_kernel(matrix, partitions, reduction, executor=None):
         return ParallelSymmetricSpMV(
             matrix, partitions, reduction, executor=executor
         )
+    if reduction == "coloring":
+        raise ValidationError(
+            "reduction 'coloring' requires a symmetric driver: the "
+            "conflict-free schedule colors the transpose write set of "
+            "the stored lower triangle, which unsymmetric formats do "
+            "not have; use --format sss or csx-sym"
+        )
     return ParallelSpMV(matrix, partitions, executor=executor)
 
 
@@ -243,7 +260,11 @@ def _cmd_spmv(args) -> int:
     coo = get_entry(args.matrix).build(scale=args.scale)
     matrix, parts = build_format(coo, args.format, args.threads)
     tracer, executor = _trace_setup(args)
-    kernel = _make_kernel(matrix, parts, args.reduction, executor)
+    try:
+        kernel = _make_kernel(matrix, parts, args.reduction, executor)
+    except ValidationError as exc:
+        print(f"repro spmv: {exc}", file=sys.stderr)
+        return 2
     rng = np.random.default_rng(0)
     x = rng.standard_normal(coo.n_cols)
     with tracing(tracer):
@@ -277,7 +298,12 @@ def _cmd_spmv(args) -> int:
         f"  size: {matrix.size_bytes()} B "
         f"({matrix.size_bytes() / max(1, coo.nnz):.2f} B/nnz)\n"
         f"  model: mult {pt.t_mult * 1e6:.1f} us + reduce "
-        f"{pt.t_reduce * 1e6:.1f} us = {pt.total * 1e6:.1f} us "
+        f"{pt.t_reduce * 1e6:.1f} us"
+        + (
+            f" + barrier {pt.t_barrier * 1e6:.1f} us"
+            if pt.t_barrier else ""
+        )
+        + f" = {pt.total * 1e6:.1f} us "
         f"({pt.gflops:.2f} Gflop/s, {pt.speedup_over(base):.2f}x "
         "serial CSR)"
     )
@@ -335,7 +361,11 @@ def _cmd_cg(args) -> int:
     coo = get_entry(args.matrix).build(scale=args.scale)
     matrix, parts = build_format(coo, args.format, args.threads)
     tracer, executor = _trace_setup(args)
-    spmv = _make_kernel(matrix, parts, "indexed", executor)
+    try:
+        spmv = _make_kernel(matrix, parts, args.reduction, executor)
+    except ValidationError as exc:
+        print(f"repro cg: {exc}", file=sys.stderr)
+        return 2
     if args.executor == "processes":
         # Bind here (CG's own bind is idempotent on a bound operator)
         # so the worker pool and segments get an explicit close below.
@@ -361,6 +391,7 @@ def _cmd_cg(args) -> int:
         meta={
             "command": "cg", "matrix": args.matrix,
             "format": args.format, "threads": args.threads,
+            "reduction": args.reduction,
             "executor": args.executor, "scale": args.scale,
             "tol": args.tol, "iterations": res.iterations,
             "converged": bool(res.converged),

@@ -320,6 +320,22 @@ class SymmetricFormat(SparseFormat):
             raise ValueError(f"symmetric formats require a square matrix, got {shape}")
         super().__init__(shape)
 
+    def lower_triple(
+        self,
+    ) -> Optional[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """``(dvalues, rowptr, colind, values)`` CSR view of the stored
+        strictly-lower triangle, or ``None`` when the format cannot
+        expose one cheaply.
+
+        This is the structural contract the conflict-free (coloring)
+        scheduler builds on: ``dvalues`` is the dense main diagonal and
+        the CSR triple enumerates the strictly-lower entries row by row
+        in ascending column order. Formats without a recoverable lower
+        CSR (e.g. blocked layouts) return ``None`` and the coloring
+        reduction strategy reports itself unsupported for them.
+        """
+        return None
+
     @abc.abstractmethod
     def spmv_partition(
         self,

@@ -295,6 +295,42 @@ class CSXSymMatrix(SymmetricFormat):
             sum_duplicates=False,
         )
 
+    def lower_triple(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Lower-triangle CSR reconstructed from the partition plans'
+        element coordinates (cached — the structure is immutable).
+
+        The coloring scheduler consumes this; the encoded units
+        themselves stay untouched, so CSX-Sym keeps its compressed
+        in-memory representation while still joining the conflict-free
+        schedule build.
+        """
+        cached = getattr(self, "_lower_triple_cache", None)
+        if cached is not None:
+            return cached
+        rows_list, cols_list, vals_list = [], [], []
+        for p in self.partitions:
+            r, c = p.plan.element_coordinates()
+            v = (
+                np.concatenate([k.values.ravel() for k in p.plan.kernels])
+                if p.plan.kernels
+                else np.zeros(0)
+            )
+            rows_list.append(np.asarray(r, dtype=np.int64))
+            cols_list.append(np.asarray(c, dtype=np.int64))
+            vals_list.append(np.asarray(v, dtype=np.float64))
+        rows = np.concatenate(rows_list) if rows_list else np.zeros(0, np.int64)
+        cols = np.concatenate(cols_list) if cols_list else np.zeros(0, np.int64)
+        vals = np.concatenate(vals_list) if vals_list else np.zeros(0)
+        order = np.lexsort((cols, rows))
+        counts = np.bincount(rows, minlength=self.n_rows)
+        rowptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=rowptr[1:])
+        cached = (self.dvalues, rowptr, cols[order], vals[order])
+        self._lower_triple_cache = cached
+        return cached
+
     def precompile_partition(
         self, row_start: int, row_end: int, k: Optional[int] = None
     ) -> None:
@@ -313,6 +349,7 @@ class CSXSymMatrix(SymmetricFormat):
 
     def clear_caches(self) -> None:
         """Release every partition plan's lazy scatter compilations."""
+        self._lower_triple_cache = None
         for p in self.partitions:
             p.plan.clear_caches()
 

@@ -276,6 +276,12 @@ class SSSMatrix(SymmetricFormat):
         if direct_pos.size:
             direct_sc.add(y_direct, transposed[direct_pos])
 
+    def lower_triple(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy lower-triangle CSR view — SSS *is* the triple."""
+        return self.dvalues, self.rowptr, self.colind, self.values
+
     def to_coo(self) -> COOMatrix:
         """Expand to a full (both-triangle) COO matrix."""
         diag_rows = np.flatnonzero(self.dvalues).astype(np.int32)

@@ -61,7 +61,10 @@ __all__ = [
 SYMMETRIC_FORMATS = ("sss", "csx-sym", "csb-sym")
 GENERAL_FORMATS = ("coo", "csr", "bcsr", "csb", "csx")
 GENERAL_DRIVER_FORMATS = ("csr", "csx")
-REDUCTIONS = ("naive", "effective", "indexed")
+REDUCTIONS = ("naive", "effective", "indexed", "coloring")
+#: Symmetric formats with a recoverable lower-triangle CSR triple —
+#: the only ones the conflict-free "coloring" reduction runs on.
+COLORING_FORMATS = ("sss", "csx-sym")
 
 #: Block size for the CSB formats (small, so tiny cases still tile).
 CSB_BETA = 4
@@ -205,6 +208,8 @@ def all_combos(k: int = 3) -> list[Combo]:
             combos.append(Combo(fmt, "serial", op, k=k))
         for fmt in SYMMETRIC_FORMATS:
             for red in REDUCTIONS:
+                if red == "coloring" and fmt not in COLORING_FORMATS:
+                    continue
                 combos.append(
                     Combo(fmt, "parallel", op, reduction=red, p=3, k=k)
                 )
@@ -279,6 +284,7 @@ class FuzzReport:
     mm_cases_run: int = 0
     checks_run: int = 0
     rejections_checked: int = 0
+    coloring_checks: int = 0
     chaos_checks: int = 0
     chaos_contained: int = 0  # chaos runs stopped by a typed error
     combos_covered: set = field(default_factory=set)
@@ -298,7 +304,8 @@ class FuzzReport:
         lines = [
             f"fuzz: {self.cases_run} matrix cases + {self.mm_cases_run} "
             f"MatrixMarket cases, {self.checks_run} oracle checks, "
-            f"{self.rejections_checked} rejection checks"
+            f"{self.rejections_checked} rejection checks, "
+            f"{self.coloring_checks} coloring checks"
             f"{chaos}, "
             f"{len(self.combos_covered)} combos covered, "
             f"{self.elapsed:.1f}s",
@@ -354,6 +361,21 @@ def _check_symmetry_rejection(case: FuzzCase) -> list[tuple[Combo, str]]:
             (Combo(fmt, "serial", "spmv"), "accepted-asymmetric")
         )
     return failures
+
+
+def _check_coloring(case: FuzzCase) -> list[tuple[Combo, str]]:
+    """Distance-2 coloring of the case's SSS form must verify."""
+    from ..parallel import distance2_coloring, verify_coloring
+
+    combo = Combo("sss", "parallel", "spmv", reduction="coloring")
+    try:
+        sss = SSSMatrix.from_coo(case.coo)
+        colors = distance2_coloring(sss)
+        if not verify_coloring(sss, colors):
+            return [(combo, "coloring-invalid")]
+    except Exception as exc:  # noqa: BLE001 - harness boundary
+        return [(combo, f"coloring-exception:{type(exc).__name__}")]
+    return []
 
 
 #: Exceptions that count as *contained* chaos outcomes: the executor,
@@ -422,6 +444,18 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                 Mismatch(case, Combo("coo", "serial", "spmv"),
                          "symmetry-verdict-mismatch", float("inf"))
             )
+
+        # Every symmetric draw must produce a *valid* distance-2
+        # coloring — adversarial shapes (empty rows, disconnected
+        # components, duplicate entries) included. Validity is checked
+        # by the independent verifier, not trusted from the builder.
+        if case.symmetric:
+            report.checks_run += 1
+            report.coloring_checks += 1
+            for combo, kind in _check_coloring(case):
+                report.mismatches.append(
+                    Mismatch(case, combo, kind, float("inf"))
+                )
 
         # A generator labelled "unsymmetric" can still draw a matrix
         # that happens to be symmetric (empty, single diagonal entry);

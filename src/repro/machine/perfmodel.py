@@ -58,10 +58,14 @@ class PredictedTime:
     reduce_bytes: float
     flops: float
     footprint: Optional[ReductionFootprint] = None
+    #: Barrier rendezvous time (conflict-free coloring only: one
+    #: synchronization per barrier-separated schedule step, overlapping
+    #: neither compute nor the memory stream).
+    t_barrier: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.t_mult + self.t_reduce
+        return self.t_mult + self.t_reduce + self.t_barrier
 
     @property
     def gflops(self) -> float:
@@ -318,6 +322,21 @@ def predict_spmv(
     mult_load = PhaseLoad(cycles, mult_bytes, flops)
     t_mult, t_mc, t_mm = phase_time(mult_load, platform, p)
 
+    t_barrier = 0.0
+    if fp is not None and getattr(reduction, "conflict_free", False):
+        from ..parallel.coloring import BARRIER_CYCLES
+
+        sched = reduction.schedule
+        # Color-ordered execution fetches the matrix at row granularity
+        # (scattered class rows waste partial cache lines) and pays one
+        # rendezvous per barrier-separated step.
+        row_waste = sched.n_nonempty_rows * CACHE_LINE_BYTES
+        mult_bytes += row_waste
+        mult_load = PhaseLoad(cycles, mult_bytes, flops)
+        t_mult, t_mc, t_mm = phase_time(mult_load, platform, p)
+        clock = platform.clock_ghz * 1e9
+        t_barrier = sched.n_barriers * BARRIER_CYCLES * p ** 0.5 / clock
+
     if fp is not None:
         red_load = _reduction_load(fp, cost, p)
         t_red, t_rc, t_rm = phase_time(red_load, platform, p)
@@ -341,6 +360,7 @@ def predict_spmv(
         reduce_bytes=reduce_bytes,
         flops=flops,
         footprint=fp,
+        t_barrier=t_barrier,
     )
 
 

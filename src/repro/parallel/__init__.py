@@ -12,9 +12,13 @@ from ..resilience import (
 from .bound import BoundOperator, BoundSpMV, BoundSymmetricSpMV
 from .coloring import (
     ColoredSymmetricSpMV,
+    ColoringSchedule,
+    ColoringUnsupportedError,
+    build_coloring_schedule,
     coloring_stats,
     distance2_coloring,
     predict_colored_time,
+    verify_coloring,
 )
 from .csb_spmv import ParallelCSBSymSpMV, predict_csb_sym_time
 from .executor import Executor
@@ -25,6 +29,7 @@ from .partition import (
 )
 from .reduction import (
     REDUCTION_METHODS,
+    ColoringReduction,
     EffectiveRangesReduction,
     IndexedReduction,
     NaiveReduction,
@@ -52,6 +57,7 @@ __all__ = [
     "NaiveReduction",
     "EffectiveRangesReduction",
     "IndexedReduction",
+    "ColoringReduction",
     "ReductionMethod",
     "ReductionFootprint",
     "make_reduction",
@@ -61,7 +67,11 @@ __all__ = [
     "BoundSymmetricSpMV",
     "BoundSpMV",
     "ColoredSymmetricSpMV",
+    "ColoringSchedule",
+    "ColoringUnsupportedError",
+    "build_coloring_schedule",
     "distance2_coloring",
+    "verify_coloring",
     "coloring_stats",
     "predict_colored_time",
     "ParallelCSBSymSpMV",

@@ -45,7 +45,17 @@ def compile_symmetric_tasks(
     driver. Shared by the parent's bound operator and the process-pool
     workers (which call it against their own zero-copy views of the
     same shared-memory workspaces), so both sides execute the one task
-    definition. ``get_x`` defers the input read to call time."""
+    definition. ``get_x`` defers the input read to call time.
+
+    For a conflict-free (coloring) reduction this returns the schedule's
+    *steps* — a list of barrier-separated task lists — instead of a flat
+    list; the bound operator runs them step-at-a-time and the process
+    workers flatten them step-major so global task ids index the same
+    closures on both sides."""
+    if getattr(reduction, "conflict_free", False):
+        from .coloring import compile_colored_steps
+
+        return compile_colored_steps(reduction.schedule, y, get_x, k)
     multi = k is not None
     tasks = []
     for tid, (start, end) in enumerate(partitions):
@@ -259,6 +269,15 @@ class BoundOperator:
     def _zero_workspaces(self) -> None:
         self._y[...] = 0.0
 
+    def _run_mult(self, label: Optional[str] = None) -> None:
+        """Execute the precompiled multiplication phase. Default: one
+        batch over ``self._tasks``; the colored symmetric path overrides
+        this with barrier-stepped execution."""
+        self.driver.executor.run_batch(
+            self._tasks, label=label, reset=self._zero_workspaces,
+            remote=self._remote,
+        )
+
     def _finish(self) -> None:
         """Post-multiplication phase (the symmetric reduction)."""
 
@@ -366,10 +385,7 @@ class BoundOperator:
         self._zero_workspaces()
         self._x = self._stage_input(x)
         try:
-            self.driver.executor.run_batch(
-                self._tasks, reset=self._zero_workspaces,
-                remote=self._remote,
-            )
+            self._run_mult()
             self._finish()
         except BaseException:
             # Workspaces may be partially written; never let the next
@@ -397,11 +413,7 @@ class BoundOperator:
             self._x = self._stage_input(x)
             try:
                 with tracer.span("spmv.mult"):
-                    self.driver.executor.run_batch(
-                        self._tasks, label="spmv.mult.task",
-                        reset=self._zero_workspaces,
-                        remote=self._remote,
-                    )
+                    self._run_mult(label="spmv.mult.task")
                 with tracer.span("spmv.reduce"):
                     self._finish()
             except BaseException as exc:
@@ -486,9 +498,25 @@ class BoundOperator:
 class BoundSymmetricSpMV(BoundOperator):
     """Bound two-phase symmetric driver: persistent ``(p, N[, k])``
     local vectors, precompiled local/direct splits, in-place
-    effective-region zeroing, and the configured reduction."""
+    effective-region zeroing, and the configured reduction.
+
+    With the ``"coloring"`` strategy the bound shape changes: no local
+    vectors exist (``allocate_locals`` is all ``None``, the zero volume
+    is just ``y``), the color-class schedule — built once at reduction
+    construction — has its per-``k`` scatter indices precompiled at bind
+    time, and the multiplication phase runs the schedule's steps with a
+    barrier per step instead of one flat batch."""
+
+    @property
+    def _conflict_free(self) -> bool:
+        return getattr(self.driver.reduction, "conflict_free", False)
 
     def _precompile(self) -> None:
+        if self._conflict_free:
+            # The partition kernels never run; compile the schedule's
+            # multi-RHS flat indices instead.
+            self.driver.reduction.schedule.precompile(self.k)
+            return
         for start, end in self.driver.partitions:
             self.driver.matrix.precompile_partition(start, end, self.k)
 
@@ -503,6 +531,17 @@ class BoundSymmetricSpMV(BoundOperator):
             self.driver.matrix, self.driver.reduction,
             self.driver.partitions, self.k, self._y, self._locals,
             lambda: self._x,
+        )
+
+    def _run_mult(self, label: Optional[str] = None) -> None:
+        if not self._conflict_free:
+            super()._run_mult(label)
+            return
+        from .coloring import run_colored_steps
+
+        run_colored_steps(
+            self.driver.executor, self._tasks, label=label,
+            zero=self._zero_workspaces, remote=self._remote,
         )
 
     def _zero_workspaces(self) -> None:

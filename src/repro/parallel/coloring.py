@@ -1,15 +1,27 @@
-"""The "colorful" conflict-free symmetric SpM×V (related work, §VI).
+"""Conflict-free (colored) symmetric SpM×V scheduling.
 
-Batista et al. avoid the reduction phase entirely: rows are colored so
-that no two rows of the same color write a common output element, and
-the kernel processes one color class at a time — each class fully
-parallel with *direct* output writes, classes separated by barriers.
+Batista et al. (and the RACE paper in PAPERS.md) avoid the reduction
+phase entirely: rows are colored so that no two rows of the same color
+write a common output element, and the kernel processes one color class
+at a time — each class fully parallel with *direct* output writes,
+classes separated by barriers.
 
 A thread processing row ``r`` writes ``y[r]`` and ``y[c]`` for every
 stored lower element ``(r, c)``; two rows conflict iff their write sets
-intersect, i.e. iff they are within distance 2 in the adjacency graph.
-We implement a greedy distance-2 coloring (optionally via networkx for
-cross-checking) and the color-class execution schedule.
+intersect, i.e. iff they are within distance 2 in the symmetrized
+adjacency graph. This module provides
+
+- :func:`distance2_coloring` — degree-ordered (largest-first) greedy
+  coloring with a vectorized neighbor-color scan,
+- :func:`verify_coloring` — fast bincount-keyed validity check,
+- :class:`ColoringSchedule` / :func:`build_coloring_schedule` — the
+  two-level execution plan behind the ``"coloring"`` reduction strategy
+  (color classes → nnz-balanced row batches, barrier between classes),
+- :func:`compile_colored_steps` / :func:`run_colored_steps` — task
+  compilation and barrier-stepped execution shared by the drivers, the
+  bound operators and the process-pool workers,
+- the original :class:`ColoredSymmetricSpMV` prototype and the
+  :func:`predict_colored_time` roofline account.
 
 The paper's observation — "the geometry of the graphs limits the
 potential of this approach" — falls out naturally: the number of colors
@@ -19,31 +31,77 @@ barrier-separated steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..formats.sss import SSSMatrix
 from ..machine.platforms import Platform
 from ..machine.roofline import smt_compute_factor
+from .partition import partition_nnz_balanced
 
 __all__ = [
     "distance2_coloring",
+    "verify_coloring",
+    "ColoringUnsupportedError",
+    "ColoringSchedule",
+    "build_coloring_schedule",
+    "compile_colored_steps",
+    "run_colored_steps",
     "ColoredSymmetricSpMV",
     "coloring_stats",
     "predict_colored_time",
+    "BARRIER_CYCLES",
+    "MIN_PARALLEL_CLASS_WORK",
 ]
 
+#: Modeled cost of one barrier rendezvous (cycles); tens of microseconds
+#: for a 24-thread pthread barrier on the paper's 2008-era SMPs.
+BARRIER_CYCLES = 20_000.0
 
-def _adjacency_csr(sss: SSSMatrix) -> tuple[np.ndarray, np.ndarray]:
-    """Symmetrized adjacency (indptr, indices) from the stored lower
-    triangle, self-loops excluded."""
-    n = sss.n_rows
-    rows = np.repeat(
-        np.arange(n, dtype=np.int64), np.diff(sss.rowptr)
+#: Color classes whose total balanced weight (diagonal + two updates per
+#: stored element) falls below this are not worth fanning out: they run
+#: as a single task, and consecutive such classes merge into one serial
+#: step so tiny tail classes do not each pay a barrier.
+MIN_PARALLEL_CLASS_WORK = 2048
+
+#: Key spaces (``n_rows * n_colors``) up to this use the O(nnz) bincount
+#: verifier; larger ones fall back to the sort-based check.
+_FAST_VERIFY_KEYSPACE = 1 << 26
+
+
+class ColoringUnsupportedError(ValueError):
+    """The format exposes no lower-triangle CSR view to schedule from."""
+
+
+def _lower_triple_of(
+    matrix,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(dvalues, rowptr, colind, values)`` of the stored strictly-lower
+    triangle in canonical dtypes, via the format's ``lower_triple()``
+    contract (see :class:`repro.formats.base.SymmetricFormat`)."""
+    getter = getattr(matrix, "lower_triple", None)
+    triple = getter() if getter is not None else None
+    if triple is None:
+        raise ColoringUnsupportedError(
+            f"{type(matrix).__name__} exposes no lower-triangle CSR view; "
+            "the coloring strategy supports SSS and CSX-Sym"
+        )
+    dvalues, rowptr, colind, values = triple
+    return (
+        np.asarray(dvalues, dtype=np.float64),
+        np.asarray(rowptr, dtype=np.int64),
+        np.asarray(colind, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
     )
-    cols = sss.colind.astype(np.int64)
+
+
+def _adjacency_csr(
+    n: int, rows: np.ndarray, cols: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetrized adjacency (indptr, indices) from the stored lower
+    triangle's coordinates, self-loops excluded."""
     src = np.concatenate([rows, cols])
     dst = np.concatenate([cols, rows])
     order = np.lexsort((dst, src))
@@ -53,59 +111,420 @@ def _adjacency_csr(sss: SSSMatrix) -> tuple[np.ndarray, np.ndarray]:
     return indptr, dst
 
 
-def distance2_coloring(sss: SSSMatrix) -> np.ndarray:
-    """Greedy distance-2 coloring of the row-conflict graph.
+def _span_gather(
+    starts: np.ndarray, lens: np.ndarray, total: int
+) -> np.ndarray:
+    """Concatenated ``[arange(s, s+l) for s, l in zip(starts, lens)]``
+    without a Python loop (the multi-arange trick)."""
+    offsets = np.cumsum(lens) - lens
+    return np.arange(total, dtype=np.int64) + np.repeat(
+        starts - offsets, lens
+    )
 
-    Returns an int array ``color[row]``. Guarantees that any two rows
+
+def distance2_coloring(matrix) -> np.ndarray:
+    """Degree-ordered greedy distance-2 coloring of the row-conflict
+    graph.
+
+    Rows are visited largest-degree-first (ties broken by row index, so
+    the result is deterministic) and each row takes the smallest color
+    absent from its distance-2 neighborhood, found with a vectorized
+    gather over the neighbors' adjacency spans instead of the former
+    per-neighbor Python slicing. Accepts any symmetric format exposing
+    ``lower_triple()`` (SSS, CSX-Sym).
+
+    Returns an int array ``color[row]`` guaranteeing that any two rows
     within distance 2 of each other (sharing an output write) receive
     different colors.
     """
-    n = sss.n_rows
-    indptr, indices = _adjacency_csr(sss)
+    _, rowptr, colind, _ = _lower_triple_of(matrix)
+    n = rowptr.size - 1
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(rowptr))
+    indptr, indices = _adjacency_csr(n, rows, colind)
+    degrees = np.diff(indptr)
+    visit = np.argsort(-degrees, kind="stable")
     colors = np.full(n, -1, dtype=np.int64)
-    for r in range(n):
-        neigh = indices[indptr[r] : indptr[r + 1]]
-        if neigh.size:
-            # Distance-2 neighbourhood: neighbours + their neighbours.
-            spans = [
-                indices[indptr[v] : indptr[v + 1]] for v in neigh
-            ]
-            d2 = np.concatenate([neigh] + spans)
-        else:
-            d2 = neigh
-        used = colors[d2]
+    for r in visit:
+        lo, hi = indptr[r], indptr[r + 1]
+        if hi == lo:
+            colors[r] = 0  # isolated row: only writes y[r]
+            continue
+        neigh = indices[lo:hi]
+        starts = indptr[neigh]
+        lens = indptr[neigh + 1] - starts
+        total = int(lens.sum())
+        d2 = indices[_span_gather(starts, lens, total)]
+        used = np.concatenate([colors[neigh], colors[d2]])
         used = used[used >= 0]
         if used.size == 0:
             colors[r] = 0
             continue
-        used_set = np.unique(used)
-        # First gap in the used color sequence.
-        candidate = np.flatnonzero(
-            used_set != np.arange(used_set.size)
-        )
-        colors[r] = (
-            int(candidate[0]) if candidate.size else int(used_set.size)
-        )
+        # Smallest absent color via a boolean occupancy scan.
+        mark = np.zeros(int(used.max()) + 2, dtype=bool)
+        mark[used] = True
+        colors[r] = int(np.flatnonzero(~mark)[0])
     return colors
 
 
-def verify_coloring(sss: SSSMatrix, colors: np.ndarray) -> bool:
-    """True iff no two same-colored rows share an output write."""
-    n = sss.n_rows
-    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(sss.rowptr))
-    cols = sss.colind.astype(np.int64)
-    # Writers of each output element: row r writes y[r] and y[c].
-    writer = np.concatenate([rows, cols, np.arange(n, dtype=np.int64)])
-    target = np.concatenate([cols, rows, np.arange(n, dtype=np.int64)])
-    order = np.lexsort((colors[writer], target))
+def _write_pairs(
+    n: int, rowptr: np.ndarray, colind: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(writer, target) pairs of every output write: row ``r`` writes
+    ``y[r]`` (diagonal) and ``y[c]`` for each stored lower ``(r, c)``;
+    symmetrized so the check is conservative for both halves."""
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(rowptr))
+    diag = np.arange(n, dtype=np.int64)
+    writer = np.concatenate([rows, colind, diag])
+    target = np.concatenate([colind, rows, diag])
+    return writer, target
+
+
+def verify_coloring(matrix, colors: np.ndarray) -> bool:
+    """True iff no two same-colored rows share an output write.
+
+    Fast path: every (writer, target) pair is distinct in a canonical
+    lower triangle, so bucketing writes by ``target * n_colors + color``
+    and finding any bucket with two entries proves two *different*
+    writers of one element share a color. The sort-based exact check
+    runs only when the bincount screen finds a candidate bucket (or the
+    key space is too large to bucket).
+    """
+    _, rowptr, colind, _ = _lower_triple_of(matrix)
+    n = rowptr.size - 1
+    colors = np.asarray(colors, dtype=np.int64)
+    if colors.shape != (n,):
+        raise ValueError("colors must assign one color per row")
+    if n == 0:
+        return True
+    if colors.size and colors.min() < 0:
+        return False
+    writer, target = _write_pairs(n, rowptr, colind)
+    n_colors = int(colors.max()) + 1
+    if n * n_colors <= _FAST_VERIFY_KEYSPACE:
+        key = target * n_colors + colors[writer]
+        if not np.any(np.bincount(key, minlength=n * n_colors) > 1):
+            return True
+    # Exact check: same target + same color + different writer.
+    wc = colors[writer]
+    order = np.lexsort((wc, target))
     t_sorted = target[order]
     w_sorted = writer[order]
-    c_sorted = colors[writer][order]
-    same = (t_sorted[1:] == t_sorted[:-1]) & (
-        c_sorted[1:] == c_sorted[:-1]
-    )
+    c_sorted = wc[order]
+    same = (t_sorted[1:] == t_sorted[:-1]) & (c_sorted[1:] == c_sorted[:-1])
     conflict = same & (w_sorted[1:] != w_sorted[:-1])
     return not bool(np.any(conflict))
+
+
+# ---------------------------------------------------------------------------
+# The two-level conflict-free schedule (the "coloring" reduction strategy)
+# ---------------------------------------------------------------------------
+
+
+class _ClassSegment:
+    """Precompiled arrays for one contiguous row batch of one color
+    class: the rows, their diagonal values, and the gathered stored
+    elements (value, column, expanded row, batch-local row).
+
+    Within one color class every output target — the batch rows *and*
+    the transposed columns — is written by exactly one stored element
+    group, so the apply kernels below use plain fancy-index updates with
+    no atomics and no duplicate-index hazard.
+    """
+
+    __slots__ = ("rows", "diag", "cols", "vals", "erows", "local_rows", "_flat")
+
+    #: Cached flattened multi-RHS indices per k (bounded; a schedule is
+    #: typically applied at one or two k values).
+    _FLAT_MAX = 4
+
+    def __init__(self, rows, diag, cols, vals, erows, local_rows):
+        self.rows = rows
+        self.diag = diag
+        self.cols = cols
+        self.vals = vals
+        self.erows = erows
+        self.local_rows = local_rows
+        self._flat: dict[int, np.ndarray] = {}
+
+    def __getstate__(self):
+        return (
+            self.rows, self.diag, self.cols,
+            self.vals, self.erows, self.local_rows,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.rows, self.diag, self.cols,
+            self.vals, self.erows, self.local_rows,
+        ) = state
+        self._flat = {}
+
+    def flat_index(self, k: int) -> np.ndarray:
+        """Flattened ``(element, k)`` bincount keys for the multi-RHS
+        row-segment sums (compiled on first use per ``k``)."""
+        flat = self._flat.get(k)
+        if flat is None:
+            if len(self._flat) >= self._FLAT_MAX:
+                self._flat.clear()
+            flat = (
+                self.local_rows[:, None] * k
+                + np.arange(k, dtype=np.int64)
+            ).ravel()
+            self._flat[k] = flat
+        return flat
+
+    @property
+    def index_bytes(self) -> int:
+        """Schedule footprint of this batch (excluding flat caches)."""
+        return (
+            self.rows.nbytes + self.diag.nbytes + self.cols.nbytes
+            + self.vals.nbytes + self.erows.nbytes + self.local_rows.nbytes
+        )
+
+
+def _make_segment(rows_sel, dvalues, rowptr, colind, values):
+    rows_sel = np.ascontiguousarray(rows_sel, dtype=np.int64)
+    lo = rowptr[rows_sel]
+    lens = rowptr[rows_sel + 1] - lo
+    total = int(lens.sum())
+    if total:
+        idx = _span_gather(lo, lens, total)
+        cols = colind[idx]
+        vals = values[idx]
+        erows = np.repeat(rows_sel, lens)
+        local_rows = np.repeat(
+            np.arange(rows_sel.size, dtype=np.int64), lens
+        )
+    else:
+        cols = np.zeros(0, dtype=np.int64)
+        vals = np.zeros(0, dtype=np.float64)
+        erows = cols
+        local_rows = cols
+    return _ClassSegment(
+        rows_sel, dvalues[rows_sel], cols, vals, erows, local_rows
+    )
+
+
+def _apply_segment(seg: _ClassSegment, x: np.ndarray, y: np.ndarray) -> None:
+    """1-RHS batch kernel: direct writes only (no local vector)."""
+    rows = seg.rows
+    if seg.vals.size:
+        acc = np.bincount(
+            seg.local_rows,
+            weights=seg.vals * x[seg.cols],
+            minlength=rows.size,
+        )
+        y[rows] += seg.diag * x[rows] + acc
+        # Transposed half: columns are unique within the color class.
+        y[seg.cols] += seg.vals * x[seg.erows]
+    else:
+        y[rows] += seg.diag * x[rows]
+
+
+def _apply_segment_k(
+    seg: _ClassSegment, X: np.ndarray, Y: np.ndarray, k: int
+) -> None:
+    """Multi-RHS batch kernel: one structure traversal for all ``k``."""
+    rows = seg.rows
+    if seg.vals.size:
+        prod = seg.vals[:, None] * X[seg.cols]
+        acc = np.bincount(
+            seg.flat_index(k),
+            weights=prod.ravel(),
+            minlength=rows.size * k,
+        ).reshape(rows.size, k)
+        Y[rows] += seg.diag[:, None] * X[rows] + acc
+        Y[seg.cols] += seg.vals[:, None] * X[seg.erows]
+    else:
+        Y[rows] += seg.diag[:, None] * X[rows]
+
+
+@dataclass
+class ColoringSchedule:
+    """Two-level conflict-free execution plan.
+
+    ``steps`` is a list of barrier-separated steps; each step is a list
+    of independent tasks (run concurrently); each task is a list of
+    :class:`_ClassSegment` batches executed in order. A parallel color
+    class contributes one step with up to ``n_slots`` nnz-balanced
+    single-segment tasks; consecutive small classes merge into one
+    single-task step whose segments preserve class order (column
+    uniqueness holds only *within* a class, so merged classes stay
+    separate segments).
+
+    Determinism: batch membership and within-batch element order are
+    fixed here at build time, every output element is written by exactly
+    one task per step, and steps are barrier-ordered — so results are
+    bit-identical no matter how an executor schedules the tasks.
+    """
+
+    n_rows: int
+    n_colors: int
+    colors: np.ndarray
+    steps: list = field(repr=False)
+    n_nonempty_rows: int = 0
+
+    @property
+    def n_barriers(self) -> int:
+        """Synchronization points per apply (one per step)."""
+        return len(self.steps)
+
+    @property
+    def n_batches(self) -> int:
+        return sum(len(step) for step in self.steps)
+
+    @property
+    def index_bytes(self) -> int:
+        """Precomputed schedule bytes (the strategy's memory cost)."""
+        return sum(
+            seg.index_bytes
+            for step in self.steps
+            for task in step
+            for seg in task
+        )
+
+    def precompile(self, k: Optional[int]) -> None:
+        """Eagerly build the per-``k`` flat scatter indices (bind time
+        instead of first apply)."""
+        if k is None:
+            return
+        for step in self.steps:
+            for task in step:
+                for seg in task:
+                    seg.flat_index(k)
+
+
+def build_coloring_schedule(
+    matrix,
+    n_slots: int,
+    *,
+    colors: Optional[np.ndarray] = None,
+    min_parallel_work: int = MIN_PARALLEL_CLASS_WORK,
+) -> ColoringSchedule:
+    """Compile the conflict-free schedule: distance-2 coloring → per
+    class, ``partition_nnz_balanced`` row batches over ``n_slots``
+    (weight = 1 diagonal + 2 updates per stored element) → small-class
+    merging into serial steps.
+    """
+    dvalues, rowptr, colind, values = _lower_triple_of(matrix)
+    n = rowptr.size - 1
+    if colors is None:
+        colors = distance2_coloring(matrix)
+    colors = np.asarray(colors, dtype=np.int64)
+    if colors.shape != (n,):
+        raise ValueError("colors must assign one color per row")
+    n_slots = max(1, int(n_slots))
+    lens = np.diff(rowptr)
+    weights = 1 + 2 * lens
+    n_colors = int(colors.max()) + 1 if n else 0
+    order = np.argsort(colors, kind="stable")  # (color, row) ascending
+    counts = np.bincount(colors, minlength=n_colors) if n else np.zeros(0, int)
+    offsets = np.zeros(n_colors + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+
+    steps: list = []
+    serial_run: list = []  # accumulated segments of consecutive small classes
+    for c in range(n_colors):
+        class_rows = order[offsets[c]: offsets[c + 1]]
+        w = weights[class_rows]
+        if n_slots > 1 and int(w.sum()) >= min_parallel_work:
+            if serial_run:
+                steps.append([serial_run])
+                serial_run = []
+            tasks = [
+                [_make_segment(class_rows[s:e], dvalues, rowptr, colind, values)]
+                for s, e in partition_nnz_balanced(
+                    w, min(n_slots, class_rows.size)
+                )
+                if e > s
+            ]
+            steps.append(tasks)
+        else:
+            serial_run.append(
+                _make_segment(class_rows, dvalues, rowptr, colind, values)
+            )
+    if serial_run:
+        steps.append([serial_run])
+    return ColoringSchedule(
+        n_rows=n,
+        n_colors=n_colors,
+        colors=colors,
+        steps=steps,
+        n_nonempty_rows=int(np.count_nonzero(lens)),
+    )
+
+
+def compile_colored_steps(
+    schedule: ColoringSchedule,
+    y: np.ndarray,
+    get_x: Callable[[], np.ndarray],
+    k: Optional[int] = None,
+) -> list:
+    """Bind the schedule to concrete operands: a list of steps, each a
+    list of zero-argument task callables writing ``y`` directly.
+
+    ``get_x`` is resolved per call so bound operators can stage the
+    input after compilation. ``k=None`` compiles the 1-RHS kernels."""
+    steps_out = []
+    for step in schedule.steps:
+        tasks = []
+        for segments in step:
+            if k is None:
+                def task(_segs=tuple(segments)):
+                    x = get_x()
+                    for seg in _segs:
+                        _apply_segment(seg, x, y)
+            else:
+                def task(_segs=tuple(segments), _k=int(k)):
+                    X = get_x()
+                    for seg in _segs:
+                        _apply_segment_k(seg, X, y, _k)
+            tasks.append(task)
+        steps_out.append(tasks)
+    return steps_out
+
+
+def run_colored_steps(
+    executor,
+    steps: list,
+    *,
+    label: Optional[str] = None,
+    zero: Optional[Callable[[], None]] = None,
+    remote=None,
+) -> None:
+    """Execute compiled colored steps: one ``run_batch`` per step (the
+    inter-class barrier — both the thread pool and the process pool
+    return only after every task of the batch completed).
+
+    The per-step reset hook re-zeroes the workspaces *and replays every
+    completed earlier step serially* before the executor's
+    ``fallback="serial"`` retry reruns the failed step — a plain re-zero
+    would wipe the earlier classes' contributions.
+    """
+    done: list = []
+    tid_base = 0
+    for tasks in steps:
+        def step_reset(_done=tuple(done)):
+            if zero is not None:
+                zero()
+            for t in _done:
+                t()
+        executor.run_batch(
+            tasks,
+            label=label,
+            reset=step_reset,
+            remote=remote,
+            tid_base=tid_base,
+        )
+        done.extend(tasks)
+        tid_base += len(tasks)
+
+
+# ---------------------------------------------------------------------------
+# Coloring structure statistics + the original prototype kernel
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -134,11 +553,15 @@ def coloring_stats(colors: np.ndarray) -> ColoringStats:
 
 
 class ColoredSymmetricSpMV:
-    """Barrier-per-color symmetric SpM×V kernel.
+    """Barrier-per-color symmetric SpM×V kernel (serial prototype).
 
     All rows of one color are processed (vectorized) with direct writes
     to the shared output vector — provably race-free by the coloring —
-    then a barrier, then the next color.
+    then a barrier, then the next color. The production path is the
+    ``"coloring"`` reduction strategy (see
+    :class:`repro.parallel.reduction.ColoringReduction`), which batches
+    classes over threads/processes; this class remains the minimal
+    reference implementation.
     """
 
     def __init__(self, sss: SSSMatrix, colors: Optional[np.ndarray] = None):
@@ -196,7 +619,7 @@ def predict_colored_time(
     platform: Platform,
     n_threads: int,
     *,
-    barrier_cycles: float = 20_000.0,
+    barrier_cycles: float = BARRIER_CYCLES,
     cycles_per_element: float = 9.5,
     machine_scale: float = 1.0,
 ) -> float:

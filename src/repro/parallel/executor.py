@@ -125,6 +125,7 @@ class Executor:
         label: Optional[str] = None,
         reset: Optional[Callable[[], None]] = None,
         remote=None,
+        tid_base: int = 0,
     ) -> None:
         """Execute all tasks; returns when every task has finished.
 
@@ -154,6 +155,13 @@ class Executor:
         is still writing. ``reset`` is only invoked before the
         ``fallback="serial"`` retry, to restore partially-written
         workspaces to their pre-batch state.
+
+        ``tid_base`` offsets the task ids this batch reports (trace
+        spans, chaos-plan derivation, remote dispatch). The colored
+        schedule issues one ``run_batch`` per barrier-separated step and
+        passes the cumulative task offset, so a process pool indexes the
+        workers' *flat* step-major task list and chaos faults stay
+        deterministic per global task, not per step-local position.
         """
         if not tasks:
             return
@@ -167,7 +175,7 @@ class Executor:
             if not tracer.enabled:
                 return task_list
             return [
-                self._traced(tracer, name, i, task)
+                self._traced(tracer, name, tid_base + i, task)
                 for i, task in enumerate(task_list)
             ]
 
@@ -178,7 +186,8 @@ class Executor:
 
         if self.mode == "chaos":
             exec_tasks = [
-                self.plan.wrap(batch, i, task) for i, task in enumerate(tasks)
+                self.plan.wrap(batch, tid_base + i, task)
+                for i, task in enumerate(tasks)
             ]
             order = self.plan.submission_order(batch, len(tasks))
         elif self.plan is not None:  # processes + chaos plan
@@ -190,7 +199,12 @@ class Executor:
 
         try:
             if self.mode == "processes" and remote is not None:
-                remote.run(batch, len(tasks), order, label=name)
+                remote.run(
+                    batch,
+                    len(tasks),
+                    [tid_base + i for i in order],
+                    label=name,
+                )
             else:
                 if self.mode == "processes" and not self._warned_inline:
                     # Closures cannot cross a process boundary; only
@@ -218,7 +232,7 @@ class Executor:
                     task()
             except BaseException as exc:
                 raise BatchExecutionError(
-                    name, batch, [TaskFailure(tid, exc)],
+                    name, batch, [TaskFailure(tid_base + tid, exc)],
                     n_tasks=len(tasks),
                 ) from exc
 

@@ -36,6 +36,7 @@ __all__ = [
     "NaiveReduction",
     "EffectiveRangesReduction",
     "IndexedReduction",
+    "ColoringReduction",
     "ReductionFootprint",
     "REDUCTION_METHODS",
     "make_reduction",
@@ -76,6 +77,13 @@ class ReductionMethod(abc.ABC):
     """A local-vectors strategy bound to one (matrix, partitions) pair."""
 
     name: str = "abstract"
+
+    #: True for strategies that eliminate write conflicts by *scheduling*
+    #: (color classes with barriers, direct output writes) instead of by
+    #: local vectors. Drivers and bound operators branch on this: the
+    #: multiplication phase runs the strategy's barrier-stepped schedule
+    #: and the reduction phase disappears.
+    conflict_free: bool = False
 
     def __init__(
         self,
@@ -391,9 +399,91 @@ class IndexedReduction(ReductionMethod):
         )
 
 
+class ColoringReduction(ReductionMethod):
+    """Conflict-free scheduling in a reduction method's clothes (the
+    RACE direction named by ROADMAP item 3).
+
+    A distance-2 coloring guarantees that rows of one color class write
+    disjoint output elements, so every thread writes ``y`` directly and
+    there is *nothing to reduce*: no local vectors are allocated
+    (``allocate_locals`` returns all ``None``), :meth:`zero_locals` and
+    :meth:`reduce` are no-ops, and the footprint reports zero
+    reduction-phase traffic. What replaces them is the precompiled
+    :class:`~repro.parallel.coloring.ColoringSchedule` — color classes
+    split into nnz-balanced row batches, executed class-at-a-time with a
+    barrier between classes — which drivers and bound operators detect
+    via :attr:`conflict_free` and run through
+    :func:`~repro.parallel.coloring.run_colored_steps`.
+
+    The cost moves from reduction traffic to barriers and a scattered
+    (color-ordered) matrix stream; the machine model accounts both
+    (:func:`repro.machine.predict_spmv` adds a ``t_barrier`` term).
+    """
+
+    name = "coloring"
+    conflict_free = True
+
+    def _prepare(self) -> None:
+        from .coloring import build_coloring_schedule  # lazy: avoids cycle
+
+        # Raises ColoringUnsupportedError (a ValueError) for formats
+        # without a lower-triangle CSR view (e.g. CSB-Sym).
+        self.schedule = build_coloring_schedule(self.matrix, self.n_threads)
+
+    def allocate_locals(
+        self, k: Optional[int] = None
+    ) -> list[Optional[np.ndarray]]:
+        self._local_shape(k)  # validate k
+        return [None] * self.n_threads
+
+    def thread_targets(self, tid, y, locals_):
+        # Unused in the conflict-free path (the schedule's tasks write y
+        # directly), but keep the contract total: direct everywhere.
+        return y, y
+
+    def zero_locals(self, locals_: list[Optional[np.ndarray]]) -> None:
+        pass
+
+    def zeroed_elements(self, k: Optional[int] = None) -> int:
+        return 0
+
+    def _has_local(self, start: int) -> bool:
+        return False
+
+    def reduce(self, y, locals_):
+        pass
+
+    def reduction_splits(self, n_chunks: int) -> list[tuple[int, int]]:
+        # No reduction phase to split.
+        return [(0, 0)] * n_chunks
+
+    def footprint(self, k: int = 1) -> ReductionFootprint:
+        return ReductionFootprint(
+            method=self.name,
+            n_threads=self.n_threads,
+            n_rows=self.n_rows,
+            ws_model_bytes=0.0,
+            ws_measured_bytes=0.0,
+            reduction_reads=0,
+            reduction_writes=0,
+            n_rhs=k,
+        )
+
+    @property
+    def schedule_bytes(self) -> int:
+        """Precomputed schedule footprint (not reduction working set —
+        it streams in place of the CSR structure during multiply)."""
+        return self.schedule.index_bytes
+
+
 REDUCTION_METHODS = {
     cls.name: cls
-    for cls in (NaiveReduction, EffectiveRangesReduction, IndexedReduction)
+    for cls in (
+        NaiveReduction,
+        EffectiveRangesReduction,
+        IndexedReduction,
+        ColoringReduction,
+    )
 }
 
 
@@ -402,7 +492,8 @@ def make_reduction(
     matrix: SymmetricFormat,
     partitions: Sequence[tuple[int, int]],
 ) -> ReductionMethod:
-    """Factory: ``name`` in {"naive", "effective", "indexed"}."""
+    """Factory: ``name`` in {"naive", "effective", "indexed",
+    "coloring"}."""
     try:
         cls = REDUCTION_METHODS[name]
     except KeyError:

@@ -60,6 +60,13 @@ def _record_traffic(
             "reduce.rows_budget",
             reduction.n_rows * max(0, reduction.n_threads - 1) * (k or 1),
         )
+        if getattr(reduction, "conflict_free", False):
+            sched = reduction.schedule
+            tracer.count("coloring.classes", sched.n_colors)
+            # One rendezvous per barrier-separated step; small classes
+            # are merged into serial steps, so this can be below the
+            # class count.
+            tracer.count("coloring.barrier_waits", sched.n_barriers)
 
 
 # Operand validation lives in repro.formats.validate (shared error
@@ -79,7 +86,8 @@ class ParallelSymmetricSpMV:
     partitions : sequence of (row_start, row_end)
     reduction : str or ReductionMethod
         ``"naive"``, ``"effective"`` or ``"indexed"`` (Section III), or
-        a prebuilt method instance.
+        ``"coloring"`` (conflict-free scheduling, no reduction phase),
+        or a prebuilt method instance.
     executor : Executor, optional
     """
 
@@ -118,6 +126,9 @@ class ParallelSymmetricSpMV:
         k = x.shape[1] if multi else None
         tracer = _active_tracer()
 
+        if self.reduction.conflict_free:
+            return self._call_colored(x, y, k, tracer)
+
         locals_ = self.reduction.allocate_locals(k)
 
         # Phase 1 — multiplication (Alg. 3 lines 2-11), one task/thread.
@@ -153,6 +164,37 @@ class ParallelSymmetricSpMV:
         # Phase 2 — reduction (Alg. 3 lines 12-16 / Section III-C).
         with tracer.span("spmv.reduce"):
             self.reduction.reduce(y, locals_)
+        if tracer.enabled:
+            tracer.count("spmv.calls")
+            _record_traffic(tracer, self.matrix, k, self.reduction)
+        return y
+
+    def _call_colored(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        k: Optional[int],
+        tracer: Tracer,
+    ) -> np.ndarray:
+        """Conflict-free path: the precompiled color-class schedule runs
+        class-at-a-time with direct output writes — no local vectors,
+        nothing to reduce (the ``spmv.reduce`` span stays for phase
+        accounting and is empty)."""
+        from .coloring import compile_colored_steps, run_colored_steps
+
+        steps = compile_colored_steps(
+            self.reduction.schedule, y, lambda: x, k
+        )
+
+        def zero() -> None:
+            y[...] = 0.0
+
+        with tracer.span("spmv.mult"):
+            run_colored_steps(
+                self.executor, steps, label="spmv.mult.task", zero=zero
+            )
+        with tracer.span("spmv.reduce"):
+            pass
         if tracer.enabled:
             tracer.count("spmv.calls")
             _record_traffic(tracer, self.matrix, k, self.reduction)

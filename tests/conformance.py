@@ -41,7 +41,10 @@ __all__ = [
     "SYMMETRIC_FORMATS",
     "UNSYMMETRIC_DRIVER_FORMATS",
     "REDUCTIONS",
+    "COLORING_FORMATS",
     "PARTITION_LAYOUTS",
+    "reduction_supported",
+    "skip_unless_supported",
     "build_format",
     "build_symmetric",
     "build_unsymmetric",
@@ -55,8 +58,28 @@ __all__ = [
 #: produce several blocks).
 CSB_BETA = 4
 
-REDUCTIONS = ("naive", "effective", "indexed")
+REDUCTIONS = ("naive", "effective", "indexed", "coloring")
 PARTITION_LAYOUTS = ("single", "thirds", "per_row", "with_empty")
+
+#: Symmetric formats whose stored lower triangle is recoverable as a
+#: CSR triple (``lower_triple()``), which the conflict-free coloring
+#: schedule is built from. CSB-Sym keeps its entries block-local and
+#: has no symmetric coloring kernel — those combinations skip.
+COLORING_FORMATS = ("sss", "csx-sym")
+
+
+def reduction_supported(fmt: str, method: str) -> bool:
+    """Whether ``method`` runs on symmetric format ``fmt`` — only the
+    ``coloring`` strategy is format-restricted."""
+    return method != "coloring" or fmt in COLORING_FORMATS
+
+
+def skip_unless_supported(fmt: str, method: str) -> None:
+    """Graceful pytest skip for (format × reduction) holes."""
+    import pytest
+
+    if not reduction_supported(fmt, method):
+        pytest.skip(f"{fmt} has no symmetric coloring kernel")
 
 
 @dataclass(frozen=True)

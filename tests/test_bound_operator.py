@@ -39,6 +39,7 @@ from tests.conformance import (
     build_unsymmetric,
     reference_product,
     rhs_block,
+    skip_unless_supported,
 )
 
 CASE_NAMES = sorted(CASES)
@@ -63,6 +64,7 @@ def _unsym_driver(case, fmt, layout="thirds"):
 @pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
 @pytest.mark.parametrize("case", CASE_NAMES)
 def test_bound_symmetric_matches_unbound(case, fmt, reduction, k):
+    skip_unless_supported(fmt, reduction)
     driver = _sym_driver(case, fmt, reduction)
     x = rhs_block(driver.matrix.n_cols, k)
     with driver.bind(k) as bound:

@@ -43,6 +43,34 @@ def test_spmv_csx_sym(capsys):
     assert "Gainestown" in capsys.readouterr().out
 
 
+def test_spmv_coloring_reduction(capsys):
+    rc = main(
+        [
+            "spmv", "--matrix", "consph", "--format", "sss",
+            "--threads", "4", "--scale", "0.005",
+            "--reduction", "coloring",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "correct=True" in out
+    assert "barrier" in out  # model total includes the rendezvous term
+
+
+def test_spmv_coloring_rejected_for_unsymmetric(capsys):
+    rc = main(
+        [
+            "spmv", "--matrix", "consph", "--format", "csr",
+            "--threads", "2", "--scale", "0.005",
+            "--reduction", "coloring",
+        ]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "requires a symmetric driver" in err
+    assert "csx-sym" in err
+
+
 def test_spmv_unsymmetric_format(capsys):
     rc = main(
         [

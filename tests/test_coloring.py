@@ -106,3 +106,99 @@ def test_predicted_time_worse_than_indexed(sparse_sss):
         sparse_sss, parts, DUNNINGTON, reduction="indexed"
     ).total
     assert t_colored > t_indexed
+
+
+# ----------------------------------------------------------------------
+# Conflict-free schedule (the "coloring" reduction strategy)
+# ----------------------------------------------------------------------
+from repro.formats import CSRMatrix  # noqa: E402
+from repro.machine import predict_spmv  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    ColoringReduction,
+    ColoringUnsupportedError,
+    ParallelSymmetricSpMV,
+    build_coloring_schedule,
+    make_reduction,
+    partition_nnz_balanced,
+)
+
+
+def _parts(sss, p):
+    return partition_nnz_balanced(sss.expanded_row_nnz(), p)
+
+
+def test_schedule_covers_every_row_exactly_once(sparse_sss):
+    sched = build_coloring_schedule(sparse_sss, 4)
+    seen = np.concatenate([
+        seg.rows
+        for step in sched.steps
+        for task_segs in step
+        for seg in task_segs
+    ])
+    assert seen.size == sched.n_rows
+    assert np.unique(seen).size == seen.size
+    assert 0 < sched.n_nonempty_rows <= sched.n_rows
+
+
+def test_schedule_deterministic(sparse_sss):
+    a = build_coloring_schedule(sparse_sss, 4)
+    b = build_coloring_schedule(sparse_sss, 4)
+    assert a.n_colors == b.n_colors and a.n_barriers == b.n_barriers
+    for sa, sb in zip(a.steps, b.steps):
+        for ta, tb in zip(sa, sb):
+            for ga, gb in zip(ta, tb):
+                assert np.array_equal(ga.rows, gb.rows)
+                assert np.array_equal(ga.cols, gb.cols)
+
+
+def test_coloring_handles_empty_rows_and_disconnection():
+    dense = np.zeros((12, 12))
+    dense[1, 0] = dense[0, 1] = 2.0  # component A
+    dense[7, 6] = dense[6, 7] = 3.0  # component B, disconnected
+    np.fill_diagonal(dense, [1, 0, 0, 5, 0, 0, 1, 1, 0, 0, 0, 2.0])
+    sss = SSSMatrix.from_dense(dense)
+    colors = distance2_coloring(sss)
+    assert verify_coloring(sss, colors)
+    sched = build_coloring_schedule(sss, 3)
+    x = np.random.default_rng(0).standard_normal(12)
+    y = np.zeros(12)
+    from repro.parallel import Executor
+    from repro.parallel.coloring import compile_colored_steps, run_colored_steps
+
+    steps = compile_colored_steps(sched, y, lambda: x)
+    run_colored_steps(Executor("serial"), steps)
+    assert np.allclose(y, dense @ x)
+
+
+def test_coloring_reduction_factory_and_footprint(sparse_sss):
+    red = make_reduction("coloring", sparse_sss, _parts(sparse_sss, 4))
+    assert isinstance(red, ColoringReduction)
+    assert red.conflict_free
+    assert all(l is None for l in red.allocate_locals())
+    assert red.zeroed_elements() == 0
+    fp = red.footprint()
+    assert fp.reduction_reads == 0 and fp.reduction_writes == 0
+    assert fp.ws_measured_bytes == 0.0
+
+
+def test_coloring_rejected_without_lower_triple():
+    csr = CSRMatrix.from_coo(
+        banded_random(50, 3.0, 10, np.random.default_rng(1))
+    )
+    with pytest.raises((ColoringUnsupportedError, AttributeError)):
+        make_reduction("coloring", csr, [(0, 50)])
+
+
+def test_driver_coloring_matches_serial_kernel(sparse_sss, rng):
+    parts = _parts(sparse_sss, 4)
+    x = rng.standard_normal(sparse_sss.n_cols)
+    drv = ParallelSymmetricSpMV(sparse_sss, parts, "coloring")
+    assert np.allclose(drv(x), sparse_sss.spmv(x))
+
+
+def test_predicted_coloring_has_zero_reduce_and_a_barrier(sparse_sss):
+    parts = _parts(sparse_sss, 8)
+    pt = predict_spmv(sparse_sss, parts, DUNNINGTON, reduction="coloring")
+    assert pt.t_reduce == 0.0
+    assert pt.t_barrier > 0.0
+    assert pt.total == pt.t_mult + pt.t_barrier

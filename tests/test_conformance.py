@@ -29,6 +29,7 @@ from tests.conformance import (
     make_backend_executor,
     reference_product,
     rhs_block,
+    skip_unless_supported,
 )
 
 CASE_NAMES = sorted(CASES)
@@ -68,6 +69,7 @@ def test_roundtrip_to_dense(case, fmt):
 @pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
 @pytest.mark.parametrize("case", CASE_NAMES)
 def test_symmetric_driver_spmv(case, fmt, method, layout):
+    skip_unless_supported(fmt, method)
     matrix, parts = build_symmetric(case, fmt, layout)
     kernel = ParallelSymmetricSpMV(matrix, parts, method)
     x = rhs_block(matrix.n_cols, None)
@@ -80,6 +82,7 @@ def test_symmetric_driver_spmv(case, fmt, method, layout):
 @pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
 @pytest.mark.parametrize("case", CASE_NAMES)
 def test_symmetric_driver_spmm(case, fmt, method, layout, k):
+    skip_unless_supported(fmt, method)
     matrix, parts = build_symmetric(case, fmt, layout)
     kernel = ParallelSymmetricSpMV(matrix, parts, method)
     X = rhs_block(matrix.n_cols, k)
@@ -129,6 +132,7 @@ def _plan_seed(*labels: str) -> int:
 @pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
 @pytest.mark.parametrize("case", CASE_NAMES)
 def test_symmetric_driver_chaos_bit_identical(case, fmt, method, k):
+    skip_unless_supported(fmt, method)
     matrix, parts = build_symmetric(case, fmt, "thirds")
     x = rhs_block(matrix.n_cols, k)
     serial = ParallelSymmetricSpMV(matrix, parts, method)(x)
@@ -206,6 +210,7 @@ def _run_bound(driver, x):
 @pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
 @pytest.mark.parametrize("case", CASE_NAMES)
 def test_symmetric_backend_bit_identical(case, fmt, method, backend):
+    skip_unless_supported(fmt, method)
     matrix, parts = build_symmetric(case, fmt, "thirds")
     x = rhs_block(matrix.n_cols, None)
     serial = np.array(ParallelSymmetricSpMV(matrix, parts, method)(x))
@@ -239,15 +244,17 @@ def test_unsymmetric_backend_bit_identical(case, fmt, backend):
 
 
 @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+@pytest.mark.parametrize("method", ["indexed", "coloring"])
 @pytest.mark.parametrize("fmt", SYMMETRIC_FORMATS)
-def test_symmetric_backend_spmm_bit_identical(fmt, backend):
+def test_symmetric_backend_spmm_bit_identical(fmt, method, backend):
+    skip_unless_supported(fmt, method)
     matrix, parts = build_symmetric("random", fmt, "thirds")
     X = rhs_block(matrix.n_cols, 4)
-    serial = np.array(ParallelSymmetricSpMV(matrix, parts, "indexed")(X))
+    serial = np.array(ParallelSymmetricSpMV(matrix, parts, method)(X))
     ex = make_backend_executor(backend)
     try:
         got = _run_bound(
-            ParallelSymmetricSpMV(matrix, parts, "indexed", executor=ex), X
+            ParallelSymmetricSpMV(matrix, parts, method, executor=ex), X
         )
     finally:
         ex.close()
