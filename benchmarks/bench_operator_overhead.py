@@ -23,6 +23,16 @@ block-CG section (``k = 4``), an informational ``bound_traced`` row
 disabled-tracer overhead: the p50 ratio of the full ``__call__``
 dispatch (validation + one tracer check) over the raw ``_apply`` hot
 path, which must stay within ``TRACER_OVERHEAD_BUDGET``.
+
+With the streaming-metrics subsystem compiled into the traced branch
+(``op.apply_ns`` histograms, ``batch.latency_ns`` recording inside
+``run_batch``), the disabled path gained a few more ``tracer.enabled``
+checks at the executor layer. ``disabled_metrics_overhead`` re-measures
+that budget in the worst realistic state: a real tracer with a
+*populated* metrics registry installed but flipped to
+``enabled=False`` — the disabled branch must never touch registry
+state, so the ratio must stay within ``METRICS_OVERHEAD_BUDGET``
+(3 %).
 Machine-readable output goes to ``results/BENCH_operator.json``.
 
 Runs standalone (``python benchmarks/bench_operator_overhead.py``,
@@ -36,6 +46,7 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import sys
 import time
 import tracemalloc
@@ -66,6 +77,7 @@ BLOCK_K = 4
 ALLOC_WINDOW = 12          # applications per tracemalloc window
 TARGET_SPEEDUP = 1.5       # bound vs per_call, per-iteration CG
 TRACER_OVERHEAD_BUDGET = 0.03  # disabled-tracer dispatch vs raw _apply
+METRICS_OVERHEAD_BUDGET = 0.03  # disabled metrics checks vs bare loop
 OVERHEAD_INNER = 40        # applications per overhead timing sample
 VARIANTS = ("per_call", "unbound", "bound")
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -241,6 +253,48 @@ def run_bench(matrices, iters: int, repeats: int = 3,
     return rows
 
 
+def _pairwise_ratio(call_fn, raw_fn, x, rounds: int, inner: int) -> dict:
+    """Order-balanced adjacent A/B timing of ``call_fn`` vs ``raw_fn``.
+
+    Two back-to-back A/B timing loops read CPU-frequency drift as fake
+    overhead several times larger than the real one, so each round
+    times both loops adjacently (order alternating between rounds) and
+    contributes one call/raw *ratio* — drift common to the pair
+    cancels — and the estimate is the median ratio over the rounds."""
+
+    def sample(fn) -> float:
+        t0 = time.perf_counter_ns()
+        for _ in range(inner):
+            fn(x)
+        return (time.perf_counter_ns() - t0) / inner
+
+    sample(call_fn), sample(raw_fn)  # warmup (caches, branch predictors)
+    ratios, call_ns, raw_ns = [], [], []
+    for r in range(rounds):
+        if r % 2 == 0:
+            c, w = sample(call_fn), sample(raw_fn)
+        else:
+            w, c = sample(raw_fn), sample(call_fn)
+        ratios.append(c / w)
+        call_ns.append(c)
+        raw_ns.append(w)
+    return {
+        "per_apply_call_ms": percentile(call_ns, 50) / 1e6,
+        "per_apply_raw_ms": percentile(raw_ns, 50) / 1e6,
+        "ratio": percentile(ratios, 50),
+    }
+
+
+def _overhead_operator(coo, n_threads: int):
+    """One serial-executor SSS + indexed bound operator (serial so
+    thread-pool jitter does not drown the microsecond under
+    measurement)."""
+    sss = SSSMatrix.from_coo(coo)
+    parts = partition_nnz_balanced(sss.expanded_row_nnz(), n_threads)
+    bound = ParallelSymmetricSpMV(sss, parts, "indexed").bind()
+    return bound
+
+
 def disabled_tracer_overhead(
     matrices, n_threads: int = N_THREADS, rounds: int = 12,
     inner: int = OVERHEAD_INNER,
@@ -248,47 +302,17 @@ def disabled_tracer_overhead(
     """Per-application cost of the tracing hooks when no tracer is
     active: ``bound(x)`` (input validation + one tracer-enabled check,
     then ``_apply``) vs ``bound._apply(x)`` (the raw hot path, the
-    zero-instrumentation control). Serial executor so thread-pool
-    jitter does not drown the microsecond under measurement.
-
-    Two back-to-back A/B timing loops read CPU-frequency drift as fake
-    overhead several times larger than the real one, so each round
-    times both loops adjacently (order alternating between rounds) and
-    contributes one call/raw *ratio* — drift common to the pair
-    cancels — and the per-matrix estimate is the median ratio over the
-    rounds. ``overhead`` is the geomean of those medians minus 1
-    (0.01 = 1%)."""
+    zero-instrumentation control). ``overhead`` is the geomean of the
+    per-matrix median ratios minus 1 (0.01 = 1%)."""
     per_matrix = {}
     rng = np.random.default_rng(3)
     for name, coo in matrices.items():
-        sss = SSSMatrix.from_coo(coo)
-        parts = partition_nnz_balanced(sss.expanded_row_nnz(), n_threads)
-        bound = ParallelSymmetricSpMV(sss, parts, "indexed").bind()
+        bound = _overhead_operator(coo, n_threads)
         x = np.asarray(rng.standard_normal(coo.n_cols), dtype=np.float64)
-        raw = bound._apply
-
-        def sample(fn) -> float:
-            t0 = time.perf_counter_ns()
-            for _ in range(inner):
-                fn(x)
-            return (time.perf_counter_ns() - t0) / inner
-
-        sample(bound), sample(raw)  # warmup (caches, branch predictors)
-        ratios, call_ns, raw_ns = [], [], []
-        for r in range(rounds):
-            if r % 2 == 0:
-                c, w = sample(bound), sample(raw)
-            else:
-                w, c = sample(raw), sample(bound)
-            ratios.append(c / w)
-            call_ns.append(c)
-            raw_ns.append(w)
+        per_matrix[name] = _pairwise_ratio(
+            bound, bound._apply, x, rounds, inner
+        )
         bound.close()
-        per_matrix[name] = {
-            "per_apply_call_ms": percentile(call_ns, 50) / 1e6,
-            "per_apply_raw_ms": percentile(raw_ns, 50) / 1e6,
-            "ratio": percentile(ratios, 50),
-        }
     overhead = _geomean(
         m["ratio"] for m in per_matrix.values()
     ) - 1.0
@@ -297,6 +321,50 @@ def disabled_tracer_overhead(
         "overhead": overhead,
         "budget": TRACER_OVERHEAD_BUDGET,
         "pass": overhead <= TRACER_OVERHEAD_BUDGET,
+    }
+
+
+def disabled_metrics_overhead(
+    matrices, n_threads: int = N_THREADS, rounds: int = 12,
+    inner: int = OVERHEAD_INNER,
+) -> dict:
+    """Disabled-path budget with the streaming metrics compiled in and
+    a *populated* registry installed.
+
+    :func:`disabled_tracer_overhead` runs with no tracer in context
+    (the NULL tracer). This measurement puts the operator in the state
+    a long-running process is actually in after turning tracing off: a
+    real :class:`Tracer` whose metrics registry was populated by
+    enabled applications (``op.apply_ns`` / ``batch.latency_ns``
+    histograms and kernel counters exist), then flipped to
+    ``enabled=False``. The ``bound(x)`` vs ``bound._apply(x)`` pairwise
+    ratio is re-timed under that tracer — the metrics hooks at every
+    layer (``__call__`` dispatch, ``run_batch`` bookkeeping, the
+    per-task wrapper) ride the same one-attribute ``tracer.enabled``
+    gate, so the presence of a populated registry must not move the
+    ratio."""
+    per_matrix = {}
+    rng = np.random.default_rng(5)
+    for name, coo in matrices.items():
+        bound = _overhead_operator(coo, n_threads)
+        x = np.asarray(rng.standard_normal(coo.n_cols), dtype=np.float64)
+        tracer = Tracer(enabled=True)
+        with tracing(tracer):
+            for _ in range(3):  # populate histograms and counters
+                bound(x)
+            tracer.enabled = False
+            per_matrix[name] = _pairwise_ratio(
+                bound, bound._apply, x, rounds, inner
+            )
+        bound.close()
+    overhead = _geomean(
+        m["ratio"] for m in per_matrix.values()
+    ) - 1.0
+    return {
+        "per_matrix": per_matrix,
+        "overhead": overhead,
+        "budget": METRICS_OVERHEAD_BUDGET,
+        "pass": overhead <= METRICS_OVERHEAD_BUDGET,
     }
 
 
@@ -319,7 +387,7 @@ def geomean_speedup(rows, section: str, variant: str,
     )
 
 
-def render(rows, overhead=None) -> tuple[str, dict]:
+def render(rows, overhead=None, metrics_overhead=None) -> tuple[str, dict]:
     lines = [
         "Bound-operator overhead — per-iteration CG wall-clock (p50 of "
         "repeats) under three operator regimes (SSS + indexed reduction)",
@@ -363,6 +431,16 @@ def render(rows, overhead=None) -> tuple[str, dict]:
         summary["disabled_tracer_overhead"] = overhead["overhead"]
         summary["tracer_overhead_budget"] = overhead["budget"]
         summary["tracer_overhead_pass"] = overhead["pass"]
+    if metrics_overhead is not None:
+        lines.append(
+            f"disabled-metrics overhead (populated registry, disabled "
+            f"gate): {100 * metrics_overhead['overhead']:+.2f}% (budget "
+            f"{100 * metrics_overhead['budget']:.0f}%) -> "
+            f"{'PASS' if metrics_overhead['pass'] else 'FAIL'}"
+        )
+        summary["disabled_metrics_overhead"] = metrics_overhead["overhead"]
+        summary["metrics_overhead_budget"] = metrics_overhead["budget"]
+        summary["metrics_overhead_pass"] = metrics_overhead["pass"]
     return "\n".join(lines), summary
 
 
@@ -400,14 +478,22 @@ def main(argv=None) -> int:
         iters = args.iters
     rows = run_bench(matrices, iters, args.repeats, args.threads)
     overhead = disabled_tracer_overhead(matrices, args.threads)
-    text, summary = render(rows, overhead)
+    metrics_overhead = disabled_metrics_overhead(matrices, args.threads)
+    text, summary = render(rows, overhead, metrics_overhead)
     config = {
         "smoke": args.smoke, "iters": iters,
         "repeats": args.repeats, "threads": args.threads,
         "block_k": BLOCK_K, "overhead_inner": OVERHEAD_INNER,
+        "host_cores": os.cpu_count(),
     }
     write_json(
-        rows, dict(summary, tracer_overhead_detail=overhead), config
+        rows,
+        dict(
+            summary,
+            tracer_overhead_detail=overhead,
+            metrics_overhead_detail=metrics_overhead,
+        ),
+        config,
     )
     try:
         from common import write_result

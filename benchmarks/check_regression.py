@@ -1,0 +1,226 @@
+"""Noise-aware benchmark regression gate over the committed baselines.
+
+Compares freshly produced ``BENCH_*.json`` documents against the
+committed ones in ``results/`` and fails when a timed entry got
+meaningfully slower. "Meaningfully" is the whole point: CI runners are
+noisy, so a fixed percentage gate either cries wolf or never fires.
+The gate here is
+
+    fresh_p50 / base_p50  >  tolerance * noise
+
+where ``noise = max(1, base_p95/base_p50, fresh_p95/fresh_p50)`` — the
+worse tail-to-median spread of the two runs. A benchmark whose own
+repeats scatter 1.4x cannot support a 1.2x verdict, and the gate
+widens itself accordingly instead of pretending the data is cleaner
+than it is.
+
+Honest self-skip: wall-clock baselines only transfer between identical
+hosts. When ``config.host_cores`` (or any other config key shared by
+both documents) differs between baseline and fresh run, the file is
+*skipped* with an explicit reason rather than compared — a skipped
+gate that says so beats a passing gate that compared apples to
+oranges. The CI job records the skip in its log.
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh DIR [--baseline DIR]
+        [--tolerance 1.25]
+
+Exit codes: 0 = no regression (including all-skipped), 1 = at least
+one regression, 2 = usage/malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Median-ratio slack before the noise factor (1.25 = 25% slower).
+DEFAULT_TOLERANCE = 1.25
+
+#: Per-file adapters: where the timed entries live, what identifies
+#: one entry across runs, and which fields carry the median / tail.
+ADAPTERS = {
+    "BENCH_operator.json": {
+        "entries": lambda doc: doc.get("rows", []),
+        "key": lambda r: (r["matrix"], r["section"], r["variant"]),
+        "p50": "per_iter_ms",
+        "p95": "per_iter_p95_ms",
+    },
+    "BENCH_coloring.json": {
+        "entries": lambda doc: doc.get("measured", []),
+        "key": lambda r: (r["matrix"], r["strategy"], r["workers"]),
+        "p50": "p50_ms",
+        "p95": "p95_ms",
+    },
+    "BENCH_scaling.json": {
+        "entries": lambda doc: doc.get("measured", []),
+        "key": lambda r: (r["matrix"], r["backend"], r["workers"]),
+        "p50": "p50_ms",
+        "p95": "p95_ms",
+    },
+}
+
+
+def config_mismatch(base_cfg: dict, fresh_cfg: dict):
+    """First config key the two runs disagree on (``None`` = same
+    configuration). Only keys present in *both* documents count — a new
+    config field in a fresher producer must not invalidate the
+    committed baseline."""
+    for key in sorted(set(base_cfg) & set(fresh_cfg)):
+        if base_cfg[key] != fresh_cfg[key]:
+            return key, base_cfg[key], fresh_cfg[key]
+    return None
+
+
+def compare_docs(
+    name: str, base_doc: dict, fresh_doc: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict:
+    """Compare one benchmark document pair.
+
+    Returns ``{"name", "status": "ok"|"regression"|"skipped",
+    "reason", "entries": [...]}`` where each entry carries the key,
+    both medians, the ratio, the noise-widened limit and a ``slower``
+    flag. Entries present on only one side are listed informationally
+    (a new benchmark is not a regression; a vanished one is not a
+    pass)."""
+    adapter = ADAPTERS[name]
+    mismatch = config_mismatch(
+        base_doc.get("config", {}), fresh_doc.get("config", {})
+    )
+    if mismatch is not None:
+        key, b, f = mismatch
+        return {
+            "name": name,
+            "status": "skipped",
+            "reason": (
+                f"config.{key} differs (baseline {b!r} vs fresh {f!r}); "
+                "wall-clock baselines do not transfer"
+            ),
+            "entries": [],
+        }
+    base = {adapter["key"](r): r for r in adapter["entries"](base_doc)}
+    fresh = {adapter["key"](r): r for r in adapter["entries"](fresh_doc)}
+    entries, regressed = [], False
+    for key in sorted(base, key=str):
+        if key not in fresh:
+            entries.append({"key": key, "note": "missing in fresh run"})
+            continue
+        b, f = base[key], fresh[key]
+        b50, f50 = b[adapter["p50"]], f[adapter["p50"]]
+        if not b50 or b50 <= 0:
+            entries.append({"key": key, "note": "baseline p50 is zero"})
+            continue
+        noise = max(
+            1.0,
+            b[adapter["p95"]] / b50,
+            f[adapter["p95"]] / f50 if f50 > 0 else 1.0,
+        )
+        ratio = f50 / b50
+        limit = tolerance * noise
+        slower = ratio > limit
+        regressed |= slower
+        entries.append({
+            "key": key, "base_p50": b50, "fresh_p50": f50,
+            "ratio": ratio, "noise": noise, "limit": limit,
+            "slower": slower,
+        })
+    for key in sorted(set(fresh) - set(base), key=str):
+        entries.append({"key": key, "note": "new entry (no baseline)"})
+    return {
+        "name": name,
+        "status": "regression" if regressed else "ok",
+        "reason": "",
+        "entries": entries,
+    }
+
+
+def render(results: list) -> str:
+    lines = []
+    for res in results:
+        tag = {"ok": "PASS", "regression": "FAIL", "skipped": "SKIP"}[
+            res["status"]
+        ]
+        lines.append(f"[{tag}] {res['name']}"
+                     + (f" — {res['reason']}" if res["reason"] else ""))
+        for e in res["entries"]:
+            key = "/".join(str(p) for p in e["key"]) \
+                if isinstance(e["key"], tuple) else str(e["key"])
+            if "note" in e:
+                lines.append(f"    {key:<44} ({e['note']})")
+                continue
+            mark = "REGRESSION" if e["slower"] else "ok"
+            lines.append(
+                f"    {key:<44} {e['base_p50']:>9.4f} -> "
+                f"{e['fresh_p50']:>9.4f} ms  x{e['ratio']:.2f} "
+                f"(limit x{e['limit']:.2f}, noise x{e['noise']:.2f}) "
+                f"{mark}"
+            )
+    return "\n".join(lines)
+
+
+def check(
+    fresh_dir: Path, baseline_dir: Path = RESULTS_DIR,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list, int]:
+    """Compare every known benchmark file present in both directories.
+    Returns ``(results, exit_code)``."""
+    results = []
+    for name in sorted(ADAPTERS):
+        base_path, fresh_path = baseline_dir / name, fresh_dir / name
+        if not base_path.exists() or not fresh_path.exists():
+            missing = "baseline" if not base_path.exists() else "fresh"
+            results.append({
+                "name": name, "status": "skipped",
+                "reason": f"no {missing} document", "entries": [],
+            })
+            continue
+        try:
+            base_doc = json.loads(base_path.read_text())
+            fresh_doc = json.loads(fresh_path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"malformed JSON in {name}: {exc}", file=sys.stderr)
+            return results, 2
+        results.append(compare_docs(name, base_doc, fresh_doc, tolerance))
+    compared = [r for r in results if r["status"] != "skipped"]
+    code = 1 if any(r["status"] == "regression" for r in results) else 0
+    if not compared:
+        # All-skipped is a pass, but never a silent one.
+        print("note: every benchmark file was skipped; nothing compared",
+              file=sys.stderr)
+    return results, code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fresh", type=Path, required=True,
+        help="directory holding the freshly produced BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=RESULTS_DIR,
+        help="directory holding the committed baselines "
+             "(default: results/)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed p50 ratio before the noise factor "
+             f"(default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        parser.error("--tolerance must be > 1.0")
+    results, code = check(args.fresh, args.baseline, args.tolerance)
+    print(render(results))
+    verdict = {0: "no regressions", 1: "REGRESSION DETECTED", 2: "error"}
+    print(f"bench-regression gate: {verdict[code]}")
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

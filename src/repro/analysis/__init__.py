@@ -6,6 +6,11 @@ execution breakdowns (Fig. 10, 14), the CSX preprocessing cost model
 harness.
 """
 
+from .attribution import (
+    AttributionReport,
+    PhaseAttribution,
+    attribute_spmv,
+)
 from .breakdown import (
     CGBreakdown,
     SpmvBreakdown,
@@ -39,6 +44,9 @@ from .traffic import (
 )
 
 __all__ = [
+    "AttributionReport",
+    "PhaseAttribution",
+    "attribute_spmv",
     "CGBreakdown",
     "SpmvBreakdown",
     "cg_breakdown",

@@ -1,0 +1,246 @@
+"""Measured-vs-modeled attribution: span timings joined to the model.
+
+The paper's argument is a *phase breakdown* — multiplication time vs
+reduction time vs synchronization (§V, Fig. 9/10) — and the machine
+model (:mod:`repro.machine.perfmodel`) reproduces those breakdowns for
+the paper's platforms. This module closes the loop: it joins the
+tracer's measured ``spmv.mult`` / ``spmv.reduce`` span durations
+against the corresponding :class:`~repro.machine.perfmodel
+.PredictedTime` terms and reports per-phase divergence.
+
+Two comparisons come out, deliberately separated:
+
+* **Absolute ratio** (``measured_s / modeled_s`` per phase): the model
+  predicts the *paper's* platforms, not the machine running the tests,
+  so this ratio is expected to be far from 1 on the host — it is the
+  machine-transfer factor, interesting mainly for its stability across
+  configurations.
+* **Phase-share divergence** (measured share of total minus modeled
+  share of total, per phase): machine-transferable. If the model says
+  the reduction is 30 % of the application and the host measures 60 %,
+  the *structure* of the prediction is wrong no matter the clock —
+  this is the number the paper's claims stand on.
+
+The barrier term: conflict-free (coloring) executions pay their
+rendezvous *inside* the stepped multiplication phase, so the measured
+``spmv.mult`` span already contains the barrier waits and there is no
+separate barrier span to join. The report therefore carries a
+``barrier`` row with the modeled time and a measured value folded into
+``mult`` (the mult row's modeled side includes ``t_barrier`` for the
+share comparison, keeping both sides of the divergence structurally
+aligned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.perfmodel import PredictedTime
+from ..obs.tracer import Tracer, percentile
+
+__all__ = [
+    "PhaseAttribution",
+    "AttributionReport",
+    "attribute_spmv",
+]
+
+
+@dataclass
+class PhaseAttribution:
+    """One phase's measured-vs-modeled join."""
+
+    phase: str
+    #: Median measured seconds per application (NaN when the phase has
+    #: no span of its own — the barrier, folded into ``mult``).
+    measured_s: float
+    modeled_s: float
+    measured_share: float
+    modeled_share: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / modeled (the machine-transfer factor)."""
+        if self.modeled_s <= 0 or self.measured_s != self.measured_s:
+            return float("nan")
+        return self.measured_s / self.modeled_s
+
+    @property
+    def share_divergence(self) -> float:
+        """measured share minus modeled share (machine-transferable)."""
+        if self.measured_share != self.measured_share:
+            return float("nan")
+        return self.measured_share - self.modeled_share
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "measured_s": self.measured_s,
+            "modeled_s": self.modeled_s,
+            "measured_share": self.measured_share,
+            "modeled_share": self.modeled_share,
+            "ratio": self.ratio,
+            "share_divergence": self.share_divergence,
+        }
+
+
+@dataclass
+class AttributionReport:
+    """Per-phase measured-vs-modeled divergence of one configuration."""
+
+    label: str
+    platform: str
+    n_applications: int
+    phases: list = field(default_factory=list)
+    measured_total_s: float = 0.0
+    modeled_total_s: float = 0.0
+
+    @property
+    def total_ratio(self) -> float:
+        if self.modeled_total_s <= 0:
+            return float("nan")
+        return self.measured_total_s / self.modeled_total_s
+
+    @property
+    def max_share_divergence(self) -> float:
+        """Largest absolute phase-share divergence — the one-number
+        answer to "does the measured breakdown match the modeled
+        one"."""
+        divs = [
+            abs(p.share_divergence)
+            for p in self.phases
+            if p.share_divergence == p.share_divergence
+        ]
+        return max(divs) if divs else float("nan")
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "platform": self.platform,
+            "n_applications": self.n_applications,
+            "measured_total_s": self.measured_total_s,
+            "modeled_total_s": self.modeled_total_s,
+            "total_ratio": self.total_ratio,
+            "max_share_divergence": self.max_share_divergence,
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    def render(self) -> str:
+        title = f"attribution: {self.label} vs {self.platform} model"
+        lines = [title, "=" * len(title)]
+        lines.append(
+            f"{'phase':<10} {'measured ms':>12} {'modeled ms':>12} "
+            f"{'ratio':>9} {'meas share':>11} {'model share':>12} "
+            f"{'diverge':>8}"
+        )
+
+        def fmt(v, spec, absent="   (in mult)"):
+            return format(v, spec) if v == v else absent
+
+        for p in self.phases:
+            lines.append(
+                f"{p.phase:<10} {fmt(p.measured_s * 1e3, '>12.4f')} "
+                f"{p.modeled_s * 1e3:>12.4f} {fmt(p.ratio, '>9.2f')} "
+                f"{fmt(p.measured_share, '>11.1%')} "
+                f"{p.modeled_share:>12.1%} "
+                f"{fmt(p.share_divergence, '>+8.1%', absent='        ')}"
+            )
+        lines.append(
+            f"{'total':<10} {self.measured_total_s * 1e3:>12.4f} "
+            f"{self.modeled_total_s * 1e3:>12.4f} "
+            f"{self.total_ratio:>9.2f}"
+        )
+        lines.append(
+            f"max |share divergence|: {self.max_share_divergence:.1%} "
+            f"over {self.n_applications} applications"
+        )
+        lines.append(
+            "(ratio is the host-to-modeled-platform transfer factor; "
+            "share divergence is the machine-independent check)"
+        )
+        return "\n".join(lines)
+
+
+def _median_span_s(durs_ns: Optional[list]) -> float:
+    if not durs_ns:
+        return float("nan")
+    return percentile(durs_ns, 50) / 1e9
+
+
+def attribute_spmv(
+    tracer: Tracer,
+    predicted: PredictedTime,
+    *,
+    platform_name: str = "model",
+    label: Optional[str] = None,
+) -> AttributionReport:
+    """Join a tracer's recorded span durations against one
+    :class:`PredictedTime`.
+
+    The tracer must have recorded at least one ``spmv.mult`` span (a
+    traced driver or bound-operator application); ``spmv.reduce`` is
+    optional (unsymmetric drivers and conflict-free executions have no
+    reduction phase). Measured per-phase values are the *median* over
+    all recorded applications — robust to first-call cache effects.
+    """
+    durs = tracer.span_durations_ns()
+    mult_ns = durs.get("spmv.mult")
+    if not mult_ns:
+        raise ValueError(
+            "tracer has no 'spmv.mult' spans; run a traced driver or "
+            "bound-operator application first"
+        )
+    measured_mult = _median_span_s(mult_ns)
+    reduce_ns = durs.get("spmv.reduce")
+    measured_reduce = _median_span_s(reduce_ns) if reduce_ns else 0.0
+
+    measured_total = measured_mult + measured_reduce
+    # The measured mult span contains any barrier waits (stepped
+    # execution synchronizes inside the phase), so the mult row's
+    # modeled side carries t_barrier too — both sides of the share
+    # comparison then partition the same total.
+    modeled_mult = predicted.t_mult + predicted.t_barrier
+    modeled_total = modeled_mult + predicted.t_reduce
+
+    def share(x: float, total: float) -> float:
+        return x / total if total > 0 else float("nan")
+
+    phases = [
+        PhaseAttribution(
+            "mult",
+            measured_mult,
+            modeled_mult,
+            share(measured_mult, measured_total),
+            share(modeled_mult, modeled_total),
+        ),
+        PhaseAttribution(
+            "reduce",
+            measured_reduce,
+            predicted.t_reduce,
+            share(measured_reduce, measured_total),
+            share(predicted.t_reduce, modeled_total),
+        ),
+    ]
+    if predicted.t_barrier > 0:
+        phases.append(
+            PhaseAttribution(
+                "barrier",
+                float("nan"),  # folded into the measured mult span
+                predicted.t_barrier,
+                float("nan"),
+                share(predicted.t_barrier, modeled_total),
+            )
+        )
+    fmt_label = label or (
+        f"{predicted.format_name}"
+        + (f"/{predicted.reduction}" if predicted.reduction else "")
+        + f" p={predicted.n_threads}"
+    )
+    return AttributionReport(
+        label=fmt_label,
+        platform=platform_name,
+        n_applications=len(mult_ns),
+        phases=phases,
+        measured_total_s=measured_total,
+        modeled_total_s=modeled_total,
+    )

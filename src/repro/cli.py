@@ -15,6 +15,11 @@ Subcommands
     Differential fuzzing of every format × driver × kernel against a
     dense NumPy oracle (seed-deterministic; mismatches shrink to a
     ready-to-paste regression test).
+``metrics``
+    Run a traced workload and report its streaming metrics — latency/
+    traffic histograms, counters, gauges — as a summary table,
+    OpenMetrics text or JSON, optionally with an SLO evaluation and
+    the measured-vs-modeled attribution report.
 
 Examples
 --------
@@ -29,24 +34,35 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
 
-from .analysis import build_format, render_series, render_table
+from .analysis import (
+    attribute_spmv,
+    build_format,
+    render_series,
+    render_table,
+)
 from .formats import CSRMatrix, CSXSymMatrix, SSSMatrix
 from .formats.validate import ValidationError
 from .machine import PLATFORMS, predict_serial_csr, predict_spmv
-from .matrices import SUITE, get_entry
 from .obs import (
+    SLO,
+    LogHistogram,
     Tracer,
     load_trace,
+    metrics_report,
+    openmetrics_text,
     text_report,
     tracing,
     validate_trace,
     write_trace,
 )
+from .matrices import SUITE, get_entry
 from .parallel import Executor, ParallelSpMV, ParallelSymmetricSpMV
 from .resilience import ChaosPlan
 from .reorder import bandwidth_stats
@@ -184,6 +200,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument(
         "--rcm", action="store_true",
         help="also show the fingerprint after RCM reordering",
+    )
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a traced workload and report streaming metrics",
+    )
+    p_metrics.add_argument("--matrix", default="hood",
+                           choices=[e.name for e in SUITE])
+    p_metrics.add_argument("--scale", type=float, default=0.01)
+    p_metrics.add_argument("--threads", type=int, default=8)
+    p_metrics.add_argument(
+        "--storage", default="sss", choices=_FORMATS,
+        help="matrix storage format (--format selects the *output* "
+             "format on this subcommand)",
+    )
+    p_metrics.add_argument(
+        "--reduction", default="indexed",
+        choices=("naive", "effective", "indexed", "coloring"),
+    )
+    p_metrics.add_argument(
+        "--executor", default="serial",
+        choices=("serial", "threads", "processes"),
+        help="backend the applications run on; 'processes' exercises "
+             "the cross-process metric aggregation path",
+    )
+    p_metrics.add_argument(
+        "--applications", type=int, default=20,
+        help="bound-operator applications to record (default 20)",
+    )
+    p_metrics.add_argument(
+        "--k", type=int, default=None,
+        help="right-hand sides per application (default: SpM×V)",
+    )
+    p_metrics.add_argument(
+        "--format", default="table", dest="out_format",
+        choices=("table", "openmetrics", "json"),
+        help="output format: human-readable table (default), "
+             "OpenMetrics/Prometheus exposition text, or JSON",
+    )
+    p_metrics.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the report to PATH instead of stdout",
+    )
+    p_metrics.add_argument(
+        "--attribution", action="store_true",
+        help="also emit the measured-vs-modeled per-phase attribution "
+             "report against --platform's machine model",
+    )
+    p_metrics.add_argument(
+        "--platform", default="dunnington", choices=sorted(PLATFORMS)
+    )
+    p_metrics.add_argument(
+        "--rcm", action="store_true",
+        help="RCM-reorder the matrix before building the format",
+    )
+    p_metrics.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="evaluate an SLO on op.apply_ns: the --slo-percentile "
+             "latency must stay under this many milliseconds (exit "
+             "code 3 when the error budget is exhausted)",
+    )
+    p_metrics.add_argument(
+        "--slo-percentile", type=float, default=95.0,
+        help="target percentile for --slo-ms (default 95)",
     )
     return parser
 
@@ -478,6 +558,120 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _merged_named_histogram(snapshot: dict, name: str):
+    """Merge every labelled series of histogram ``name`` in a registry
+    snapshot into one distribution (``None`` when absent)."""
+    merged = None
+    for entry in snapshot.get("histograms", ()):
+        if entry["name"] != name:
+            continue
+        h = LogHistogram.from_dict(entry["data"])
+        merged = h if merged is None else merged.merge(h)
+    return merged
+
+
+def _cmd_metrics(args) -> int:
+    coo = get_entry(args.matrix).build(scale=args.scale)
+    if args.rcm:
+        from .reorder import rcm_reorder
+
+        coo = rcm_reorder(coo)[0]
+    matrix, parts = build_format(coo, args.storage, args.threads)
+    executor = (
+        Executor(args.executor) if args.executor != "serial" else None
+    )
+    try:
+        kernel = _make_kernel(matrix, parts, args.reduction, executor)
+    except (ValidationError, ValueError) as exc:
+        print(f"repro metrics: {exc}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(0)
+    shape = (
+        (coo.n_cols,) if args.k is None else (coo.n_cols, args.k)
+    )
+    x = rng.standard_normal(shape)
+    tracer = Tracer()
+    op = kernel.bind(args.k)
+    try:
+        with tracing(tracer):
+            for _ in range(max(1, args.applications)):
+                op(x)
+    finally:
+        op.close()
+        if executor is not None:
+            executor.close()
+    snap = tracer.metrics.snapshot()
+    meta = {
+        "command": "metrics", "matrix": args.matrix,
+        "storage": args.storage, "reduction": args.reduction,
+        "executor": args.executor, "threads": args.threads,
+        "scale": args.scale, "k": args.k, "rcm": bool(args.rcm),
+        "applications": max(1, args.applications),
+    }
+
+    attribution = None
+    if args.attribution:
+        red = (
+            args.reduction
+            if isinstance(matrix, (SSSMatrix, CSXSymMatrix))
+            else None
+        )
+        platform = PLATFORMS[args.platform]
+        predicted = predict_spmv(
+            matrix, parts, platform, reduction=red,
+            machine_scale=args.scale,
+        )
+        attribution = attribute_spmv(
+            tracer, predicted, platform_name=platform.name,
+            label=f"{args.matrix}/{args.storage}"
+                  f"{'/rcm' if args.rcm else ''}",
+        )
+
+    if args.out_format == "openmetrics":
+        text = openmetrics_text(snap)
+    elif args.out_format == "json":
+        doc = {"meta": meta, "metrics": snap}
+        if attribution is not None:
+            doc["attribution"] = attribution.to_dict()
+        text = json.dumps(doc, indent=1)
+    else:
+        text = metrics_report(
+            snap,
+            title=f"metrics: {args.matrix} [{args.storage}/"
+                  f"{args.reduction}] x{meta['applications']} on "
+                  f"{args.executor}",
+        )
+    if args.output:
+        out = Path(args.output)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + ("" if text.endswith("\n") else "\n"))
+        print(f"metrics written to {args.output}")
+    else:
+        print(text)
+
+    rc = 0
+    if args.slo_ms is not None:
+        hist = _merged_named_histogram(snap, "op.apply_ns")
+        if hist is None:
+            print("repro metrics: no op.apply_ns samples for the SLO",
+                  file=sys.stderr)
+            return 2
+        slo = SLO(
+            "op.apply", threshold=args.slo_ms * 1e6,
+            percentile=args.slo_percentile,
+        )
+        report = slo.observe(hist)
+        print()
+        print(report.render())
+        if not report.healthy:
+            rc = 3
+    if attribution is not None and args.out_format != "json":
+        print()
+        print(attribution.render())
+    return rc
+
+
 _COMMANDS = {
     "suite": _cmd_suite,
     "spmv": _cmd_spmv,
@@ -486,6 +680,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "fuzz": _cmd_fuzz,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -8,6 +8,17 @@ disabled-path cost is a single attribute check per instrumentation
 point. See DESIGN.md §4d for the span taxonomy and counter definitions.
 """
 
+from .metrics import (
+    SLO,
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    SLOReport,
+    metrics_report,
+    openmetrics_text,
+    write_metrics_jsonl,
+)
 from .export import (
     TRACE_SCHEMA,
     chrome_events,
@@ -46,6 +57,15 @@ __all__ = [
     "reset_warning_counts",
     "percentile",
     "summarize_ns",
+    "LogHistogram",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "SLO",
+    "SLOReport",
+    "openmetrics_text",
+    "metrics_report",
+    "write_metrics_jsonl",
     "TRACE_SCHEMA",
     "summarize",
     "chrome_events",

@@ -8,6 +8,14 @@ One trace document serves every consumer:
 * ``summary.spans`` — p50/p95/total per span name (the machine-readable
   phase breakdown benchmarks and CI assert on).
 * ``summary.counters`` — merged traffic/cache/solver counters.
+* ``summary.metrics`` — the tracer's streaming-metrics snapshot
+  (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`): histograms
+  with bucket data and p50/p95/p99 summaries, counters, gauges.
+
+Schema v2 additionally renders every merged tracer counter as a
+Chrome counter track (``"ph": "C"``): a zero sample at the timeline
+origin and the final total at the last event timestamp, so traffic
+and reduction volumes are visible alongside the span timeline.
 
 :func:`validate_trace` checks the schema; the ``repro trace`` CLI
 subcommand and the CI smoke job both go through it, so a malformed
@@ -34,7 +42,11 @@ __all__ = [
 ]
 
 #: Schema tag stamped into every trace document.
-TRACE_SCHEMA = "repro-trace-v1"
+TRACE_SCHEMA = "repro-trace-v2"
+
+#: Schemas :func:`validate_trace` accepts: current plus still-readable
+#: predecessors (v1 lacks counter tracks and ``summary.metrics``).
+_READABLE_SCHEMAS = ("repro-trace-v2", "repro-trace-v1")
 
 #: Keys every span-summary entry must carry.
 _SPAN_STAT_KEYS = (
@@ -54,6 +66,7 @@ def summarize(tracer: Tracer) -> dict:
     return {
         "spans": spans,
         "counters": dict(sorted(tracer.counters().items())),
+        "metrics": tracer.metrics.snapshot(),
         "warnings": warning_counts(),
         "n_instant_events": n_events,
         "n_threads": tracer.n_threads_seen(),
@@ -62,12 +75,14 @@ def summarize(tracer: Tracer) -> dict:
 
 def chrome_events(tracer: Tracer) -> list[dict]:
     """Chrome ``trace_event`` list: one complete (``"ph": "X"``) event
-    per span, one instant (``"ph": "i"``) per event, plus thread-name
+    per span, one instant (``"ph": "i"``) per event, a counter track
+    (``"ph": "C"``) per merged tracer counter, plus thread-name
     metadata so the timeline shows real thread labels. Timestamps are
     microseconds relative to the tracer's origin."""
     origin = tracer.origin_ns
     out: list[dict] = []
     named: set[int] = set()
+    last_ts = 0.0
     for buf, ev in tracer.events():
         tid = buf.ident
         if tid not in named:
@@ -90,10 +105,26 @@ def chrome_events(tracer: Tracer) -> list[dict]:
         if ev.is_instant:
             record["ph"] = "i"
             record["s"] = "t"
+            last_ts = max(last_ts, record["ts"])
         else:
             record["ph"] = "X"
             record["dur"] = ev.dur_ns / 1e3
+            last_ts = max(last_ts, record["ts"] + record["dur"])
         out.append(record)
+    # Counter tracks: Chrome draws "C" samples as a stacked area chart
+    # per name. Counters carry totals, not timestamps, so each track is
+    # a ramp — zero at the origin, the merged total at the last event
+    # timestamp.
+    for name, value in sorted(tracer.counters().items()):
+        for ts, v in ((0.0, 0), (last_ts, value)):
+            out.append({
+                "name": name,
+                "ph": "C",
+                "pid": 0,
+                "tid": 0,
+                "ts": ts,
+                "args": {"value": v},
+            })
     # Stable timeline order (metadata events carry no ts -> sort first).
     out.sort(key=lambda r: r.get("ts", -1.0))
     return out
@@ -133,9 +164,10 @@ def validate_trace(doc) -> list[str]:
     problems: list[str] = []
     if not isinstance(doc, dict):
         return [f"document must be a JSON object, got {type(doc).__name__}"]
-    if doc.get("schema") != TRACE_SCHEMA:
+    schema = doc.get("schema")
+    if schema not in _READABLE_SCHEMAS:
         problems.append(
-            f"schema must be {TRACE_SCHEMA!r}, got {doc.get('schema')!r}"
+            f"schema must be one of {_READABLE_SCHEMAS}, got {schema!r}"
         )
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -149,7 +181,7 @@ def validate_trace(doc) -> list[str]:
             if key not in ev:
                 problems.append(f"traceEvents[{i}] missing {key!r}")
         ph = ev.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "C"):
             problems.append(f"traceEvents[{i}] has unknown ph {ph!r}")
         if ph == "X":
             if not isinstance(ev.get("ts"), (int, float)):
@@ -158,6 +190,16 @@ def validate_trace(doc) -> list[str]:
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(
                     f"traceEvents[{i}] ph=X needs non-negative dur"
+                )
+        if ph == "C":
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"traceEvents[{i}] ph=C missing numeric ts")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(
+                    f"traceEvents[{i}] ph=C needs numeric args values"
                 )
     summary = doc.get("summary")
     if not isinstance(summary, dict):
@@ -181,6 +223,26 @@ def validate_trace(doc) -> list[str]:
         not isinstance(v, (int, float)) for v in counters.values()
     ):
         problems.append("summary.counters must map names to numbers")
+    if schema == TRACE_SCHEMA:
+        # v2: the streaming-metrics snapshot is part of the contract.
+        metrics = summary.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append("summary.metrics must be an object (schema v2)")
+        else:
+            for section in ("counters", "gauges", "histograms"):
+                entries = metrics.get(section)
+                if not isinstance(entries, list):
+                    problems.append(
+                        f"summary.metrics.{section} must be a list"
+                    )
+                    continue
+                for j, entry in enumerate(entries):
+                    if not isinstance(entry, dict) or not isinstance(
+                        entry.get("name"), str
+                    ):
+                        problems.append(
+                            f"summary.metrics.{section}[{j}] needs a name"
+                        )
     return problems
 
 

@@ -31,6 +31,8 @@ from contextlib import contextmanager
 from time import perf_counter_ns
 from typing import Iterator, Optional, Sequence
 
+from .metrics import MetricsRegistry
+
 __all__ = [
     "Tracer",
     "SpanEvent",
@@ -144,6 +146,10 @@ class Tracer:
         self._local = threading.local()
         self._buffers: list[_ThreadBuffer] = []
         self._lock = threading.Lock()
+        #: Streaming metrics riding on the same enablement gate: code
+        #: records with ``t.metrics.histogram(...)`` only after checking
+        #: ``t.enabled``, so the disabled path stays one attribute test.
+        self.metrics = MetricsRegistry()
 
     # -- recording (hot path) -------------------------------------------
     def span(self, name: str, **attrs):
@@ -239,6 +245,7 @@ class Tracer:
             for buf in self._buffers:
                 buf.events.clear()
                 buf.counters.clear()
+        self.metrics.clear()
         self.origin_ns = perf_counter_ns()
 
 
@@ -316,6 +323,8 @@ def percentile(values: Sequence[float], q: float) -> float:
     definition of p50/p95."""
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if any(v != v for v in values):
+        raise ValueError("percentile of data containing NaN")
     data = sorted(values)
     if not data:
         raise ValueError("percentile of an empty sequence")
@@ -335,6 +344,8 @@ def summarize_ns(samples_ns: Sequence[float]) -> dict[str, float]:
     exporters and the wall-clock benchmarks alike."""
     if not samples_ns:
         raise ValueError("summarize_ns needs at least one sample")
+    if any(v != v for v in samples_ns):
+        raise ValueError("summarize_ns of data containing NaN")
     n = len(samples_ns)
     total = float(sum(samples_ns))
     return {

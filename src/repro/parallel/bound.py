@@ -19,6 +19,7 @@ copy it (or pass ``out=``) to keep a result.
 from __future__ import annotations
 
 import warnings
+from time import perf_counter_ns
 from typing import Optional
 
 import numpy as np
@@ -400,12 +401,26 @@ class BoundOperator:
             return out
         return self._y
 
+    def _metric_labels(self) -> dict:
+        """(format, reduction, backend) identity of this operator —
+        the label set its streaming histograms are keyed by."""
+        reduction = getattr(self.driver, "reduction", None)
+        return {
+            "format": self.driver.matrix.format_name,
+            "reduction": getattr(reduction, "name", "none"),
+            "backend": self.driver.executor.mode,
+        }
+
     def _apply_traced(
         self, tracer, x: np.ndarray, out: Optional[np.ndarray]
     ) -> np.ndarray:
         """The same application wrapped in phase spans and counters.
         Phase names match the unbound driver ("spmv.mult" /
-        "spmv.reduce") so summaries aggregate across both paths."""
+        "spmv.reduce") so summaries aggregate across both paths.
+        Additionally streams per-application latency and modeled
+        traffic into the ``op.apply_ns`` / ``op.traffic_bytes``
+        histograms, keyed by (format, reduction, backend)."""
+        t0 = perf_counter_ns()
         with tracer.span("bound.apply", k=self.k):
             with tracer.span("bound.zero"):
                 self._zero_workspaces()
@@ -425,10 +440,17 @@ class BoundOperator:
             finally:
                 self._x = None
             tracer.count("bound.calls")
-            _record_traffic(
+            _, stream_bytes = _record_traffic(
                 tracer, self.driver.matrix, self.k,
                 getattr(self.driver, "reduction", None),
             )
+        labels = self._metric_labels()
+        tracer.metrics.histogram("op.apply_ns", **labels).record(
+            perf_counter_ns() - t0
+        )
+        tracer.metrics.histogram("op.traffic_bytes", **labels).record(
+            stream_bytes
+        )
         self.n_calls += 1
         if out is not None:
             np.copyto(out, self._y)

@@ -41,6 +41,7 @@ failed batch is retried once serially (after the caller-supplied
 from __future__ import annotations
 
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from time import perf_counter_ns
 from typing import Callable, Optional, Sequence
 
 from ..obs.tracer import active as _active_tracer, warn as _obs_warn
@@ -137,6 +138,9 @@ class Executor:
         ``tid`` attribute — recorded on the executing thread, so the
         Chrome export shows the real per-thread timeline; a task that
         raises additionally records a ``task.error`` instant event.
+        Per-task and whole-batch durations additionally stream into the
+        tracer's ``task.latency_ns`` / ``batch.latency_ns`` histograms,
+        labelled with the batch label and the executor mode.
         The process backend records the equivalent spans from worker-
         reported durations, attributed with the worker ``pid``.
 
@@ -171,17 +175,26 @@ class Executor:
         batch = self.n_batches
         self.n_batches += 1
 
+        t0 = perf_counter_ns() if tracer.enabled else 0
+
+        def record_batch() -> None:
+            if tracer.enabled:
+                tracer.metrics.histogram(
+                    "batch.latency_ns", label=name, backend=self.mode
+                ).record(perf_counter_ns() - t0)
+
         def instrumented(task_list):
             if not tracer.enabled:
                 return task_list
             return [
-                self._traced(tracer, name, tid_base + i, task)
+                self._traced(tracer, name, tid_base + i, task, self.mode)
                 for i, task in enumerate(task_list)
             ]
 
         if self.mode == "serial":
             for task in instrumented(tasks):
                 task()
+            record_batch()
             return
 
         if self.mode == "chaos":
@@ -235,10 +248,12 @@ class Executor:
                     name, batch, [TaskFailure(tid_base + tid, exc)],
                     n_tasks=len(tasks),
                 ) from exc
+        record_batch()
 
     @staticmethod
-    def _traced(tracer, name: str, tid: int, task):
+    def _traced(tracer, name: str, tid: int, task, mode: str):
         def run() -> None:
+            start = perf_counter_ns()
             with tracer.span(name, tid=tid):
                 try:
                     task()
@@ -247,6 +262,11 @@ class Executor:
                         "task.error", tid=tid, error=type(exc).__name__
                     )
                     raise
+            # Resolved here, on the executing thread, so the histogram
+            # lands in that thread's shard (no cross-thread mutation).
+            tracer.metrics.histogram(
+                "task.latency_ns", label=name, backend=mode
+            ).record(perf_counter_ns() - start)
 
         return run
 

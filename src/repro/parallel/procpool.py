@@ -7,8 +7,20 @@ shared-memory arenas (:mod:`repro.parallel.shm`), reconstructs the
 driver state zero-copy, precompiles its task closures — and then the
 per-call protocol is descriptors only::
 
-    parent -> worker   ("run", batch, [tid, ...])
-    worker -> parent   ("done", batch, [(tid, pid, dur_ns, err), ...])
+    parent -> worker   ("run", batch, [tid, ...], collect)
+    worker -> parent   ("done", batch, [(tid, pid, dur_ns, err), ...],
+                        counters | None, metrics_snapshot | None)
+
+``collect`` mirrors the parent's tracer enablement: when set, the
+worker runs the batch under its own (process-local) enabled tracer and
+ships back the *deltas* — the tracer counters the kernels bumped and a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of any streaming
+metrics — then clears its tracer. The parent folds the counters into
+its active tracer and merges the metrics snapshot (histogram merge is
+associative, so worker/batch arrival order does not matter): a
+``"processes"`` run reports the same counter and metric names as
+``threads``/``serial``. With tracing disabled nothing is collected and
+the reply carries ``None``s.
 
 Failure containment mirrors the thread executor: the parent collects a
 reply from **every** worker it dispatched to before raising, so by the
@@ -35,7 +47,12 @@ from dataclasses import dataclass, field
 from time import perf_counter_ns
 from typing import Optional, Sequence
 
-from ..obs.tracer import active as _active_tracer, warn as _obs_warn
+from ..obs.tracer import (
+    Tracer,
+    active as _active_tracer,
+    set_active as _set_active,
+    warn as _obs_warn,
+)
 from ..resilience.chaos import ChaosPlan
 from ..resilience.errors import (
     BatchExecutionError,
@@ -143,6 +160,7 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
     pid = os.getpid()
     data = ws = None
     tasks = x = y = None
+    wtracer = None
     try:
         try:
             ws = _shm.SharedArena.attach(spec.ws_name, untrack=spec.untrack)
@@ -162,25 +180,45 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
                 break
             if msg[0] == "stop":
                 break
-            _, batch, tids = msg
+            _, batch, tids, collect = msg
+            prev_tracer = None
+            if collect:
+                # Process-local collection tracer, created on first
+                # collecting batch and reused (cleared per batch).
+                if wtracer is None:
+                    wtracer = Tracer()
+                prev_tracer = _set_active(wtracer)
             results = []
-            for tid in tids:
-                task = tasks[tid]
-                if spec.plan is not None:
-                    task = spec.plan.wrap(batch, tid, task)
-                err = None
-                t0 = perf_counter_ns()
-                try:
-                    task()
-                except BaseException as exc:  # noqa: BLE001
-                    err = _portable_exc(exc)
-                finally:
-                    # Loop locals outlive the loop; a lingering closure
-                    # reference would pin the arena views at teardown.
-                    task = None
-                results.append((tid, pid, perf_counter_ns() - t0, err))
             try:
-                conn.send(("done", batch, results))
+                for tid in tids:
+                    task = tasks[tid]
+                    if spec.plan is not None:
+                        task = spec.plan.wrap(batch, tid, task)
+                    err = None
+                    t0 = perf_counter_ns()
+                    try:
+                        task()
+                    except BaseException as exc:  # noqa: BLE001
+                        err = _portable_exc(exc)
+                    finally:
+                        # Loop locals outlive the loop; a lingering
+                        # closure reference would pin the arena views
+                        # at teardown.
+                        task = None
+                    results.append(
+                        (tid, pid, perf_counter_ns() - t0, err)
+                    )
+            finally:
+                if collect:
+                    _set_active(prev_tracer)
+            if collect:
+                counters = wtracer.counters()
+                msnap = wtracer.metrics.snapshot()
+                wtracer.clear()
+            else:
+                counters = msnap = None
+            try:
+                conn.send(("done", batch, results, counters, msnap))
             except (BrokenPipeError, OSError):
                 break
     finally:
@@ -322,6 +360,8 @@ class ProcessPool:
         if self._closed:
             raise RuntimeError("process pool is closed")
         self._ensure_workers()
+        tracer = _active_tracer()
+        collect = tracer.enabled
         assigned: dict[int, list[int]] = {}
         for tid in order:
             assigned.setdefault(tid % self.n_workers, []).append(tid)
@@ -329,7 +369,7 @@ class ProcessPool:
         sent: dict[int, list[int]] = {}
         for w, tids in assigned.items():
             try:
-                self._conns[w].send(("run", batch, tids))
+                self._conns[w].send(("run", batch, tids, collect))
                 sent[w] = tids
             except (BrokenPipeError, OSError):
                 pid = self._mark_dead(w)
@@ -337,7 +377,6 @@ class ProcessPool:
                     TaskFailure(tid, WorkerCrashError(tid, pid))
                     for tid in tids
                 )
-        tracer = _active_tracer()
         for w, tids in sent.items():
             try:
                 msg = self._conns[w].recv()
@@ -354,12 +393,25 @@ class ProcessPool:
                 self._mark_dead(w)
                 failures.extend(TaskFailure(tid, err) for tid in tids)
                 continue
-            _, _, results = msg
+            _, _, results, counters, msnap = msg
             for tid, pid, dur_ns, err in results:
                 if tracer.enabled:
                     tracer.record_span(label, dur_ns, tid=tid, pid=pid)
+                    tracer.metrics.histogram(
+                        "task.latency_ns", label=label,
+                        backend="processes",
+                    ).record(dur_ns)
                 if err is not None:
                     failures.append(TaskFailure(tid, err))
+            # Fold the worker's per-batch deltas into the parent: the
+            # counters kernels bumped worker-side (they would otherwise
+            # vanish — only spans are re-emitted above) and any
+            # streaming metrics recorded in the worker.
+            if tracer.enabled and counters:
+                for cname, value in counters.items():
+                    tracer.count(cname, value)
+            if tracer.enabled and msnap:
+                tracer.metrics.merge_snapshot(msnap)
         if failures:
             _obs_warn("resilience.batch_failure")
             raise BatchExecutionError(

@@ -37,13 +37,15 @@ __all__ = ["ParallelSymmetricSpMV", "ParallelSpMV"]
 
 def _record_traffic(
     tracer: Tracer, matrix, k: Optional[int], reduction=None
-) -> None:
+) -> tuple[int, int]:
     """Model-relevant traffic counters for one driver application:
     matrix/stream bytes from the :mod:`repro.analysis.traffic` model and
     (for symmetric drivers) the reduction rows actually touched vs the
     full effective-ranges budget ``N·(p-1)``. Only called when a tracer
     is enabled, so the analysis import stays off the cold-start path
-    (and avoids a module-level cycle: analysis imports parallel)."""
+    (and avoids a module-level cycle: analysis imports parallel).
+    Returns ``(matrix_bytes, stream_bytes)`` so callers can feed the
+    same numbers into streaming metrics without recomputation."""
     from ..analysis.traffic import spmm_stream_bytes, spmv_stream_bytes
 
     size = matrix.size_bytes()
@@ -67,6 +69,7 @@ def _record_traffic(
             # are merged into serial steps, so this can be below the
             # class count.
             tracer.count("coloring.barrier_waits", sched.n_barriers)
+    return size, stream
 
 
 # Operand validation lives in repro.formats.validate (shared error

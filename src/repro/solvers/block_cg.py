@@ -16,12 +16,13 @@ columns keep riding the shared matrix pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Callable, Optional
 
 import numpy as np
 
 from ..obs.tracer import Tracer, active as _active_tracer, warn as _obs_warn
-from .cg import bind_operator
+from .cg import _note_iteration, bind_operator
 from .guards import DEFAULT_STAGNATION_WINDOW, Breakdown
 from .vecops import OpCounter
 
@@ -164,6 +165,7 @@ def block_conjugate_gradient(
     it = 0
     while it < max_iter and not np.all(converged | stalled):
         it += 1
+        iter_t0 = perf_counter_ns() if tracer.enabled else 0
         with tracer.span("cg.spmm"):
             Q = spmm(P)  # one matrix pass for all k columns
         n_spmm += 1
@@ -196,15 +198,20 @@ def block_conjugate_gradient(
             res_norms = np.where(active, np.sqrt(rs_new), res_norms)
         if record_history:
             history.append(res_norms.copy())
+        iter_residual = (
+            float(np.max(np.where(active, res_norms, 0.0)))
+            if np.any(active)
+            else float(np.max(np.where(np.isfinite(res_norms), res_norms,
+                                       0.0)))
+        )
         tracer.event(
             "cg.iter",
             iteration=it,
-            residual=float(np.max(np.where(active, res_norms, 0.0)))
-            if np.any(active)
-            else float(np.max(np.where(np.isfinite(res_norms), res_norms,
-                                       0.0))),
+            residual=iter_residual,
             active_columns=int(np.count_nonzero(active)),
         )
+        if tracer.enabled:
+            _note_iteration(tracer, "block_cg", iter_t0, iter_residual)
         with tracer.span("cg.vecops"):
             converged |= active & (res_norms <= thresholds)
             active &= ~converged

@@ -11,12 +11,13 @@ while usually cutting the iteration count on ill-conditioned systems.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Callable, Optional
 
 import numpy as np
 
 from ..obs.tracer import Tracer, active as _active_tracer, warn as _obs_warn
-from .cg import CGResult, _note_breakdown, bind_operator
+from .cg import CGResult, _note_breakdown, _note_iteration, bind_operator
 from .guards import DEFAULT_STAGNATION_WINDOW, Breakdown, BreakdownDetector
 from .vecops import OpCounter, VectorOps
 
@@ -124,6 +125,7 @@ def preconditioned_conjugate_gradient(
     restarted = False
     it = 0
     for it in range(1, max_iter + 1):
+        iter_t0 = perf_counter_ns() if tracer.enabled else 0
         with tracer.span("cg.spmv"):
             q = spmv(p)
         n_spmv += 1
@@ -167,6 +169,8 @@ def preconditioned_conjugate_gradient(
             breakdown = bd
             break
         tracer.event("cg.iter", iteration=it, residual=res_norm)
+        if tracer.enabled:
+            _note_iteration(tracer, "pcg", iter_t0, res_norm)
         if res_norm <= threshold:
             converged = True
             break

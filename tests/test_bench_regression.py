@@ -1,0 +1,146 @@
+"""The noise-aware benchmark regression gate (benchmarks/check_regression).
+
+Three behaviors are contractual:
+
+* the committed baselines compared against themselves pass (a gate
+  that flags its own baselines is useless);
+* an injected 2x slowdown fails, with the regressed entries named;
+* a ``config.host_cores`` mismatch *skips* the file with an explicit
+  reason instead of comparing wall-clock across different machines.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from check_regression import (  # noqa: E402
+    ADAPTERS,
+    check,
+    compare_docs,
+    config_mismatch,
+    main,
+    render,
+)
+
+RESULTS = REPO / "results"
+
+
+@pytest.fixture()
+def operator_doc():
+    return json.loads((RESULTS / "BENCH_operator.json").read_text())
+
+
+def _slowed(doc, factor=2.0):
+    doc = copy.deepcopy(doc)
+    for row in doc["rows"]:
+        row["per_iter_ms"] *= factor
+        row["per_iter_p95_ms"] *= factor
+    return doc
+
+
+def test_committed_baselines_pass_against_themselves():
+    results, code = check(fresh_dir=RESULTS, baseline_dir=RESULTS)
+    assert code == 0
+    compared = [r for r in results if r["status"] != "skipped"]
+    assert compared, "no committed baseline document was compared"
+    assert all(r["status"] == "ok" for r in compared)
+    # Every adapter key resolves on the real documents.
+    for res in compared:
+        assert any("ratio" in e for e in res["entries"])
+
+
+def test_injected_2x_slowdown_fails(operator_doc):
+    res = compare_docs(
+        "BENCH_operator.json", operator_doc, _slowed(operator_doc)
+    )
+    assert res["status"] == "regression"
+    slower = [e for e in res["entries"] if e.get("slower")]
+    assert slower
+    for e in slower:
+        assert e["ratio"] == pytest.approx(2.0)
+    # And rendered output names them.
+    assert "REGRESSION" in render([res])
+
+
+def test_speedup_is_not_a_regression(operator_doc):
+    res = compare_docs(
+        "BENCH_operator.json", operator_doc, _slowed(operator_doc, 0.5)
+    )
+    assert res["status"] == "ok"
+
+
+def test_noise_widens_the_gate(operator_doc):
+    """A 1.4x median shift inside a 2x tail-to-median spread must not
+    fire: the benchmark's own repeats cannot support the verdict."""
+    noisy_base = copy.deepcopy(operator_doc)
+    for row in noisy_base["rows"]:
+        row["per_iter_p95_ms"] = row["per_iter_ms"] * 2.0
+    res = compare_docs(
+        "BENCH_operator.json", noisy_base, _slowed(noisy_base, 1.4)
+    )
+    assert res["status"] == "ok"
+    # The same shift with tight repeats fires.
+    res = compare_docs(
+        "BENCH_operator.json", operator_doc, _slowed(operator_doc, 1.4)
+    )
+    tight = [
+        e for e in res["entries"]
+        if "ratio" in e and e["noise"] * 1.25 < 1.4
+    ]
+    assert all(e["slower"] for e in tight)
+
+
+def test_host_cores_mismatch_skips(operator_doc):
+    fresh = _slowed(operator_doc, 10.0)  # would fail if compared
+    fresh["config"]["host_cores"] = (
+        operator_doc["config"]["host_cores"] or 0
+    ) + 63
+    res = compare_docs("BENCH_operator.json", operator_doc, fresh)
+    assert res["status"] == "skipped"
+    assert "host_cores" in res["reason"]
+    assert "SKIP" in render([res])
+
+
+def test_config_mismatch_helper():
+    assert config_mismatch({"a": 1, "b": 2}, {"a": 1, "b": 2}) is None
+    assert config_mismatch({"a": 1}, {"a": 2}) == ("a", 1, 2)
+    # Keys on one side only do not invalidate the comparison.
+    assert config_mismatch({"a": 1}, {"a": 1, "new": 9}) is None
+
+
+def test_entry_appears_and_vanishes(operator_doc):
+    fresh = copy.deepcopy(operator_doc)
+    gone = fresh["rows"].pop(0)
+    fresh["rows"].append(dict(gone, matrix="brand_new"))
+    res = compare_docs("BENCH_operator.json", operator_doc, fresh)
+    notes = [e["note"] for e in res["entries"] if "note" in e]
+    assert "missing in fresh run" in notes
+    assert "new entry (no baseline)" in notes
+    assert res["status"] == "ok"  # informational, not a verdict
+
+
+def test_cli_end_to_end(tmp_path, operator_doc, capsys):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    for name in ADAPTERS:
+        src = RESULTS / name
+        if src.exists():
+            (fresh / name).write_text(src.read_text())
+    assert main(["--fresh", str(fresh), "--baseline", str(RESULTS)]) == 0
+    (fresh / "BENCH_operator.json").write_text(
+        json.dumps(_slowed(operator_doc))
+    )
+    assert main(["--fresh", str(fresh), "--baseline", str(RESULTS)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION DETECTED" in out
+
+
+def test_cli_rejects_bad_tolerance(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--fresh", str(tmp_path), "--tolerance", "0.9"])

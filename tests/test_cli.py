@@ -203,3 +203,79 @@ def test_untraced_commands_leave_no_trace_flag_behind(capsys):
     )
     assert rc == 0
     assert active() is NULL_TRACER
+
+
+# ---------------------------------------------------------------------
+# repro metrics
+# ---------------------------------------------------------------------
+METRICS_BASE = [
+    "metrics", "--matrix", "hood", "--scale", "0.01",
+    "--threads", "3", "--applications", "4",
+]
+
+
+def test_metrics_table_output(capsys):
+    assert main(METRICS_BASE) == 0
+    out = capsys.readouterr().out
+    assert "op.apply_ns" in out
+    assert "op.traffic_bytes" in out
+    assert "batch.latency_ns" in out
+    assert "reduction=indexed" in out
+
+
+def test_metrics_openmetrics_to_file(tmp_path, capsys):
+    path = tmp_path / "m" / "metrics.prom"
+    rc = main(METRICS_BASE + [
+        "--format", "openmetrics", "--output", str(path),
+    ])
+    assert rc == 0
+    text = path.read_text()
+    assert text.endswith("# EOF\n")
+    assert "repro_op_apply_ns_bucket" in text
+    assert "reduction=\"indexed\"" in text
+    assert str(path) in capsys.readouterr().out
+
+
+def test_metrics_json_with_attribution(capsys):
+    import json as _json
+
+    rc = main(METRICS_BASE + [
+        "--format", "json", "--attribution", "--rcm",
+    ])
+    assert rc == 0
+    doc = _json.loads(capsys.readouterr().out)
+    assert doc["meta"]["matrix"] == "hood" and doc["meta"]["rcm"]
+    names = {h["name"] for h in doc["metrics"]["histograms"]}
+    assert {"op.apply_ns", "op.traffic_bytes"} <= names
+    att = doc["attribution"]
+    assert att["label"] == "hood/sss/rcm"
+    phases = {p["phase"] for p in att["phases"]}
+    assert "mult" in phases and "reduce" in phases
+    assert att["max_share_divergence"] == att["max_share_divergence"]
+
+
+def test_metrics_attribution_table_and_healthy_slo(capsys):
+    rc = main(METRICS_BASE + ["--attribution", "--slo-ms", "60000"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SLO op.apply" in out and "OK" in out
+    assert "attribution: hood/sss" in out
+    assert "share divergence" in out
+
+
+def test_metrics_slo_violation_exit_code(capsys):
+    # 1 ns threshold: every application violates -> budget exhausted.
+    rc = main(METRICS_BASE + ["--slo-ms", "0.000001"])
+    assert rc == 3
+    assert "VIOLATED" in capsys.readouterr().out
+
+
+def test_metrics_rejects_bad_combination(capsys):
+    # coloring needs a symmetric format with a lower triple; csr is
+    # an unsymmetric driver -> typed rc 2, not a traceback.
+    rc = main([
+        "metrics", "--matrix", "hood", "--scale", "0.01",
+        "--storage", "csr", "--reduction", "coloring",
+    ])
+    assert rc == 2
+    assert "repro metrics:" in capsys.readouterr().err

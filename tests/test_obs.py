@@ -340,3 +340,88 @@ def test_obs_package_reexports():
     for name in ("Tracer", "tracing", "write_trace", "validate_trace",
                  "summarize_ns", "percentile", "text_report"):
         assert hasattr(obs, name)
+
+
+# ---------------------------------------------------------------------
+# Schema v2: counter tracks and the embedded metrics snapshot
+# ---------------------------------------------------------------------
+def test_statistics_reject_nan():
+    with pytest.raises(ValueError, match="NaN"):
+        percentile([1.0, float("nan"), 3.0], 50)
+    with pytest.raises(ValueError, match="NaN"):
+        summarize_ns([1e6, float("nan")])
+
+
+def test_chrome_counter_tracks_ramp():
+    t = _recorded_tracer()
+    evs = chrome_events(t)
+    tracks = [e for e in evs if e["ph"] == "C"]
+    assert len(tracks) == 2  # one counter -> zero sample + total sample
+    assert all(e["name"] == "bytes" for e in tracks)
+    by_ts = sorted(tracks, key=lambda e: e["ts"])
+    assert by_ts[0]["ts"] == 0.0 and by_ts[0]["args"]["value"] == 0
+    assert by_ts[-1]["args"]["value"] == 64
+    # The final sample sits at the last span/event timestamp, so the
+    # ramp spans the whole timeline.
+    last_ts = max(
+        e["ts"] + e.get("dur", 0.0) for e in evs if e["ph"] == "X"
+    )
+    assert by_ts[-1]["ts"] == pytest.approx(last_ts)
+
+
+def test_trace_v2_round_trips_metrics_snapshot(tmp_path):
+    t = _recorded_tracer()
+    t.metrics.histogram("op.apply_ns", backend="serial").record_many(
+        [100.0, 5000.0]
+    )
+    t.metrics.counter("applies").inc(2)
+    path = write_trace(tmp_path / "v2.json", t)
+    doc = load_trace(path)
+    assert validate_trace(doc) == []
+    assert doc["schema"] == "repro-trace-v2"
+    metrics = doc["summary"]["metrics"]
+    hist = metrics["histograms"][0]
+    assert hist["name"] == "op.apply_ns"
+    assert hist["labels"] == {"backend": "serial"}
+    assert hist["summary"]["count"] == 2
+    assert metrics["counters"][0] == {
+        "name": "applies", "labels": {}, "value": 2.0,
+    }
+    # The bucket data reconstructs the histogram exactly.
+    from repro.obs import LogHistogram
+
+    back = LogHistogram.from_dict(hist["data"])
+    assert back.count == 2 and back.max_seen == 5000.0
+
+
+def test_validate_v2_requires_metrics_section():
+    doc = trace_document(_recorded_tracer())
+    del doc["summary"]["metrics"]
+    assert any("summary.metrics" in p for p in validate_trace(doc))
+    doc2 = trace_document(_recorded_tracer())
+    doc2["summary"]["metrics"]["histograms"] = {"not": "a list"}
+    assert any(
+        "metrics.histograms" in p for p in validate_trace(doc2)
+    )
+    doc3 = trace_document(_recorded_tracer())
+    doc3["summary"]["metrics"]["counters"] = [{"labels": {}}]  # no name
+    assert any("needs a name" in p for p in validate_trace(doc3))
+    # Malformed counter-track events are caught.
+    doc4 = trace_document(_recorded_tracer())
+    doc4["traceEvents"].append(
+        {"name": "c", "ph": "C", "pid": 0, "tid": 0, "ts": 0.0,
+         "args": {"value": "many"}}
+    )
+    assert any("numeric args" in p for p in validate_trace(doc4))
+
+
+def test_validate_still_reads_v1_documents():
+    """v1 documents (no counter tracks, no summary.metrics) stay
+    readable — the v2 requirements only bind v2 documents."""
+    doc = trace_document(_recorded_tracer())
+    doc["schema"] = "repro-trace-v1"
+    doc["traceEvents"] = [
+        e for e in doc["traceEvents"] if e["ph"] != "C"
+    ]
+    del doc["summary"]["metrics"]
+    assert validate_trace(doc) == []
