@@ -63,6 +63,12 @@ ADAPTERS = {
         "p50": "p50_ms",
         "p95": "p95_ms",
     },
+    "BENCH_serving.json": {
+        "entries": lambda doc: doc.get("measured", []),
+        "key": lambda r: (r["kind"], r["mode"], r["concurrency"]),
+        "p50": "p50_ms",
+        "p95": "p95_ms",
+    },
 }
 
 

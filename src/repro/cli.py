@@ -20,6 +20,14 @@ Subcommands
     traffic histograms, counters, gauges — as a summary table,
     OpenMetrics text or JSON, optionally with an SLO evaluation and
     the measured-vs-modeled attribution report.
+``serve``
+    Stand up the async solver server over one suite matrix and drive
+    it with the closed-loop load generator — including the chaos
+    drill (``--executor chaos``), where every request must still
+    complete correctly (serial fallback) or fail typed.
+``loadgen``
+    A/B measurement: the same load with coalescing on and off, with
+    per-response bit-identity audits; optional JSON report.
 
 Examples
 --------
@@ -264,6 +272,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument(
         "--slo-percentile", type=float, default=95.0,
         help="target percentile for --slo-ms (default 95)",
+    )
+
+    def serving(p):
+        common(p)
+        p.add_argument("--format", default="sss", choices=_FORMATS)
+        p.add_argument(
+            "--reduction", default="indexed",
+            choices=("naive", "effective", "indexed", "coloring"),
+        )
+        p.add_argument(
+            "--executor", default="threads",
+            choices=("serial", "threads", "processes", "chaos"),
+            help="compute executor behind the served operators; "
+                 "'chaos' injects faults and delays (the drill: "
+                 "requests must complete via serial fallback or fail "
+                 "typed — never hang, never return wrong bits)",
+        )
+        p.add_argument("--kind", default="spmv",
+                       choices=("spmv", "cg"))
+        p.add_argument("--requests", type=int, default=200,
+                       help="total requests to issue (default 200)")
+        p.add_argument("--concurrency", type=int, default=8,
+                       help="closed-loop workers (default 8)")
+        p.add_argument("--window-ms", type=float, default=2.0,
+                       help="coalescing window (default 2 ms)")
+        p.add_argument("--max-batch", type=int, default=8,
+                       help="SpM×M width cap (default 8)")
+        p.add_argument("--max-pending", type=int, default=64,
+                       help="admission limit (default 64)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline budget")
+        p.add_argument("--tol", type=float, default=1e-8,
+                       help="CG tolerance (--kind cg)")
+        p.add_argument("--seed", type=int, default=1234)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async solver server under closed-loop load "
+             "(chaos drill with --executor chaos)",
+    )
+    serving(p_serve)
+    p_serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="serve every request solo (baseline mode)",
+    )
+    p_serve.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="latency objective on served requests; exit 3 when the "
+             "error budget is blown",
+    )
+    p_serve.add_argument(
+        "--slo-percentile", type=float, default=99.0,
+        help="target percentile for --slo-ms (default 99)",
+    )
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="A/B the same load with coalescing on vs off "
+             "(bit-identity always audited)",
+    )
+    serving(p_loadgen)
+    p_loadgen.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the paired reports as JSON to PATH",
     )
     return parser
 
@@ -672,6 +744,161 @@ def _cmd_metrics(args) -> int:
     return rc
 
 
+def _serve_setup(args):
+    """(registry, key, server_kwargs) for the serving subcommands."""
+    import asyncio  # noqa: F401  (the commands run an event loop)
+
+    from .serve import OperatorRegistry
+
+    coo = get_entry(args.matrix).build(scale=args.scale)
+    matrix, parts = build_format(coo, args.format, args.threads)
+    if args.executor == "chaos":
+        # The drill: real injected exceptions and delays, unlike the
+        # benign scheduling-only chaos of the spmv/cg subcommands —
+        # the server's containment (serial fallback) is under test.
+        plan = ChaosPlan(
+            seed=args.seed, p_raise=0.3, p_delay=0.3, max_delay_ms=0.2
+        )
+        executor = Executor("chaos", plan=plan)
+    elif args.executor in ("threads", "processes"):
+        executor = Executor(args.executor, max_workers=args.threads)
+    else:
+        executor = None
+    registry = OperatorRegistry()
+    try:
+        entry = registry.register(
+            matrix, parts, reduction=args.reduction, executor=executor
+        )
+    except ValidationError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return None
+    return registry, entry.key, {
+        "window": args.window_ms * 1e-3,
+        "max_batch": args.max_batch,
+        "max_pending": args.max_pending,
+    }
+
+
+def _run_serve_load(server, key, args):
+    from .serve import run_load
+
+    deadline = (
+        None if args.deadline_ms is None else args.deadline_ms * 1e-3
+    )
+    return run_load(
+        server, key, kind=args.kind, concurrency=args.concurrency,
+        n_requests=args.requests, deadline=deadline, tol=args.tol,
+        seed=args.seed,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import SolverServer
+
+    setup = _serve_setup(args)
+    if setup is None:
+        return 2
+    registry, key, kwargs = setup
+
+    async def drive():
+        server = SolverServer(
+            registry, coalesce=not args.no_coalesce, **kwargs
+        )
+        if args.slo_ms is not None:
+            server.add_slo(
+                f"serve.{args.kind}", args.slo_ms,
+                percentile=args.slo_percentile,
+            )
+        try:
+            report = await _run_serve_load(server, key, args)
+            slo_reports = server.slo_reports()
+            batches = server.metrics.counter_value(
+                "serve.batches", kind=args.kind
+            )
+            fallbacks = server.metrics.counter_value(
+                "serve.fallback_requests"
+            )
+        finally:
+            await server.close()
+        return report, slo_reports, batches, fallbacks
+
+    report, slo_reports, batches, fallbacks = asyncio.run(drive())
+    registry.close()
+    mode = "solo (coalescing off)" if args.no_coalesce else (
+        f"coalescing (window {args.window_ms:g} ms, "
+        f"max batch {args.max_batch})"
+    )
+    print(
+        f"served {args.matrix} [{args.format}, {args.reduction}, "
+        f"{args.executor}] in {mode}: {int(batches)} batches, "
+        f"{int(fallbacks)} serial fallbacks"
+    )
+    print(report.render())
+    rc = 0
+    for rep in slo_reports:
+        print(rep.render())
+        if not rep.healthy:
+            rc = 3
+    if not report.correct:
+        print(
+            f"repro serve: {report.n_incorrect} responses differed "
+            "from the serial reference", file=sys.stderr,
+        )
+        return 1
+    return rc
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from .serve import SolverServer
+
+    setup = _serve_setup(args)
+    if setup is None:
+        return 2
+    registry, key, kwargs = setup
+
+    async def drive(coalesce):
+        server = SolverServer(registry, coalesce=coalesce, **kwargs)
+        try:
+            return await _run_serve_load(server, key, args)
+        finally:
+            await server.close()
+
+    async def both():
+        on = await drive(True)
+        off = await drive(False)
+        return on, off
+
+    on, off = asyncio.run(both())
+    registry.close()
+    print("coalescing ON:")
+    print(on.render())
+    print("coalescing OFF:")
+    print(off.render())
+    speedup = off.p50_ms / on.p50_ms if on.p50_ms > 0 else float("nan")
+    print(f"p50 latency ratio off/on: {speedup:.2f}x")
+    if args.json is not None:
+        doc = {
+            "matrix": args.matrix, "format": args.format,
+            "reduction": args.reduction, "executor": args.executor,
+            "coalescing_on": on.to_dict(),
+            "coalescing_off": off.to_dict(),
+        }
+        Path(args.json).write_text(json.dumps(doc, indent=2))
+        print(f"report written to {args.json}")
+    if not (on.correct and off.correct):
+        print(
+            f"repro loadgen: incorrect responses "
+            f"(on={on.n_incorrect}, off={off.n_incorrect})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "suite": _cmd_suite,
     "spmv": _cmd_spmv,
@@ -681,6 +908,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "fuzz": _cmd_fuzz,
     "metrics": _cmd_metrics,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

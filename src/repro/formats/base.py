@@ -12,6 +12,7 @@ Sizing conventions follow the paper: 8-byte double-precision values and
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Optional
 
 import numpy as np
@@ -42,7 +43,11 @@ FLAT_CACHE_MAX = 8
 def bounded_cache_insert(cache: dict, key, value, cap: int) -> None:
     """Insert into an insertion-ordered dict cache, evicting the oldest
     entry when ``cap`` would be exceeded (keeps steady-state memory of
-    the lazy scatter/split caches bounded)."""
+    the lazy scatter/split caches bounded).
+
+    Not thread-safe by itself — the evict-then-insert sequence mutates
+    the dict twice; every caller must hold its cache's lock (see
+    :class:`RowScatter` and the format-level ``_cache_lock`` users)."""
     while len(cache) >= cap:
         cache.pop(next(iter(cache)))
     cache[key] = value
@@ -100,6 +105,13 @@ class RowScatter:
       the hot formats (SSS, CSX, BCSR) recover the multi-RHS
       amortization. The per-``k`` cache is bounded by
       :data:`FLAT_CACHE_MAX`.
+
+    Thread safety: mutation of the bounded per-``k`` cache (compile,
+    eviction, clear) happens under an internal lock. :meth:`add` reads
+    the cache lock-free on the hit path and keeps a local reference to
+    the flat index, so a concurrent eviction or :meth:`clear` can never
+    yank the array out from under an in-flight scatter — the compiled
+    index is immutable structure, only the dict membership changes.
     """
 
     def __init__(self, idx: np.ndarray):
@@ -112,6 +124,19 @@ class RowScatter:
             self.hi = 0
         self._rebased = self.idx - self.lo
         self._flat: dict[int, np.ndarray] = {}
+        self._flat_lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks are unpicklable; the process backend ships scatters to
+        # workers through the shared arena. Each process re-creates its
+        # own lock (the cache is per-process state anyway).
+        state = self.__dict__.copy()
+        del state["_flat_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._flat_lock = threading.Lock()
 
     @property
     def window(self) -> tuple[int, int]:
@@ -123,13 +148,21 @@ class RowScatter:
         (no-op for ``k=None``: the 1-D path needs no flat index)."""
         if k is None or self.idx.size == 0:
             return
-        k = int(k)
-        if k not in self._flat:
-            flat = (
-                self._rebased[:, None] * k
-                + np.arange(k, dtype=np.int64)[None, :]
-            ).ravel()
-            bounded_cache_insert(self._flat, k, flat, FLAT_CACHE_MAX)
+        self._flat_for(int(k))
+
+    def _flat_for(self, k: int) -> np.ndarray:
+        """The flattened index for ``k``, compiling (and caching) it on
+        a miss. Insertion/eviction run under the cache lock; the
+        returned array stays valid even if evicted right after."""
+        with self._flat_lock:
+            flat = self._flat.get(k)
+            if flat is None:
+                flat = (
+                    self._rebased[:, None] * k
+                    + np.arange(k, dtype=np.int64)[None, :]
+                ).ravel()
+                bounded_cache_insert(self._flat, k, flat, FLAT_CACHE_MAX)
+            return flat
 
     def add(self, y: np.ndarray, products: np.ndarray) -> None:
         """Accumulate ``y[idx] += products`` (1-D or ``(m, k)``)."""
@@ -148,6 +181,9 @@ class RowScatter:
             )
             return
         k = y.shape[1]
+        # Lock-free hit path: dict.get is atomic and the compiled index
+        # is immutable, so a concurrent eviction/clear only affects
+        # membership — this local reference stays valid either way.
         flat = self._flat.get(k)
         if tracer.enabled:
             tracer.count(
@@ -155,15 +191,15 @@ class RowScatter:
                 else "scatter.flat_miss"
             )
         if flat is None:
-            self.compile(k)
-            flat = self._flat[k]
+            flat = self._flat_for(k)
         y[lo:hi] += np.bincount(
             flat, weights=products.ravel(), minlength=(hi - lo) * k
         ).reshape(hi - lo, k)
 
     def clear(self) -> None:
         """Drop the compiled per-``k`` flat indices."""
-        self._flat.clear()
+        with self._flat_lock:
+            self._flat.clear()
 
 
 class SparseFormat(abc.ABC):

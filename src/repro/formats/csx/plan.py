@@ -12,6 +12,7 @@ operations). This substitution is recorded in DESIGN.md.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -71,12 +72,27 @@ class ExecutionPlan:
         # multi-RHS paths): kernel index -> RowScatter, and (kernel
         # index, boundary) -> (local positions, local scatter, direct
         # positions, direct scatter) for the transposed local/direct
-        # split. Both are bounded; clear_caches() releases them.
+        # split. Both are bounded; clear_caches() releases them. All
+        # mutation (miss-path build, eviction, clear) runs under the
+        # cache lock — concurrent bind()/apply through operators
+        # sharing this plan read lock-free and keep local references.
         self._row_scatters: dict[int, RowScatter] = {}
         self._tsplit_cache: dict[tuple[int, int], tuple] = {}
         self._tsplit_cache_max = max(
             TSPLIT_CACHE_MIN, 4 * len(self.kernels)
         )
+        self._cache_lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks are unpicklable; the process backend ships the plan to
+        # workers through the shared arena. Workers get their own.
+        state = self.__dict__.copy()
+        del state["_cache_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
 
     @property
     def n_elements(self) -> int:
@@ -91,9 +107,15 @@ class ExecutionPlan:
                 "csx.scatter_hit" if sc is not None else "csx.scatter_miss"
             )
         if sc is None:
-            k = self.kernels[i]
-            idx = k.rows2d[:, 0] if k.row_uniform else k.rows2d.ravel()
-            sc = self._row_scatters[i] = RowScatter(idx)
+            with self._cache_lock:
+                sc = self._row_scatters.get(i)
+                if sc is None:
+                    k = self.kernels[i]
+                    idx = (
+                        k.rows2d[:, 0] if k.row_uniform
+                        else k.rows2d.ravel()
+                    )
+                    sc = self._row_scatters[i] = RowScatter(idx)
         return sc
 
     def _tsplit_for(self, i: int, boundary: int) -> tuple:
@@ -106,19 +128,22 @@ class ExecutionPlan:
                 "csx.tsplit_hit" if cache is not None else "csx.tsplit_miss"
             )
         if cache is None:
-            cols = self.kernels[i].cols2d.ravel()
-            local_pos = np.flatnonzero(cols < boundary)
-            direct_pos = np.flatnonzero(cols >= boundary)
-            cache = (
-                local_pos,
-                RowScatter(cols[local_pos]),
-                direct_pos,
-                RowScatter(cols[direct_pos]),
-            )
-            bounded_cache_insert(
-                self._tsplit_cache, (i, boundary), cache,
-                self._tsplit_cache_max,
-            )
+            with self._cache_lock:
+                cache = self._tsplit_cache.get((i, boundary))
+                if cache is None:
+                    cols = self.kernels[i].cols2d.ravel()
+                    local_pos = np.flatnonzero(cols < boundary)
+                    direct_pos = np.flatnonzero(cols >= boundary)
+                    cache = (
+                        local_pos,
+                        RowScatter(cols[local_pos]),
+                        direct_pos,
+                        RowScatter(cols[direct_pos]),
+                    )
+                    bounded_cache_insert(
+                        self._tsplit_cache, (i, boundary), cache,
+                        self._tsplit_cache_max,
+                    )
         return cache
 
     def execute(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -197,9 +222,11 @@ class ExecutionPlan:
 
     def clear_caches(self) -> None:
         """Release the lazy scatter/split compilations (rebuilt on
-        demand)."""
-        self._row_scatters.clear()
-        self._tsplit_cache.clear()
+        demand). Safe against concurrent execution: running kernels
+        hold local references to the compiled structures."""
+        with self._cache_lock:
+            self._row_scatters.clear()
+            self._tsplit_cache.clear()
 
     def element_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
         """All (rows, cols) covered by the plan, in no particular order."""

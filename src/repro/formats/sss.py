@@ -14,6 +14,7 @@ behaviour the three reduction methods of Section III build upon.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -86,8 +87,24 @@ class SSSMatrix(SymmetricFormat):
         if colind.size and np.any(colind >= self._rows):
             raise ValueError("SSS off-diagonal entries must be strictly lower")
         # Lazy spmm scatter compilations (whole matrix / per partition).
+        # Mutations (miss-path build, bounded eviction, clear_caches)
+        # run under the cache lock so concurrent bind()/apply from
+        # several operators sharing this matrix cannot corrupt the
+        # dicts; hit paths read lock-free and keep local references.
         self._spmm_scatter: Optional[RowScatter] = None
         self._spmm_part_cache: dict[tuple[int, int], tuple] = {}
+        self._cache_lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks are unpicklable; the process backend ships the matrix
+        # to workers through the shared arena. Workers get their own.
+        state = self.__dict__.copy()
+        del state["_cache_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -153,11 +170,14 @@ class SSSMatrix(SymmetricFormat):
         if self.values.size:
             products = self.values[:, None] * X[self.colind]
             Y += csr_row_segment_sums(products, self.rowptr, 0, self.n_rows)
-            if self._spmm_scatter is None:
-                self._spmm_scatter = RowScatter(self.colind)
-            self._spmm_scatter.add(
-                Y, self.values[:, None] * X[self._rows]
-            )
+            scatter = self._spmm_scatter
+            if scatter is None:
+                with self._cache_lock:
+                    scatter = self._spmm_scatter
+                    if scatter is None:
+                        scatter = RowScatter(self.colind)
+                        self._spmm_scatter = scatter
+            scatter.add(Y, self.values[:, None] * X[self._rows])
         return Y
 
     def spmm_partition(
@@ -200,6 +220,9 @@ class SSSMatrix(SymmetricFormat):
         plus the window-restricted scatters through them (shared by the
         1-D and multi-RHS partition kernels)."""
         key = (row_start, row_end)
+        # Lock-free hit path; the tuple is immutable once built, so a
+        # concurrent eviction only affects dict membership, never this
+        # local reference.
         cache = self._spmm_part_cache.get(key)
         tracer = _active_tracer()
         if tracer.enabled:
@@ -208,19 +231,23 @@ class SSSMatrix(SymmetricFormat):
                 else "sss.part_split_miss"
             )
         if cache is None:
-            lo, hi = self.rowptr[row_start], self.rowptr[row_end]
-            cols = self.colind[lo:hi]
-            local_pos = np.flatnonzero(cols < row_start)
-            direct_pos = np.flatnonzero(cols >= row_start)
-            cache = (
-                local_pos,
-                RowScatter(cols[local_pos]),
-                direct_pos,
-                RowScatter(cols[direct_pos]),
-            )
-            bounded_cache_insert(
-                self._spmm_part_cache, key, cache, PART_SPLIT_CACHE_MAX
-            )
+            with self._cache_lock:
+                cache = self._spmm_part_cache.get(key)
+                if cache is None:
+                    lo, hi = self.rowptr[row_start], self.rowptr[row_end]
+                    cols = self.colind[lo:hi]
+                    local_pos = np.flatnonzero(cols < row_start)
+                    direct_pos = np.flatnonzero(cols >= row_start)
+                    cache = (
+                        local_pos,
+                        RowScatter(cols[local_pos]),
+                        direct_pos,
+                        RowScatter(cols[direct_pos]),
+                    )
+                    bounded_cache_insert(
+                        self._spmm_part_cache, key, cache,
+                        PART_SPLIT_CACHE_MAX,
+                    )
         return cache
 
     def precompile_partition(
@@ -233,9 +260,12 @@ class SSSMatrix(SymmetricFormat):
         direct_sc.compile(k)
 
     def clear_caches(self) -> None:
-        """Release the lazy scatter compilations (rebuilt on demand)."""
-        self._spmm_scatter = None
-        self._spmm_part_cache.clear()
+        """Release the lazy scatter compilations (rebuilt on demand).
+        Safe against concurrent kernel calls: they hold local
+        references to whatever was compiled when they started."""
+        with self._cache_lock:
+            self._spmm_scatter = None
+            self._spmm_part_cache.clear()
 
     def spmv_partition(
         self,

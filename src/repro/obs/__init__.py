@@ -14,6 +14,7 @@ from .metrics import (
     Gauge,
     LogHistogram,
     MetricsRegistry,
+    SLOEvaluator,
     SLOReport,
     metrics_report,
     openmetrics_text,
@@ -62,6 +63,7 @@ __all__ = [
     "Gauge",
     "MetricsRegistry",
     "SLO",
+    "SLOEvaluator",
     "SLOReport",
     "openmetrics_text",
     "metrics_report",

@@ -51,6 +51,7 @@ __all__ = [
     "Gauge",
     "MetricsRegistry",
     "SLO",
+    "SLOEvaluator",
     "SLOReport",
     "openmetrics_text",
     "metrics_report",
@@ -442,6 +443,27 @@ class MetricsRegistry:
         key = ("histogram", name, _label_key(labels))
         return self._merged().get(key)
 
+    def merged_matching(
+        self, name: str, **labels
+    ) -> Optional[LogHistogram]:
+        """Merge of every histogram series named ``name`` whose label
+        set is a *superset* of ``labels`` (``None`` if no series
+        matches). ``merged_matching("request_ns")`` folds all
+        per-``kind`` series into one distribution — what an aggregate
+        latency SLO evaluates against."""
+        want = set(_label_key(labels))
+        merged: Optional[LogHistogram] = None
+        for key, metric in self._merged().items():
+            if key[0] != "histogram" or key[1] != name:
+                continue
+            if not want <= set(key[2]):
+                continue
+            if merged is None:
+                merged = metric.copy()
+            else:
+                merged.merge(metric)
+        return merged
+
     def counter_value(self, name: str, **labels) -> float:
         key = ("counter", name, _label_key(labels))
         metric = self._merged().get(key)
@@ -597,6 +619,53 @@ class SLO:
             budget_consumed=consumed,
             healthy=consumed <= 1.0,
         )
+
+
+class SLOEvaluator:
+    """A set of :class:`SLO` objectives bound to one registry's
+    histograms, evaluated together.
+
+    Each objective targets a histogram by name plus an optional label
+    *subset* — ``add(SLO(...), "serve.request_ns")`` evaluates against
+    the merge of every ``serve.request_ns`` series regardless of its
+    ``kind`` label, while ``add(..., kind="cg")`` pins one series.
+    :meth:`evaluate` observes every objective against the current
+    histogram state (streaming: call it repeatedly as the registry
+    grows) and returns the reports; an objective whose histogram has
+    recorded nothing yet reports ``met=False`` with ``observed=nan``
+    but stays ``healthy`` (an empty window has consumed no budget).
+    """
+
+    def __init__(self, registry: "MetricsRegistry"):
+        self.registry = registry
+        self._objectives: list[tuple[SLO, str, dict]] = []
+
+    def add(self, slo: SLO, metric: str, **labels) -> SLO:
+        """Attach ``slo`` to the histogram ``metric`` (label subset
+        match; see class docstring). Returns the SLO for chaining."""
+        self._objectives.append((slo, metric, dict(labels)))
+        return slo
+
+    def __len__(self) -> int:
+        return len(self._objectives)
+
+    def evaluate(self) -> list[SLOReport]:
+        """One :class:`SLOReport` per objective, in ``add`` order."""
+        reports = []
+        for slo, metric, labels in self._objectives:
+            hist = self.registry.merged_matching(metric, **labels)
+            if hist is None:
+                hist = LogHistogram()
+            reports.append(slo.observe(hist))
+        return reports
+
+    @staticmethod
+    def all_healthy(reports: Iterable[SLOReport]) -> bool:
+        return all(r.healthy for r in reports)
+
+    @staticmethod
+    def render(reports: Iterable[SLOReport]) -> str:
+        return "\n".join(r.render() for r in reports)
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,7 @@ copy it (or pass ``out=``) to keep a result.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from time import perf_counter_ns
 from typing import Optional
@@ -117,6 +118,20 @@ class BoundOperator:
         (window-restricted scatters, flattened ``k``-RHS indices) so
         the first timed iteration is not a compilation run.
 
+    Concurrency: the operator owns *one* set of persistent workspaces,
+    so applications are inherently non-reentrant — two interleaved
+    applies would zero and accumulate into the same ``y``/locals and
+    both return corrupt numerics. ``__call__`` therefore serializes
+    under an internal lock (chosen over a typed ``OperatorBusyError``:
+    blocking preserves the drop-in callable contract — every caller
+    still gets the bit-identical result it would have gotten alone,
+    just later — whereas a busy error would force retry loops into
+    every solver). ``recover()`` and ``close()`` take the same lock, so
+    neither can tear workspaces out from under an in-flight apply. The
+    returned workspace view is only guaranteed until the next apply
+    from *any* thread — concurrent callers must pass ``out=`` (or copy
+    under their own coordination) to keep a result.
+
     Parameters
     ----------
     driver : ParallelSymmetricSpMV or ParallelSpMV
@@ -155,6 +170,10 @@ class BoundOperator:
         self.n_calls = 0
         self._closed = False
         self._poisoned = False
+        # Serializes apply/recover/close: one set of persistent
+        # workspaces means applications are non-reentrant by design
+        # (see the class docstring for the lock-vs-busy-error choice).
+        self._apply_lock = threading.Lock()
         m = driver.matrix
         shape = (m.n_rows,) if k is None else (m.n_rows, k)
         self._y = np.zeros(shape, dtype=np.float64)
@@ -308,6 +327,11 @@ class BoundOperator:
         effective windows, which assume the previous call completed
         cleanly). Counted on ``resilience.operator_recovered``. No-op
         on a healthy operator."""
+        with self._apply_lock:
+            self._recover_locked()
+
+    def _recover_locked(self) -> None:
+        """Recovery body; the caller holds ``_apply_lock``."""
         if self._closed:
             raise OperatorClosedError(
                 "operator is closed; bind() a new one"
@@ -349,32 +373,37 @@ class BoundOperator:
         Raises :class:`OperatorClosedError` after ``close()``, and —
         under ``on_poison="raise"`` — :class:`PoisonedOperatorError`
         after a failed application; see :meth:`recover`.
+
+        Concurrent calls serialize on the operator's internal lock
+        (workspaces are shared; see the class docstring) — each caller
+        gets the exact result it would have gotten alone.
         """
-        if self._closed:
-            raise OperatorClosedError(
-                "operator is closed; bind() a new one"
-            )
-        if self._poisoned:
-            if self.on_poison == "raise":
-                raise PoisonedOperatorError(
-                    "operator poisoned by a failed apply; call recover() "
-                    "or bind with on_poison='recover'"
+        with self._apply_lock:
+            if self._closed:
+                raise OperatorClosedError(
+                    "operator is closed; bind() a new one"
                 )
-            self.recover()
-        x = np.asarray(x, dtype=np.float64)
-        if x.shape != self._x_shape:
-            raise ValueError(
-                f"x has shape {x.shape}, expected {self._x_shape} for "
-                f"an operator bound with k={self.k}"
-            )
-        if x is self._y:
-            # Power-iteration style y = op(op(x)) must not zero its own
-            # input when the caller feeds the workspace back in.
-            x = x.copy()
-        tracer = _active_tracer()
-        if tracer.enabled:
-            return self._apply_traced(tracer, x, out)
-        return self._apply(x, out)
+            if self._poisoned:
+                if self.on_poison == "raise":
+                    raise PoisonedOperatorError(
+                        "operator poisoned by a failed apply; call "
+                        "recover() or bind with on_poison='recover'"
+                    )
+                self._recover_locked()
+            x = np.asarray(x, dtype=np.float64)
+            if x.shape != self._x_shape:
+                raise ValueError(
+                    f"x has shape {x.shape}, expected {self._x_shape} for "
+                    f"an operator bound with k={self.k}"
+                )
+            if x is self._y:
+                # Power-iteration style y = op(op(x)) must not zero its
+                # own input when the caller feeds the workspace back in.
+                x = x.copy()
+            tracer = _active_tracer()
+            if tracer.enabled:
+                return self._apply_traced(tracer, x, out)
+            return self._apply(x, out)
 
     def _apply(
         self, x: np.ndarray, out: Optional[np.ndarray] = None
@@ -468,23 +497,27 @@ class BoundOperator:
         """Release the workspaces and the format's lazy execution
         caches (``clear_caches``). Idempotent; the operator cannot be
         called afterwards. Note the format caches are shared with other
-        operators bound to the same matrix — they rebuild on demand."""
-        if self._closed:
-            return
-        self._closed = True
-        self._tasks = []
-        self._y = None
-        self._x_staged = None
-        with _active_tracer().span("bound.close"):
-            # Pool before arenas: workers must have detached (or been
-            # terminated) before the owner unlinks the segments.
-            if self._remote is not None:
-                self._remote.close()
-                self._remote = None
-            for arena in self._arenas:
-                arena.close()
-            self._arenas = []
-            self.driver.matrix.clear_caches()
+        operators bound to the same matrix — they rebuild on demand.
+        Waits for any in-flight apply (same lock), so teardown never
+        pulls workspaces out from under a running application."""
+        with self._apply_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._tasks = []
+            self._y = None
+            self._x_staged = None
+            with _active_tracer().span("bound.close"):
+                # Pool before arenas: workers must have detached (or
+                # been terminated) before the owner unlinks the
+                # segments.
+                if self._remote is not None:
+                    self._remote.close()
+                    self._remote = None
+                for arena in self._arenas:
+                    arena.close()
+                self._arenas = []
+                self.driver.matrix.clear_caches()
 
     def __enter__(self) -> "BoundOperator":
         return self

@@ -40,6 +40,7 @@ failed batch is retried once serially (after the caller-supplied
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from time import perf_counter_ns
 from typing import Callable, Optional, Sequence
@@ -119,6 +120,12 @@ class Executor:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
         self._warned_inline = False
+        # Guards the batch-id counter and the pool lifecycle. Two
+        # concurrent run_batch callers must never observe the same batch
+        # id (it seeds chaos-plan fault derivation and trace/metric
+        # attribution), and a caller must never submit to a pool another
+        # caller is concurrently replacing through _ensure_pool.
+        self._lock = threading.Lock()
 
     def run_batch(
         self,
@@ -127,8 +134,12 @@ class Executor:
         reset: Optional[Callable[[], None]] = None,
         remote=None,
         tid_base: int = 0,
-    ) -> None:
+    ) -> Optional[int]:
         """Execute all tasks; returns when every task has finished.
+
+        Returns the unique batch id assigned to this execution (``None``
+        for an empty task list). Ids are allocated under the executor
+        lock, so concurrent callers observe distinct, gap-free ids.
 
         Tasks must be mutually data-race-free (they are: each writes
         disjoint array regions or thread-private buffers).
@@ -168,12 +179,13 @@ class Executor:
         deterministic per global task, not per step-local position.
         """
         if not tasks:
-            return
+            return None
         tasks = list(tasks)
         tracer = _active_tracer()
         name = label or "task"
-        batch = self.n_batches
-        self.n_batches += 1
+        with self._lock:
+            batch = self.n_batches
+            self.n_batches += 1
 
         t0 = perf_counter_ns() if tracer.enabled else 0
 
@@ -195,7 +207,7 @@ class Executor:
             for task in instrumented(tasks):
                 task()
             record_batch()
-            return
+            return batch
 
         if self.mode == "chaos":
             exec_tasks = [
@@ -249,6 +261,7 @@ class Executor:
                     n_tasks=len(tasks),
                 ) from exc
         record_batch()
+        return batch
 
     @staticmethod
     def _traced(tracer, name: str, tid: int, task, mode: str):
@@ -273,8 +286,14 @@ class Executor:
     def _run_pooled(
         self, exec_tasks: list, order: list, name: str, batch: int
     ) -> None:
-        pool = self._ensure_pool(len(exec_tasks))
-        futures = {pool.submit(exec_tasks[i]): i for i in order}
+        # Acquire-and-submit atomically: _ensure_pool may replace the
+        # pool (growth shuts the old one down), and a concurrent caller
+        # submitting to the replaced pool would hit "cannot schedule new
+        # futures after shutdown". Only submission is serialized; the
+        # wait below runs lock-free.
+        with self._lock:
+            pool = self._ensure_pool(len(exec_tasks))
+            futures = {pool.submit(exec_tasks[i]): i for i in order}
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         if not any(f.exception() is not None for f in done):
             return
@@ -304,7 +323,11 @@ class Executor:
         """Pool sized for the *current* batch: with no explicit
         ``max_workers`` the pool grows when a later batch brings more
         tasks than any earlier one (a pool sized by the first batch
-        would silently serialize the excess tasks forever)."""
+        would silently serialize the excess tasks forever).
+
+        Callers must hold ``self._lock``: growth replaces the pool, and
+        the acquire-submit window of every concurrent batch has to see a
+        consistent pool reference."""
         want = self.max_workers if self.max_workers is not None else n_tasks
         if self._pool is not None and want > self._pool_size:
             # wait=True: every worker of the replaced pool has exited
@@ -318,10 +341,11 @@ class Executor:
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
             self._pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "Executor":
         return self

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import traceback
 import weakref
 from dataclasses import dataclass, field
@@ -291,6 +292,10 @@ class ProcessPool:
         self._procs: list = [None] * n_workers
         self._conns: list = [None] * n_workers
         self._closed = False
+        # One batch in flight at a time: the per-worker pipes carry a
+        # strict request-reply protocol, so interleaved run() calls
+        # from two threads would cross-read each other's replies.
+        self._dispatch_lock = threading.Lock()
         for w in range(n_workers):
             self._spawn(w)
         self._finalizer = weakref.finalize(
@@ -356,7 +361,21 @@ class ProcessPool:
         assigned to a worker that died mid-batch. By construction the
         call only returns or raises after all surviving workers have
         replied — nothing is still writing the shared workspaces.
+
+        Serialized on an internal lock (the pipes speak strict
+        request-reply; defense in depth under the bound operator's own
+        apply serialization).
         """
+        with self._dispatch_lock:
+            self._run_locked(batch, n_tasks, order, label)
+
+    def _run_locked(
+        self,
+        batch: int,
+        n_tasks: int,
+        order: Sequence[int],
+        label: str = "task",
+    ) -> None:
         if self._closed:
             raise RuntimeError("process pool is closed")
         self._ensure_workers()

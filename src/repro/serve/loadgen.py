@@ -1,0 +1,222 @@
+"""Closed-loop load generator with per-response bit-identity audit.
+
+The measurement harness for the serving front end: ``concurrency``
+workers each keep exactly one request in flight (closed loop, so
+offered load adapts to server capacity instead of overrunning it),
+drawing right-hand sides from a small seeded vector pool whose serial
+reference answers are precomputed once. Every successful response is
+compared **bit-for-bit** against its reference — the audit is always
+on, because throughput of wrong answers is not throughput.
+
+The report separates correctness (``n_incorrect`` must be zero,
+always) from availability (rejections, expiries and failures are
+counted by taxon — under the chaos drill those are *expected*, hangs
+and wrong bits are not).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional
+
+import numpy as np
+
+from ..obs.tracer import percentile
+from .errors import DeadlineExceededError, QueueFullError, ServeError
+from .server import CGResponse, SolverServer, serial_compute
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` run."""
+
+    kind: str
+    concurrency: int
+    n_requests: int
+    n_ok: int
+    n_incorrect: int
+    n_rejected: int
+    n_expired: int
+    n_failed: int
+    duration_s: float
+    rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    #: Mean batch width over successful responses (1.0 = no
+    #: coalescing happened).
+    mean_coalesced: float
+    #: Failure counts by exception class name.
+    errors: dict = field(default_factory=dict)
+
+    @property
+    def correct(self) -> bool:
+        """Every response that came back matched its serial reference
+        bit-for-bit (vacuously true only if nothing came back)."""
+        return self.n_incorrect == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "concurrency": self.concurrency,
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "n_incorrect": self.n_incorrect,
+            "n_rejected": self.n_rejected,
+            "n_expired": self.n_expired,
+            "n_failed": self.n_failed,
+            "duration_s": self.duration_s,
+            "rps": self.rps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_coalesced": self.mean_coalesced,
+            "errors": dict(self.errors),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{self.kind} load: {self.n_ok}/{self.n_requests} ok "
+            f"({self.n_rejected} rejected, {self.n_expired} expired, "
+            f"{self.n_failed} failed) at concurrency "
+            f"{self.concurrency}",
+            f"  throughput {self.rps:,.1f} req/s over "
+            f"{self.duration_s:.2f} s; latency p50 {self.p50_ms:.3f} "
+            f"p95 {self.p95_ms:.3f} p99 {self.p99_ms:.3f} ms; mean "
+            f"batch width {self.mean_coalesced:.2f}",
+            f"  bit-identity: "
+            + ("OK" if self.correct
+               else f"{self.n_incorrect} INCORRECT RESPONSES"),
+        ]
+        if self.errors:
+            counts = ", ".join(
+                f"{name}: {n}" for name, n in sorted(self.errors.items())
+            )
+            lines.append(f"  error taxa: {counts}")
+        return "\n".join(lines)
+
+
+def _identical(resp, ref) -> bool:
+    """Bit-for-bit comparison of a response against its reference."""
+    if isinstance(resp, CGResponse):
+        return (
+            np.array_equal(resp.result.x, ref.x)
+            and resp.result.iterations == ref.iterations
+            and resp.result.residual_norm == ref.residual_norm
+        )
+    return np.array_equal(resp.y, ref)
+
+
+async def run_load(
+    server: SolverServer,
+    key: str,
+    *,
+    kind: str = "spmv",
+    concurrency: int = 8,
+    n_requests: int = 200,
+    deadline: Optional[float] = None,
+    tol: float = 1e-8,
+    max_iter: Optional[int] = None,
+    pool_size: int = 16,
+    seed: int = 1234,
+    verify: bool = True,
+) -> LoadReport:
+    """Drive ``n_requests`` ``kind`` requests at ``server`` from
+    ``concurrency`` closed-loop workers and audit every response.
+
+    The vector pool is seeded, so two runs against the same matrix
+    offer identical work; references are computed once per pool entry
+    on the serial driver (``verify=False`` skips the audit for pure
+    throughput runs — the benchmark never does).
+    """
+    if kind not in ("spmv", "cg"):
+        raise ValueError(f"kind must be 'spmv' or 'cg', got {kind!r}")
+    entry = server.registry.get(key)
+    rng = np.random.default_rng(seed)
+    pool = [
+        np.ascontiguousarray(rng.standard_normal(entry.n))
+        for _ in range(pool_size)
+    ]
+    params = () if kind == "spmv" else (float(tol), max_iter)
+    refs = (
+        [serial_compute(entry, kind, params, vec) for vec in pool]
+        if verify else None
+    )
+
+    latencies_ms: list[float] = []
+    widths: list[int] = []
+    errors: dict[str, int] = {}
+    counts = {"ok": 0, "incorrect": 0, "rejected": 0, "expired": 0,
+              "failed": 0}
+    next_id = 0
+    lock = asyncio.Lock()
+
+    async def issue(i: int) -> None:
+        vec = pool[i % pool_size]
+        try:
+            if kind == "spmv":
+                resp = await server.spmv(key, vec, deadline=deadline)
+            else:
+                resp = await server.cg(
+                    key, vec, tol=tol, max_iter=max_iter,
+                    deadline=deadline,
+                )
+        except QueueFullError:
+            counts["rejected"] += 1
+            errors["QueueFullError"] = errors.get(
+                "QueueFullError", 0) + 1
+        except DeadlineExceededError:
+            counts["expired"] += 1
+            errors["DeadlineExceededError"] = errors.get(
+                "DeadlineExceededError", 0) + 1
+        except (ServeError, RuntimeError) as exc:
+            counts["failed"] += 1
+            name = type(exc).__name__
+            errors[name] = errors.get(name, 0) + 1
+        else:
+            latencies_ms.append(resp.latency_s * 1e3)
+            widths.append(resp.coalesced)
+            if refs is not None and not _identical(
+                resp, refs[i % pool_size]
+            ):
+                counts["incorrect"] += 1
+            else:
+                counts["ok"] += 1
+
+    async def worker() -> None:
+        nonlocal next_id
+        while True:
+            async with lock:
+                if next_id >= n_requests:
+                    return
+                i = next_id
+                next_id += 1
+            await issue(i)
+
+    t0 = perf_counter()
+    await asyncio.gather(*[worker() for _ in range(concurrency)])
+    duration = perf_counter() - t0
+
+    return LoadReport(
+        kind=kind,
+        concurrency=concurrency,
+        n_requests=n_requests,
+        n_ok=counts["ok"],
+        n_incorrect=counts["incorrect"],
+        n_rejected=counts["rejected"],
+        n_expired=counts["expired"],
+        n_failed=counts["failed"],
+        duration_s=duration,
+        rps=n_requests / duration if duration > 0 else float("inf"),
+        p50_ms=percentile(latencies_ms, 50) if latencies_ms else 0.0,
+        p95_ms=percentile(latencies_ms, 95) if latencies_ms else 0.0,
+        p99_ms=percentile(latencies_ms, 99) if latencies_ms else 0.0,
+        mean_coalesced=(
+            sum(widths) / len(widths) if widths else 0.0
+        ),
+        errors=errors,
+    )

@@ -1,0 +1,189 @@
+"""Content-addressed registry of bound solver operators.
+
+The serving front end (:mod:`repro.serve.server`) admits requests
+against *registered* operators, keyed by a fingerprint of the matrix
+content rather than an object identity — two clients naming the same
+matrix coalesce even if they registered it independently, and a key
+survives process restarts (it is a pure function of the COO triplets).
+
+Each :class:`RegisteredOperator` owns one parallel driver and lazily
+binds it per RHS-block width ``k`` (``driver.bind(k)``): the OSKI-style
+amortization the paper's bound-operator layer provides, extended with
+a per-``k`` cache so a coalesced batch of 5 and a solo request reuse
+their respective compiled workspaces across the server's lifetime. A
+serial reference clone of the driver (same matrix, same partitions,
+same reduction instance, serial executor) backs the bit-identity
+oracle: what a request *would* have computed alone, with no executor
+and no coalescing in the loop.
+
+Thread-safety: ``operator(k)`` may be called from the event loop and
+from executor threads concurrently; the per-``k`` bind cache is locked
+with the same lock-free-hit / locked-miss discipline as the format
+compilation caches (bound operators are safe to share once
+constructed — their ``apply`` serializes internally).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Optional
+
+import numpy as np
+
+from ..formats.coo import COOMatrix
+from ..formats.csx.sym import CSXSymMatrix
+from ..formats.sss import SSSMatrix
+from ..parallel.executor import Executor
+from ..parallel.spmv import ParallelSpMV, ParallelSymmetricSpMV
+from .errors import UnknownOperatorError
+
+__all__ = [
+    "matrix_fingerprint",
+    "RegisteredOperator",
+    "OperatorRegistry",
+]
+
+
+def matrix_fingerprint(matrix) -> str:
+    """Content-addressed key for a matrix: SHA-256 over the
+    canonicalized COO triplets and the shape, truncated to 16 hex
+    digits. Accepts a :class:`COOMatrix` or any format instance
+    (converted via ``to_coo()``); two structurally identical matrices
+    fingerprint identically regardless of storage format or triplet
+    order."""
+    coo = matrix if isinstance(matrix, COOMatrix) else matrix.to_coo()
+    coo = coo.canonicalize()
+    h = hashlib.sha256()
+    h.update(np.asarray(coo.shape, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(coo.rows, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(coo.cols, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(coo.vals, dtype=np.float64).tobytes())
+    return h.hexdigest()[:16]
+
+
+class RegisteredOperator:
+    """One matrix's serving entry: the parallel driver, its per-``k``
+    bound-operator cache, and the serial reference driver."""
+
+    def __init__(self, key: str, driver, serial_driver):
+        self.key = key
+        self.driver = driver
+        self.serial_driver = serial_driver
+        self._ops: dict[Optional[int], object] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def n(self) -> int:
+        return self.driver.matrix.n_rows
+
+    def operator(self, k: Optional[int] = None):
+        """The driver bound for ``k`` right-hand sides (``None`` = the
+        1-D SpM×V signature), bind-on-first-use and cached. The bound
+        operator serializes its own applies, so one instance per ``k``
+        is shared by every request."""
+        op = self._ops.get(k)  # lock-free hit: dict.get is atomic
+        if op is None:
+            with self._lock:
+                op = self._ops.get(k)
+                if op is None:
+                    op = self.driver.bind(k)
+                    self._ops[k] = op
+        return op
+
+    def reference(self, x: np.ndarray) -> np.ndarray:
+        """Serial single-request computation of ``A @ x`` — the
+        bit-identity oracle for one coalesced response."""
+        return self.serial_driver(np.ascontiguousarray(x))
+
+    def close(self) -> None:
+        """Release every bound operator's workspace."""
+        with self._lock:
+            ops, self._ops = dict(self._ops), {}
+        for op in ops.values():
+            op.close()
+
+
+class OperatorRegistry:
+    """Mapping of fingerprint keys to :class:`RegisteredOperator`.
+
+    ``register`` builds the parallel driver exactly the way the CLI's
+    kernel factory does — symmetric formats get the two-phase
+    :class:`ParallelSymmetricSpMV` with the requested reduction,
+    unsymmetric ones the direct :class:`ParallelSpMV` — plus the serial
+    reference clone sharing the same matrix, partitions and reduction
+    instance so reference and served computation differ only in the
+    executor and the coalescing.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, RegisteredOperator] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        matrix,
+        partitions,
+        *,
+        reduction: str = "indexed",
+        executor: Optional[Executor] = None,
+        key: Optional[str] = None,
+    ) -> RegisteredOperator:
+        """Register ``matrix`` (a built format instance) for serving.
+
+        Returns the new entry; registering an identical matrix twice
+        returns the existing entry (idempotent — that is the point of
+        content addressing). ``key`` overrides the fingerprint when the
+        caller wants a human-readable handle.
+        """
+        if key is None:
+            key = matrix_fingerprint(matrix)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+        # Same dispatch as the CLI kernel factory: symmetric two-phase
+        # driver for the symmetric serving formats, direct driver else.
+        if isinstance(matrix, (SSSMatrix, CSXSymMatrix)):
+            driver = ParallelSymmetricSpMV(
+                matrix, partitions, reduction, executor=executor
+            )
+            serial = ParallelSymmetricSpMV(
+                # Share the reduction *instance*: the reference must
+                # accumulate in the same order the served kernel does.
+                matrix, partitions, driver.reduction,
+                executor=Executor("serial"),
+            )
+        else:
+            driver = ParallelSpMV(matrix, partitions, executor=executor)
+            serial = ParallelSpMV(
+                matrix, partitions, executor=Executor("serial")
+            )
+        entry = RegisteredOperator(key, driver, serial)
+        with self._lock:
+            # Lost the race to a concurrent identical register: keep
+            # the first entry, discard ours (nothing bound yet).
+            return self._entries.setdefault(key, entry)
+
+    def get(self, key: str) -> RegisteredOperator:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise UnknownOperatorError(key)
+        return entry
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def close(self) -> None:
+        """Close every registered operator's bound workspaces."""
+        with self._lock:
+            entries, self._entries = list(self._entries.values()), {}
+        for entry in entries:
+            entry.close()

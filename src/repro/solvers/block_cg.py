@@ -11,6 +11,16 @@ memory traffic.
 Columns converge (or break down) independently: a finished column's
 ``alpha`` is forced to zero so its iterate freezes while the remaining
 columns keep riding the shared matrix pass.
+
+Bit-identical demultiplexing: the per-column scalar recurrences
+(``r·r``, ``p·Ap``, ``‖b‖``) are computed from *contiguous column
+copies* via BLAS-1 dots — never from strided block-wide reductions
+like ``einsum("ij,ij->j")`` or ``norm(axis=0)``, whose summation order
+(and therefore last-ulp rounding) depends on the block layout. With
+per-column scalars layout-independent and every block-wide update
+elementwise, column ``j`` of a ``k``-column solve is bit-for-bit the
+``k=1`` solve of ``b_j`` alone — the contract the serving layer's
+request coalescing (``repro.serve``) is built on, pinned by tests.
 """
 
 from __future__ import annotations
@@ -22,13 +32,29 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..obs.tracer import Tracer, active as _active_tracer, warn as _obs_warn
-from .cg import _note_iteration, bind_operator
+from .cg import CGResult, _note_iteration, bind_operator
 from .guards import DEFAULT_STAGNATION_WINDOW, Breakdown
 from .vecops import OpCounter
 
 __all__ = ["BlockCGResult", "block_conjugate_gradient"]
 
 _F8 = 8
+
+
+def _column_dots(A: np.ndarray, C: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-column dots ``[a_j · c_j]`` (``C=None`` → ``[a_j · a_j]``)
+    over *contiguous column copies*, so each scalar is the exact BLAS-1
+    result the column would produce in a standalone ``k=1`` solve —
+    independent of how many columns share the block. A block-wide
+    ``einsum("ij,ij->j")`` changes summation order with the layout and
+    would break the coalescing layer's bit-identity contract."""
+    k = A.shape[1]
+    out = np.empty(k, dtype=np.float64)
+    for j in range(k):
+        a = np.ascontiguousarray(A[:, j])
+        c = a if C is None else np.ascontiguousarray(C[:, j])
+        out[j] = np.dot(a, c)
+    return out
 
 
 @dataclass
@@ -47,6 +73,11 @@ class BlockCGResult:
     #: columns that ran clean. A column with a breakdown never counts
     #: as converged.
     breakdowns: Optional[list] = None
+    #: (k,) iteration at which each column converged (its iterate
+    #: froze there); ``-1`` for columns that never did. A converged
+    #: column's value matches the iteration count of the solo ``k=1``
+    #: solve of the same right-hand side.
+    converged_at: Optional[np.ndarray] = None
 
     @property
     def all_converged(self) -> bool:
@@ -56,6 +87,47 @@ class BlockCGResult:
     def any_breakdown(self) -> bool:
         return self.breakdowns is not None and any(
             bd is not None for bd in self.breakdowns
+        )
+
+    def column(self, j: int) -> CGResult:
+        """Demultiplex column ``j`` as a standalone :class:`CGResult` —
+        the serving layer's per-request view of a coalesced solve. The
+        iterate is a contiguous copy and, because the per-column scalar
+        recurrences are layout-independent (module docstring), it is
+        bit-identical to the ``k=1`` solve of ``b_j`` alone. A
+        converged column reports the iteration it converged at (where
+        its iterate froze — the solo solve's count), not the block's
+        shared count. The flop/byte totals are those of the *shared*
+        block solve (traffic is genuinely shared — that is the point
+        of coalescing), and ``n_spmv`` counts block applications."""
+        j = int(j)
+        k = self.X.shape[1]
+        if not 0 <= j < k:
+            raise IndexError(f"column {j} of a k={k} solve")
+        iterations = self.iterations
+        if (
+            self.converged_at is not None
+            and self.converged[j]
+            and self.converged_at[j] >= 0
+        ):
+            iterations = int(self.converged_at[j])
+        history = (
+            np.ascontiguousarray(self.residual_history[:, j])
+            if self.residual_history is not None
+            else None
+        )
+        return CGResult(
+            np.ascontiguousarray(self.X[:, j]),
+            bool(self.converged[j]),
+            iterations,
+            float(self.residual_norms[j]),
+            self.n_spmm,
+            self.vector_flops,
+            self.vector_bytes,
+            history,
+            breakdown=(
+                self.breakdowns[j] if self.breakdowns is not None else None
+            ),
         )
 
 
@@ -70,6 +142,7 @@ def block_conjugate_gradient(
     counter: Optional[OpCounter] = None,
     trace: Optional[Tracer] = None,
     stagnation_window: int = DEFAULT_STAGNATION_WINDOW,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> BlockCGResult:
     """Solve ``A X = B`` column-wise for symmetric positive definite
     ``A``, sharing one SpM×M per iteration across all columns.
@@ -91,6 +164,12 @@ def block_conjugate_gradient(
         "cg.vecops" phase spans and one "cg.iter" event (max residual
         over the still-active columns) per iteration. Defaults to the
         globally active tracer.
+    should_stop : optional callable
+        Checked before each iteration; returning True ends the solve
+        early with the current iterates (unconverged columns simply
+        stay unconverged — no breakdown is recorded). The serving
+        layer's deadline enforcement: a request-scoped solve can always
+        be cut off instead of hanging to ``max_iter``.
 
     Returns
     -------
@@ -127,15 +206,16 @@ def block_conjugate_gradient(
         n_spmm += 1
         ops.add(float(n * k), 24.0 * n * k)
 
-    b_norms = np.linalg.norm(B, axis=0)
+    b_norms = np.sqrt(_column_dots(B))
     thresholds = tol * np.where(b_norms > 0, b_norms, 1.0)
 
-    rs = np.einsum("ij,ij->j", R, R)           # (k,) per-column r·r
+    rs = _column_dots(R)                       # (k,) per-column r·r
     ops.add(2.0 * n * k, _F8 * n * k)
     res_norms = np.sqrt(rs)
     history = [res_norms.copy()] if record_history else None
 
     converged = res_norms <= thresholds
+    converged_at = np.where(converged, 0, -1).astype(np.int64)
     # Columns that break down — non-SPD direction, non-finite scalars,
     # stagnation — stop updating but never count as converged; each
     # carries its typed diagnosis in ``breakdowns``.
@@ -164,13 +244,16 @@ def block_conjugate_gradient(
     ops.add(0.0, 16.0 * n * k)
     it = 0
     while it < max_iter and not np.all(converged | stalled):
+        if should_stop is not None and should_stop():
+            tracer.event("cg.stopped", iteration=it)
+            break
         it += 1
         iter_t0 = perf_counter_ns() if tracer.enabled else 0
         with tracer.span("cg.spmm"):
             Q = spmm(P)  # one matrix pass for all k columns
         n_spmm += 1
         with tracer.span("cg.vecops"):
-            pq = np.einsum("ij,ij->j", P, Q)
+            pq = _column_dots(P, Q)
             ops.add(2.0 * n * k, _F8 * 2 * n * k)
 
             active = ~(converged | stalled)
@@ -190,7 +273,7 @@ def block_conjugate_gradient(
             R -= alpha * Q                         # r_j ← r_j - α_j A p_j
             ops.add(4.0 * n * k, _F8 * 6 * n * k)
 
-            rs_new = np.einsum("ij,ij->j", R, R)
+            rs_new = _column_dots(R)
             ops.add(2.0 * n * k, _F8 * n * k)
             bad_rs = active & ~np.isfinite(rs_new)
             stall(bad_rs, "nonfinite", it, "residual norm²", rs_new)
@@ -213,8 +296,10 @@ def block_conjugate_gradient(
         if tracer.enabled:
             _note_iteration(tracer, "block_cg", iter_t0, iter_residual)
         with tracer.span("cg.vecops"):
-            converged |= active & (res_norms <= thresholds)
-            active &= ~converged
+            newly = active & (res_norms <= thresholds)
+            converged |= newly
+            converged_at = np.where(newly, it, converged_at)
+            active &= ~newly
 
             # Per-column stagnation window over the best residual seen.
             improved = active & (res_norms < best_norms)
@@ -252,4 +337,5 @@ def block_conjugate_gradient(
         ops.bytes,
         np.array(history) if record_history else None,
         breakdowns=breakdowns,
+        converged_at=converged_at,
     )
