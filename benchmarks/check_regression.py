@@ -69,6 +69,12 @@ ADAPTERS = {
         "p50": "p50_ms",
         "p95": "p95_ms",
     },
+    "BENCH_ooc.json": {
+        "entries": lambda doc: doc.get("measured", []),
+        "key": lambda r: (r["matrix"], r["section"], r["variant"]),
+        "p50": "p50_ms",
+        "p95": "p95_ms",
+    },
 }
 
 

@@ -28,6 +28,11 @@ Subcommands
 ``loadgen``
     A/B measurement: the same load with coalescing on and off, with
     per-response bit-identity audits; optional JSON report.
+``ooc ingest|spmv|cg``
+    Out-of-core pipeline: shard a symmetric MatrixMarket file to disk
+    (streaming, bounded memory), then apply or solve it shard-at-a-
+    time under an explicit ``--memory-budget``, with durable
+    checkpoints and crash-safe ``--resume``.
 
 Examples
 --------
@@ -336,6 +341,93 @@ def build_parser() -> argparse.ArgumentParser:
     p_loadgen.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the paired reports as JSON to PATH",
+    )
+
+    p_ooc = sub.add_parser(
+        "ooc",
+        help="out-of-core sharded SpMV/CG: ingest, apply, and "
+             "checkpointed solves under a memory budget",
+    )
+    ooc_sub = p_ooc.add_subparsers(dest="ooc_command", required=True)
+
+    p_oi = ooc_sub.add_parser(
+        "ingest",
+        help="shard a symmetric MatrixMarket file to disk (streaming; "
+             "peak memory bounded by --chunk-nnz + one shard)",
+    )
+    p_oi.add_argument("matrix", help="symmetric MatrixMarket file")
+    p_oi.add_argument("out_dir", help="shard directory to create")
+    p_oi.add_argument(
+        "--shard-nnz", type=int, default=None,
+        help="target stored entries per shard",
+    )
+    p_oi.add_argument(
+        "--n-shards", type=int, default=None,
+        help="explicit shard count (overrides --shard-nnz)",
+    )
+    p_oi.add_argument(
+        "--chunk-nnz", type=int, default=65536,
+        help="entries parsed per streaming chunk (default 65536)",
+    )
+
+    def ooc_runtime(p):
+        p.add_argument("shard_dir", help="ingested shard directory")
+        p.add_argument(
+            "--memory-budget", default=None, metavar="BYTES",
+            help="resident shard-payload cap, e.g. 64K / 8M / 1G "
+                 "(default: unbounded)",
+        )
+        p.add_argument("--threads", type=int, default=2)
+        p.add_argument(
+            "--reduction", default="indexed",
+            choices=("naive", "effective", "indexed", "coloring"),
+        )
+        p.add_argument(
+            "--executor", default="serial",
+            choices=("serial", "threads"),
+            help="per-shard task executor",
+        )
+        p.add_argument(
+            "--chaos-io", type=float, default=0.0, metavar="P",
+            help="probability of an injected disk fault per shard read "
+                 "attempt (containment drill; 0 disables)",
+        )
+        p.add_argument("--chaos-seed", type=int, default=0)
+        p.add_argument("--seed", type=int, default=1234,
+                       help="seed for the derived x / b vector")
+        p.add_argument(
+            "--json", metavar="PATH", default=None,
+            help="write the machine-readable outcome to PATH",
+        )
+
+    p_os = ooc_sub.add_parser(
+        "spmv", help="one sharded SpM×V against a seeded random x"
+    )
+    ooc_runtime(p_os)
+
+    p_oc = ooc_sub.add_parser(
+        "cg",
+        help="checkpointed CG solve over a shard set (crash-safe with "
+             "--checkpoint-dir/--resume)",
+    )
+    ooc_runtime(p_oc)
+    p_oc.add_argument("--tol", type=float, default=1e-8)
+    p_oc.add_argument("--max-iter", type=int, default=None)
+    p_oc.add_argument(
+        "--precond", default="none", choices=("none", "jacobi"),
+    )
+    p_oc.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="durable solver-state directory (enables checkpointing)",
+    )
+    p_oc.add_argument(
+        "--checkpoint-every", type=int, default=10,
+        help="iterations between durable snapshots (default 10)",
+    )
+    p_oc.add_argument(
+        "--resume", action="store_true",
+        help="restart from the newest verifiable checkpoint (fresh "
+             "start when none survives)",
     )
     return parser
 
@@ -899,6 +991,132 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _ooc_operator(args, tracer):
+    """(store, operator) for the ooc runtime subcommands."""
+    from .ooc import ShardStore, ShardedOperator
+
+    chaos = None
+    if args.chaos_io > 0:
+        chaos = ChaosPlan(
+            args.chaos_seed, p_io=args.chaos_io, p_delay=0.0,
+            reorder=False,
+        )
+    store = ShardStore(Path(args.shard_dir), chaos=chaos)
+    executor = (
+        Executor(args.executor) if args.executor != "serial" else None
+    )
+    op = ShardedOperator(
+        store,
+        memory_budget=args.memory_budget,
+        n_threads=args.threads,
+        reduction=args.reduction,
+        executor=executor,
+    )
+    return store, op
+
+
+def _ooc_counters(tracer) -> dict:
+    return {
+        name: value
+        for name, value in sorted(tracer.counters().items())
+        if name.startswith("ooc.")
+    }
+
+
+def _cmd_ooc(args) -> int:
+    import hashlib
+
+    from .ooc import checkpointed_cg, ingest_matrix_market
+    from .ooc.checkpoint import CheckpointStore
+    from .resilience.errors import ExecutionError
+
+    tracer = Tracer(enabled=True)
+    try:
+        with tracing(tracer):
+            if args.ooc_command == "ingest":
+                store = ingest_matrix_market(
+                    args.matrix, args.out_dir,
+                    shard_nnz=args.shard_nnz, n_shards=args.n_shards,
+                    chunk_nnz=args.chunk_nnz,
+                )
+                print(
+                    f"ingested {store.n_rows}x{store.n_cols} "
+                    f"({store.nnz_stored} stored entries) into "
+                    f"{store.n_shards} shard(s), "
+                    f"{store.total_payload_bytes()} B payload, "
+                    f"fingerprint {store.fingerprint}"
+                )
+                return 0
+
+            store, op = _ooc_operator(args, tracer)
+            rng = np.random.default_rng(args.seed)
+            if args.ooc_command == "spmv":
+                x = rng.standard_normal(store.n_cols)
+                y = op(x)
+                digest = hashlib.sha256(y.tobytes()).hexdigest()[:16]
+                outcome = {
+                    "n": store.n_rows,
+                    "shards": store.n_shards,
+                    "y_sha256": digest,
+                    "peak_resident_bytes": op.peak_resident_bytes,
+                    "memory_budget": op.memory_budget,
+                    "counters": _ooc_counters(tracer),
+                }
+                print(
+                    f"ooc spmv over {store.n_shards} shard(s): "
+                    f"y digest {digest}, peak resident "
+                    f"{op.peak_resident_bytes} B"
+                    + (
+                        f" (budget {op.memory_budget} B)"
+                        if op.memory_budget is not None else ""
+                    )
+                )
+            else:  # cg
+                ck = None
+                if args.checkpoint_dir is not None:
+                    ck = CheckpointStore(Path(args.checkpoint_dir))
+                b = rng.standard_normal(store.n_rows)
+                solve = checkpointed_cg(
+                    op, b, tol=args.tol, max_iter=args.max_iter,
+                    store=ck, checkpoint_every=args.checkpoint_every,
+                    resume=args.resume, precond=args.precond,
+                )
+                res = solve.result
+                digest = hashlib.sha256(res.x.tobytes()).hexdigest()[:16]
+                outcome = {
+                    "n": store.n_rows,
+                    "shards": store.n_shards,
+                    "converged": bool(res.converged),
+                    "iterations": int(res.iterations),
+                    "residual_norm": float(res.residual_norm),
+                    "x_sha256": digest,
+                    "resumed_from": solve.resumed_from,
+                    "peak_resident_bytes": op.peak_resident_bytes,
+                    "memory_budget": op.memory_budget,
+                    "counters": _ooc_counters(tracer),
+                }
+                resumed = (
+                    f" (resumed from iteration {solve.resumed_from})"
+                    if solve.resumed_from is not None else ""
+                )
+                print(
+                    f"ooc cg{resumed}: converged={res.converged} "
+                    f"iterations={res.iterations} "
+                    f"residual={res.residual_norm:.3e} "
+                    f"x digest {digest}, peak resident "
+                    f"{op.peak_resident_bytes} B"
+                )
+        if args.json is not None:
+            Path(args.json).write_text(json.dumps(outcome, indent=1))
+        return 0
+    except ValidationError as exc:
+        print(f"repro ooc: {exc}", file=sys.stderr)
+        return 2
+    except ExecutionError as exc:
+        print(f"repro ooc: {exc}", file=sys.stderr)
+        return 1
+
+
 _COMMANDS = {
     "suite": _cmd_suite,
     "spmv": _cmd_spmv,
@@ -910,6 +1128,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "ooc": _cmd_ooc,
 }
 
 

@@ -245,6 +245,13 @@ class FuzzConfig:
     #: rotated fault plan; injected faults must either be contained in
     #: the typed resilience exceptions or leave the output bit-correct.
     chaos: bool = False
+    #: Under ``chaos``, every N-th symmetric case also runs the
+    #: out-of-core rotation: the case is ingested to disk shards and
+    #: applied through a :class:`~repro.ooc.ShardedOperator` whose
+    #: reads suffer injected disk faults — the result must match the
+    #: oracle (faults absorbed by retry/re-ingest) or fail with a typed
+    #: ooc error, never silently corrupt. 0 disables.
+    ooc_every: int = 8
     #: Executor backend for the parallel/bound combos ("threads" or
     #: "processes"; None keeps the drivers' default serial executor).
     executor_mode: Optional[str] = None
@@ -287,6 +294,8 @@ class FuzzReport:
     coloring_checks: int = 0
     chaos_checks: int = 0
     chaos_contained: int = 0  # chaos runs stopped by a typed error
+    ooc_checks: int = 0
+    ooc_contained: int = 0  # ooc runs stopped by a typed ooc error
     combos_covered: set = field(default_factory=set)
     mismatches: list = field(default_factory=list)
     elapsed: float = 0.0
@@ -301,6 +310,11 @@ class FuzzReport:
             f"({self.chaos_contained} contained)"
             if self.chaos_checks else ""
         )
+        if self.ooc_checks:
+            chaos += (
+                f", {self.ooc_checks} ooc checks "
+                f"({self.ooc_contained} contained)"
+            )
         lines = [
             f"fuzz: {self.cases_run} matrix cases + {self.mm_cases_run} "
             f"MatrixMarket cases, {self.checks_run} oracle checks, "
@@ -386,6 +400,66 @@ _CONTAINED_ERRORS = frozenset(
     for cls in (BatchExecutionError, PoisonedOperatorError, ChaosInjectedError)
 )
 
+#: Typed out-of-core failures that count as contained outcomes of the
+#: disk-fault rotation (see :class:`FuzzConfig.ooc_every`).
+_OOC_CONTAINED_ERRORS = frozenset(
+    ("ShardIOError", "ShardChecksumError", "CheckpointError")
+)
+
+
+def _check_ooc(case: FuzzCase, config: FuzzConfig, index: int):
+    """Out-of-core disk-fault rotation for one symmetric case.
+
+    Ingests the case to real on-disk shards in a temp dir, then applies
+    a :class:`~repro.ooc.ShardedOperator` whose shard reads go through
+    a ``p_io`` chaos plan. Returns ``(ok, kind, contained)``: the apply
+    must be oracle-correct (faults absorbed by bounded retry and
+    re-ingest) or stop with a typed ooc error — silent corruption and
+    untyped escapes are mismatches. The fault rate alternates between a
+    mostly-recoverable and a mostly-fatal regime so both the absorb and
+    the escalate paths stay exercised.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..ooc import ShardedOperator, ShardStore, ingest_matrix_market
+
+    lower = case.coo.lower_triangle()
+    with tempfile.TemporaryDirectory(prefix="fuzz-ooc-") as tmp:
+        mm = Path(tmp) / "case.mtx"
+        lines = [
+            "%%MatrixMarket matrix coordinate real symmetric",
+            f"{case.n} {case.n} {lower.nnz}",
+        ]
+        lines.extend(
+            f"{int(r) + 1} {int(c) + 1} {float(v)!r}"
+            for r, c, v in zip(lower.rows, lower.cols, lower.vals)
+        )
+        mm.write_text("\n".join(lines) + "\n")
+        x = _rhs(case, None)
+        try:
+            ingest_matrix_market(
+                mm, Path(tmp) / "shards",
+                shard_nnz=max(2, lower.nnz // 3 + 1), chunk_nnz=16,
+            )
+            plan = ChaosPlan(
+                seed=config.seed * 1_000_003 + index * 7_919,
+                p_io=0.85 if (index // max(1, config.ooc_every)) % 2
+                else 0.25,
+                p_delay=0.0, reorder=False,
+            )
+            store = ShardStore(
+                Path(tmp) / "shards", chaos=plan, max_retries=1
+            )
+            y = ShardedOperator(store, n_threads=2)(x)
+        except Exception as exc:  # noqa: BLE001 - harness boundary
+            name = type(exc).__name__
+            if name in _OOC_CONTAINED_ERRORS:
+                return True, "", True
+            return False, f"ooc-exception:{name}", False
+    ok, ratio = check_against_oracle(y, case.dense, x)
+    return (ok, "" if ok else "ooc-mismatch", False)
+
 
 def _chaos_plan(config: FuzzConfig, index: int, ci: int) -> ChaosPlan:
     """Rotated deterministic fault plan for one (case, combo) pair.
@@ -455,6 +529,22 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             for combo, kind in _check_coloring(case):
                 report.mismatches.append(
                     Mismatch(case, combo, kind, float("inf"))
+                )
+
+        # Out-of-core rotation: real disk shards + injected io faults.
+        if config.chaos and config.ooc_every and case.symmetric and (
+            case.n >= 2 and case.coo.nnz > 0
+            and index % config.ooc_every == 0
+        ):
+            report.checks_run += 1
+            report.ooc_checks += 1
+            ok_o, kind_o, contained = _check_ooc(case, config, index)
+            if contained:
+                report.ooc_contained += 1
+            if not ok_o:
+                report.mismatches.append(
+                    Mismatch(case, Combo("sss", "parallel", "spmv"),
+                             kind_o, float("inf"))
                 )
 
         # A generator labelled "unsymmetric" can still draw a matrix

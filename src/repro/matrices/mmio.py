@@ -21,8 +21,9 @@ entries.
 from __future__ import annotations
 
 import io
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 import numpy as np
 
@@ -36,9 +37,53 @@ from ..formats.validate import (
     check_finite,
 )
 
-__all__ = ["read_matrix_market", "write_matrix_market"]
+__all__ = [
+    "MMHeader",
+    "iter_coordinates",
+    "read_matrix_market",
+    "write_matrix_market",
+]
 
 _HEADER = "%%MatrixMarket matrix coordinate real"
+
+
+@dataclass(frozen=True)
+class MMHeader:
+    """Parsed MatrixMarket banner + size line (stored-entry count:
+    symmetric files declare the lower triangle only)."""
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    symmetric: bool
+
+
+def _parse_banner(line: str) -> bool:
+    """Validate the banner line; returns the ``symmetric`` flag."""
+    header = line.strip().lower()
+    if not header.startswith("%%matrixmarket matrix coordinate real"):
+        raise ParseError(f"unsupported MatrixMarket header: {line!r}")
+    symmetric = header.endswith("symmetric")
+    if not (symmetric or header.endswith("general")):
+        raise ParseError(f"unsupported qualifier in header: {line!r}")
+    return symmetric
+
+
+def _parse_size_line(line: str, symmetric: bool) -> tuple[int, int, int]:
+    dims = line.split()
+    if len(dims) != 3:
+        raise ParseError(f"malformed size line: {line!r}")
+    try:
+        n_rows, n_cols, nnz = (int(t) for t in dims)
+    except ValueError:
+        raise ParseError(f"malformed size line: {line!r}") from None
+    if n_rows < 0 or n_cols < 0 or nnz < 0:
+        raise ParseError(f"negative dimensions in size line: {line!r}")
+    if symmetric and n_rows != n_cols:
+        raise ParseError(
+            f"symmetric qualifier on a non-square {n_rows}x{n_cols} matrix"
+        )
+    return n_rows, n_cols, nnz
 
 
 def write_matrix_market(
@@ -88,6 +133,47 @@ def _parse_entries(entries: list[str]) -> np.ndarray:
         raise  # pragma: no cover - unreachable
 
 
+def _validate_entries(
+    data: np.ndarray, n_rows: int, n_cols: int, symmetric: bool, upper: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared entry hardening: integer/1-based/bounds/finiteness checks
+    on a parsed ``(m, 3)`` block, 0-based conversion, and the symmetric
+    upper-triangle policy (mirror or reject). Used by both the whole-
+    file reader and the chunked iterator, so both fail identically on
+    the same malformed input."""
+    rows = data[:, 0]
+    cols = data[:, 1]
+    if np.any(rows != np.floor(rows)) or np.any(cols != np.floor(cols)):
+        raise ParseError("non-integer coordinates in entry lines")
+    if rows.min() < 1 or cols.min() < 1:
+        raise BoundsError("MatrixMarket coordinates are 1-based")
+    if rows.max() > n_rows or cols.max() > n_cols:
+        raise BoundsError(
+            f"entry coordinates exceed declared shape "
+            f"({n_rows}, {n_cols})"
+        )
+    rows = rows.astype(np.int64) - 1
+    cols = cols.astype(np.int64) - 1
+    vals = data[:, 2]
+    check_finite(vals, "MatrixMarket values")
+
+    if symmetric:
+        above = cols > rows
+        if np.any(above):
+            if upper == "error":
+                i = int(np.flatnonzero(above)[0])
+                raise TriangleConventionError(
+                    "symmetric file stores entry "
+                    f"({int(rows[i]) + 1}, {int(cols[i]) + 1}) above the "
+                    "diagonal; MatrixMarket symmetric files are "
+                    "lower-triangle only"
+                )
+            rows[above], cols[above] = (
+                cols[above].copy(), rows[above].copy()
+            )
+    return rows, cols, vals
+
+
 def read_matrix_market(
     path: Union[str, Path, io.TextIOBase], *, upper: str = "mirror"
 ) -> COOMatrix:
@@ -117,12 +203,7 @@ def read_matrix_market(
     lines = text.splitlines()
     if not lines:
         raise ParseError("empty MatrixMarket file")
-    header = lines[0].strip().lower()
-    if not header.startswith("%%matrixmarket matrix coordinate real"):
-        raise ParseError(f"unsupported MatrixMarket header: {lines[0]!r}")
-    symmetric = header.endswith("symmetric")
-    if not (symmetric or header.endswith("general")):
-        raise ParseError(f"unsupported qualifier in header: {lines[0]!r}")
+    symmetric = _parse_banner(lines[0])
 
     # Comment lines may carry leading whitespace; strip before testing.
     body = [
@@ -131,59 +212,19 @@ def read_matrix_market(
     ]
     if not body:
         raise ParseError("missing size line")
-    dims = body[0].split()
-    if len(dims) != 3:
-        raise ParseError(f"malformed size line: {body[0]!r}")
-    try:
-        n_rows, n_cols, nnz = (int(t) for t in dims)
-    except ValueError:
-        raise ParseError(f"malformed size line: {body[0]!r}") from None
-    if n_rows < 0 or n_cols < 0 or nnz < 0:
-        raise ParseError(f"negative dimensions in size line: {body[0]!r}")
-    if symmetric and n_rows != n_cols:
-        raise ParseError(
-            f"symmetric qualifier on a non-square {n_rows}x{n_cols} matrix"
-        )
+    n_rows, n_cols, nnz = _parse_size_line(body[0], symmetric)
     entries = body[1:]
     if len(entries) != nnz:
         raise ParseError(
             f"expected {nnz} entries, found {len(entries)}"
         )
     if nnz:
-        data = _parse_entries(entries)
-        rows = data[:, 0]
-        cols = data[:, 1]
-        if np.any(rows != np.floor(rows)) or np.any(cols != np.floor(cols)):
-            raise ParseError("non-integer coordinates in entry lines")
-        if rows.min() < 1 or cols.min() < 1:
-            raise BoundsError("MatrixMarket coordinates are 1-based")
-        if rows.max() > n_rows or cols.max() > n_cols:
-            raise BoundsError(
-                f"entry coordinates exceed declared shape "
-                f"({n_rows}, {n_cols})"
-            )
-        rows = rows.astype(np.int64) - 1
-        cols = cols.astype(np.int64) - 1
-        vals = data[:, 2]
-        check_finite(vals, "MatrixMarket values")
+        rows, cols, vals = _validate_entries(
+            _parse_entries(entries), n_rows, n_cols, symmetric, upper
+        )
     else:
         rows = cols = np.zeros(0, dtype=np.int64)
         vals = np.zeros(0)
-
-    if symmetric and nnz:
-        above = cols > rows
-        if np.any(above):
-            if upper == "error":
-                i = int(np.flatnonzero(above)[0])
-                raise TriangleConventionError(
-                    "symmetric file stores entry "
-                    f"({int(rows[i]) + 1}, {int(cols[i]) + 1}) above the "
-                    "diagonal; MatrixMarket symmetric files are "
-                    "lower-triangle only"
-                )
-            rows[above], cols[above] = (
-                cols[above].copy(), rows[above].copy()
-            )
 
     # A repeated coordinate would be summed (general) or double-counted
     # by the symmetric expansion; per the MM spec entries are unique.
@@ -205,3 +246,105 @@ def read_matrix_market(
             np.concatenate([vals, vals[off]]),
         )
     return COOMatrix((n_rows, n_cols), rows, cols, vals, sum_duplicates=False)
+
+
+def read_header(path: Union[str, Path]) -> MMHeader:
+    """Parse only the banner and size line of a MatrixMarket file."""
+    header, chunks = iter_coordinates(path, chunk_nnz=1)
+    chunks.close()
+    return header
+
+
+def iter_coordinates(
+    path: Union[str, Path, io.TextIOBase],
+    chunk_nnz: int = 65536,
+    *,
+    upper: str = "mirror",
+) -> tuple[MMHeader, Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]]:
+    """Stream a MatrixMarket coordinate file in bounded-memory chunks.
+
+    Returns ``(header, chunks)`` where ``chunks`` yields
+    ``(rows, cols, vals)`` blocks of at most ``chunk_nnz`` *stored*
+    entries — 0-based int64 coordinates and float64 values, in file
+    order. Peak memory is O(``chunk_nnz``), never O(nnz): this is the
+    ingest path for matrices larger than RAM
+    (:mod:`repro.ooc.shards`).
+
+    Every hardening check of :func:`read_matrix_market` that can be
+    applied without global state runs per chunk through the same
+    helpers (malformed lines, non-integer/out-of-bounds coordinates,
+    non-finite values, the symmetric ``upper`` policy), and the entry
+    *count* is validated against the size line when the file ends.
+    Symmetric files are **not** expanded — chunks stay canonicalized
+    lower-triangle, exactly what the shard builder wants. The one
+    whole-file check that cannot stream is duplicate-coordinate
+    detection; consumers that need it re-check canonicality on their
+    bounded working set (ingest does, per shard — duplicates share a
+    coordinate, hence a shard).
+
+    The banner and size line are consumed eagerly (malformed headers
+    raise here, not at first iteration); entry parsing is lazy.
+    Closing the generator (or exhausting it) closes the file when this
+    function opened it.
+    """
+    if upper not in ("mirror", "error"):
+        raise ValueError(f"upper must be 'mirror' or 'error', got {upper!r}")
+    if chunk_nnz < 1:
+        raise ValueError(f"chunk_nnz must be >= 1, got {chunk_nnz}")
+    if isinstance(path, (str, Path)):
+        fh = open(path, "r")
+        owns = True
+    else:
+        fh, owns = path, False
+    try:
+        banner = fh.readline()
+        if not banner:
+            raise ParseError("empty MatrixMarket file")
+        symmetric = _parse_banner(banner.rstrip("\n"))
+        size_line = None
+        while size_line is None:
+            ln = fh.readline()
+            if not ln:
+                raise ParseError("missing size line")
+            if ln.strip() and not ln.lstrip().startswith("%"):
+                size_line = ln.rstrip("\n")
+        n_rows, n_cols, nnz = _parse_size_line(size_line, symmetric)
+    except BaseException:
+        if owns:
+            fh.close()
+        raise
+    header = MMHeader(n_rows, n_cols, nnz, symmetric)
+
+    def chunks() -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        try:
+            seen = 0
+            block: list[str] = []
+            for ln in fh:
+                if not ln.strip() or ln.lstrip().startswith("%"):
+                    continue
+                block.append(ln.rstrip("\n"))
+                if seen + len(block) > nnz:
+                    raise ParseError(
+                        f"expected {nnz} entries, found more than {nnz}"
+                    )
+                if len(block) == chunk_nnz:
+                    seen += len(block)
+                    out = _validate_entries(
+                        _parse_entries(block), n_rows, n_cols,
+                        symmetric, upper,
+                    )
+                    block = []
+                    yield out
+            if block:
+                seen += len(block)
+                yield _validate_entries(
+                    _parse_entries(block), n_rows, n_cols,
+                    symmetric, upper,
+                )
+            if seen != nnz:
+                raise ParseError(f"expected {nnz} entries, found {seen}")
+        finally:
+            if owns:
+                fh.close()
+
+    return header, chunks()

@@ -1,0 +1,74 @@
+"""CRC32C (Castagnoli) for shard and checkpoint integrity.
+
+The out-of-core layer stores matrix shards and solver checkpoints as
+binary files that must survive torn writes, bit rot and the injected
+``io`` chaos faults. Every payload carries a CRC32C — the Castagnoli
+polynomial (0x1EDC6F41, reflected 0x82F63B78), the same checksum
+iSCSI, ext4 metadata and most storage systems use — so a corrupt or
+truncated file is *detected* on read instead of silently feeding wrong
+bytes into a solve.
+
+The implementation is pure Python (the container has no ``crc32c``
+wheel): a slicing-by-8 table walk that processes eight bytes per loop
+iteration. That is ample for the shard sizes the tests and the smoke
+benchmark use; the algorithm, not the throughput, is the contract.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+__all__ = ["crc32c"]
+
+_POLY = 0x82F63B78  # reflected Castagnoli polynomial
+_TABLES: Optional[list[list[int]]] = None
+
+
+def _tables() -> list[list[int]]:
+    """Lazily built slicing-by-8 lookup tables (8 x 256 words)."""
+    global _TABLES
+    if _TABLES is None:
+        tab = [[0] * 256 for _ in range(8)]
+        for i in range(256):
+            crc = i
+            for _ in range(8):
+                crc = (crc >> 1) ^ (_POLY if crc & 1 else 0)
+            tab[0][i] = crc
+        for i in range(256):
+            crc = tab[0][i]
+            for t in range(1, 8):
+                crc = (crc >> 8) ^ tab[0][crc & 0xFF]
+                tab[t][i] = crc
+        _TABLES = tab
+    return _TABLES
+
+
+def crc32c(data, crc: int = 0) -> int:
+    """CRC32C of ``data`` (bytes-like), continuing from ``crc``.
+
+    ``crc32c(b) == crc32c(b[k:], crc32c(b[:k]))`` for any split, so
+    callers can stream large payloads chunk by chunk.
+    """
+    tab = _tables()
+    t0, t1, t2, t3, t4, t5, t6, t7 = tab
+    crc = (crc ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    mv = memoryview(data).cast("B")
+    n = len(mv)
+    end8 = n - (n % 8)
+    if end8:
+        for (word,) in struct.iter_unpack("<Q", mv[:end8]):
+            word ^= crc
+            crc = (
+                t7[word & 0xFF]
+                ^ t6[(word >> 8) & 0xFF]
+                ^ t5[(word >> 16) & 0xFF]
+                ^ t4[(word >> 24) & 0xFF]
+                ^ t3[(word >> 32) & 0xFF]
+                ^ t2[(word >> 40) & 0xFF]
+                ^ t1[(word >> 48) & 0xFF]
+                ^ t0[(word >> 56) & 0xFF]
+            )
+    for b in mv[end8:]:
+        crc = (crc >> 8) ^ t0[(crc ^ b) & 0xFF]
+    return crc ^ 0xFFFFFFFF

@@ -1,0 +1,80 @@
+"""Typed failures of the out-of-core layer.
+
+Follows the two established conventions: *input*-shaped problems (a
+malformed manifest, a shard set that does not match its source, an
+impossible memory budget) derive from
+:class:`~repro.formats.validate.ValidationError` and stay
+``ValueError``-catchable; *execution*-shaped problems (a shard read
+that keeps failing after bounded retries, a checkpoint store with no
+recoverable generation) derive from
+:class:`~repro.resilience.errors.ExecutionError` and stay
+``RuntimeError``-catchable.  The fuzz harness classifies the execution
+taxa as *contained* chaos outcomes: an injected ``io`` fault must
+surface as one of these, never as silently wrong bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..formats.validate import ValidationError
+from ..resilience.errors import ExecutionError
+
+__all__ = [
+    "ManifestError",
+    "MemoryBudgetError",
+    "ShardChecksumError",
+    "ShardIOError",
+    "CheckpointError",
+]
+
+
+class ManifestError(ValidationError):
+    """The shard manifest is missing, malformed, the wrong schema
+    version, or inconsistent with the shard files it describes."""
+
+
+class MemoryBudgetError(ValidationError):
+    """The configured memory budget cannot hold even one shard; the
+    shard set must be re-ingested with smaller shards (or the budget
+    raised)."""
+
+
+class ShardChecksumError(ExecutionError):
+    """A shard file's bytes do not match the manifest (wrong length or
+    CRC32C mismatch) — torn write, bit rot, or an injected
+    ``checksum_flip`` fault. Retried internally; escalates to
+    :class:`ShardIOError` when retries and re-ingest are exhausted."""
+
+    def __init__(self, index: int, detail: str):
+        self.index = index
+        self.detail = detail
+        super().__init__(f"shard {index}: {detail}")
+
+    def __reduce__(self):
+        return (type(self), (self.index, self.detail))
+
+
+class ShardIOError(ExecutionError):
+    """Loading one shard failed permanently: every bounded retry (and,
+    when a source is on record, the re-ingest fallback) was exhausted.
+    Carries the last underlying cause."""
+
+    def __init__(self, index: int, attempts: int,
+                 cause: Optional[BaseException] = None):
+        self.index = index
+        self.attempts = attempts
+        self.cause = cause
+        why = f": {type(cause).__name__}: {cause}" if cause else ""
+        super().__init__(
+            f"shard {index} unreadable after {attempts} attempt(s){why}"
+        )
+
+    def __reduce__(self):
+        # The cause may be unpicklable; keep the typed envelope.
+        return (type(self), (self.index, self.attempts, None))
+
+
+class CheckpointError(ExecutionError):
+    """No checkpoint generation in the store could be read back
+    validly (or a write failed unrecoverably)."""

@@ -24,7 +24,7 @@ recovery) and :mod:`repro.solvers` (breakdown diagnoses) — and records
 DESIGN.md §4f for the failure model.
 """
 
-from .chaos import NO_FAULT, ChaosPlan, FaultSpec
+from .chaos import IO_FAULT_KINDS, NO_FAULT, ChaosPlan, FaultSpec
 from .errors import (
     BatchExecutionError,
     ChaosInjectedError,
@@ -40,6 +40,7 @@ __all__ = [
     "ChaosPlan",
     "FaultSpec",
     "NO_FAULT",
+    "IO_FAULT_KINDS",
     "ExecutionError",
     "TaskFailure",
     "BatchExecutionError",

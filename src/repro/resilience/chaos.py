@@ -31,12 +31,20 @@ from typing import Callable, Mapping, Optional
 
 from .errors import ChaosInjectedError
 
-__all__ = ["FaultSpec", "ChaosPlan", "NO_FAULT"]
+__all__ = ["FaultSpec", "ChaosPlan", "NO_FAULT", "IO_FAULT_KINDS"]
 
 #: Mixing constants: distinct odd multipliers keep the per-coordinate
-#: streams and the per-batch shuffle stream independent.
+#: streams, the per-batch shuffle stream and the io-fault stream
+#: independent.
 _TASK_MIX = (1_000_003, 8_191)
 _ORDER_MIX = 514_229
+_IO_MIX = 28_657
+
+#: Disk-fault kinds the out-of-core layer injects (see
+#: :meth:`ChaosPlan.io_fault_for`): a failed ``read()`` (OSError), a
+#: torn/truncated write discovered on the next read, and a flipped
+#: byte that only the CRC32C check can catch.
+IO_FAULT_KINDS = ("read_error", "torn_write", "checksum_flip")
 
 
 @dataclass(frozen=True)
@@ -71,6 +79,14 @@ class ChaosPlan:
         Explicit overrides — tests use this to aim a single fault at an
         exact task; coordinates not present fall back to the seeded
         draw.
+    p_io : float
+        Per-``(index, attempt)`` probability of an injected disk fault
+        in the out-of-core layer (see :meth:`io_fault_for`); the kind
+        is drawn uniformly from :data:`IO_FAULT_KINDS`.
+    io_faults : mapping ``(index, attempt) -> str``, optional
+        Explicit io-fault overrides (a kind from
+        :data:`IO_FAULT_KINDS`, or ``"none"``); tests use this to aim,
+        e.g., a torn write at one exact checkpoint generation.
     """
 
     def __init__(
@@ -82,6 +98,8 @@ class ChaosPlan:
         max_delay_ms: float = 0.5,
         reorder: bool = True,
         faults: Optional[Mapping[tuple[int, int], FaultSpec]] = None,
+        p_io: float = 0.0,
+        io_faults: Optional[Mapping[tuple[int, int], str]] = None,
     ):
         if not (0.0 <= p_raise <= 1.0 and 0.0 <= p_delay <= 1.0):
             raise ValueError("fault probabilities must lie in [0, 1]")
@@ -91,12 +109,26 @@ class ChaosPlan:
             )
         if max_delay_ms < 0:
             raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if not 0.0 <= p_io <= 1.0:
+            raise ValueError(f"p_io must lie in [0, 1], got {p_io}")
+        if io_faults:
+            bad = {
+                k for k in io_faults.values()
+                if k not in IO_FAULT_KINDS and k != "none"
+            }
+            if bad:
+                raise ValueError(
+                    f"unknown io fault kind(s) {sorted(bad)}; expected "
+                    f"one of {IO_FAULT_KINDS} or 'none'"
+                )
         self.seed = int(seed)
         self.p_raise = float(p_raise)
         self.p_delay = float(p_delay)
         self.max_delay_ms = float(max_delay_ms)
         self.reorder = bool(reorder)
         self.faults = dict(faults) if faults else {}
+        self.p_io = float(p_io)
+        self.io_faults = dict(io_faults) if io_faults else {}
 
     @property
     def exception_free(self) -> bool:
@@ -127,6 +159,30 @@ class ChaosPlan:
         if u < self.p_raise + self.p_delay:
             return FaultSpec("delay", rng.uniform(0.0, self.max_delay_ms) / 1e3)
         return NO_FAULT
+
+    def io_fault_for(self, index: int, attempt: int) -> str:
+        """Disk fault injected at the ``attempt``-th access of stored
+        object ``index`` (a shard number or checkpoint generation) —
+        ``"none"`` or a kind from :data:`IO_FAULT_KINDS`, a pure
+        function of the plan.
+
+        Faults are keyed by *attempt* so transient failures exist by
+        construction: a read that fails at attempt 0 may succeed at
+        attempt 1, which is exactly what the bounded-retry containment
+        must handle. A failing run replays from the three integers,
+        same as the task faults.
+        """
+        explicit = self.io_faults.get((index, attempt))
+        if explicit is not None:
+            return explicit
+        if self.p_io <= 0.0:
+            return "none"
+        rng = random.Random(
+            self.seed * _TASK_MIX[0] + index * _IO_MIX + attempt
+        )
+        if rng.random() < self.p_io:
+            return IO_FAULT_KINDS[rng.randrange(len(IO_FAULT_KINDS))]
+        return "none"
 
     def submission_order(self, batch: int, n_tasks: int) -> list[int]:
         """Task submission permutation for one batch (identity when
@@ -160,5 +216,6 @@ class ChaosPlan:
         return (
             f"<ChaosPlan seed={self.seed} p_raise={self.p_raise} "
             f"p_delay={self.p_delay} max_delay_ms={self.max_delay_ms} "
-            f"reorder={self.reorder} overrides={len(self.faults)}>"
+            f"reorder={self.reorder} p_io={self.p_io} "
+            f"overrides={len(self.faults)}+{len(self.io_faults)}io>"
         )

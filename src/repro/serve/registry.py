@@ -39,10 +39,63 @@ from ..parallel.spmv import ParallelSpMV, ParallelSymmetricSpMV
 from .errors import UnknownOperatorError
 
 __all__ = [
+    "StreamingCOOFingerprint",
     "matrix_fingerprint",
     "RegisteredOperator",
     "OperatorRegistry",
 ]
+
+#: Entries hashed per :meth:`StreamingCOOFingerprint.update` chunk when
+#: fingerprinting an in-memory matrix (bounds the transient dtype-
+#: normalization copies to O(chunk) instead of O(nnz)).
+FINGERPRINT_CHUNK = 1 << 16
+
+
+class StreamingCOOFingerprint:
+    """Incremental SHA-256 fingerprint over canonical COO triplets.
+
+    Feed entries with :meth:`update` in canonical (row-major sorted)
+    order, in chunks of any size — the digest is invariant to the
+    chunking because rows, cols and values are hashed as three
+    independent streams (dtype-normalized to int64/int64/float64) that
+    are combined, together with the shape, only at :meth:`hexdigest`.
+
+    Two producers share this helper: :func:`matrix_fingerprint` (whole
+    in-memory matrices, chunked to keep peak extra memory at O(chunk))
+    and the out-of-core ingest (:mod:`repro.ooc.shards`), which streams
+    a matrix it never fully materializes and stamps the resulting key
+    into the shard manifest — tying a shard set to its source matrix
+    with the same content-addressing scheme the serving registry uses.
+    """
+
+    def __init__(self, shape: tuple[int, int]):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._rows = hashlib.sha256()
+        self._cols = hashlib.sha256()
+        self._vals = hashlib.sha256()
+        self.n_entries = 0
+
+    def update(self, rows, cols, vals) -> None:
+        """Hash one chunk of canonical-order entries."""
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        vals = np.ascontiguousarray(vals, dtype=np.float64)
+        if not (rows.size == cols.size == vals.size):
+            raise ValueError("fingerprint chunk arrays differ in length")
+        self._rows.update(rows)
+        self._cols.update(cols)
+        self._vals.update(vals)
+        self.n_entries += rows.size
+
+    def hexdigest(self) -> str:
+        """The 16-hex-digit content key (callable repeatedly; more
+        :meth:`update` calls afterwards keep extending the streams)."""
+        h = hashlib.sha256()
+        h.update(np.asarray(self.shape, dtype=np.int64).tobytes())
+        h.update(self._rows.digest())
+        h.update(self._cols.digest())
+        h.update(self._vals.digest())
+        return h.hexdigest()[:16]
 
 
 def matrix_fingerprint(matrix) -> str:
@@ -51,15 +104,16 @@ def matrix_fingerprint(matrix) -> str:
     digits. Accepts a :class:`COOMatrix` or any format instance
     (converted via ``to_coo()``); two structurally identical matrices
     fingerprint identically regardless of storage format or triplet
-    order."""
+    order. Hashing streams in bounded chunks through
+    :class:`StreamingCOOFingerprint` — peak extra memory is O(chunk),
+    not a second O(nnz) concatenated byte buffer."""
     coo = matrix if isinstance(matrix, COOMatrix) else matrix.to_coo()
     coo = coo.canonicalize()
-    h = hashlib.sha256()
-    h.update(np.asarray(coo.shape, dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(coo.rows, dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(coo.cols, dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(coo.vals, dtype=np.float64).tobytes())
-    return h.hexdigest()[:16]
+    fp = StreamingCOOFingerprint(coo.shape)
+    for lo in range(0, coo.nnz, FINGERPRINT_CHUNK):
+        hi = min(coo.nnz, lo + FINGERPRINT_CHUNK)
+        fp.update(coo.rows[lo:hi], coo.cols[lo:hi], coo.vals[lo:hi])
+    return fp.hexdigest()
 
 
 class RegisteredOperator:

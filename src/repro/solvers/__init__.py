@@ -5,7 +5,7 @@ stagnation) and report faults as typed :class:`Breakdown` diagnoses
 instead of iterating to ``max_iter``."""
 
 from .block_cg import BlockCGResult, block_conjugate_gradient
-from .cg import CGResult, bind_operator, conjugate_gradient
+from .cg import CGResult, CGState, bind_operator, conjugate_gradient
 from .guards import BREAKDOWN_KINDS, Breakdown, BreakdownDetector
 from .pcg import jacobi_preconditioner, preconditioned_conjugate_gradient
 from .vecops import OpCounter, VectorOps
@@ -15,6 +15,7 @@ __all__ = [
     "BreakdownDetector",
     "BREAKDOWN_KINDS",
     "CGResult",
+    "CGState",
     "conjugate_gradient",
     "bind_operator",
     "BlockCGResult",

@@ -17,7 +17,14 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..obs.tracer import Tracer, active as _active_tracer, warn as _obs_warn
-from .cg import CGResult, _note_breakdown, _note_iteration, bind_operator
+from .cg import (
+    CGResult,
+    CGState,
+    _note_breakdown,
+    _note_iteration,
+    _restore_state,
+    bind_operator,
+)
 from .guards import DEFAULT_STAGNATION_WINDOW, Breakdown, BreakdownDetector
 from .vecops import OpCounter, VectorOps
 
@@ -52,13 +59,19 @@ def preconditioned_conjugate_gradient(
     trace: Optional[Tracer] = None,
     restart: bool = False,
     stagnation_window: int = DEFAULT_STAGNATION_WINDOW,
+    checkpoint: Optional[Callable[[CGState], None]] = None,
+    checkpoint_every: int = 0,
+    resume_from: Optional[CGState] = None,
 ) -> CGResult:
     """Solve ``A x = b`` with left-preconditioned CG.
 
     Same contract as :func:`repro.solvers.cg.conjugate_gradient` —
     including the breakdown guards (non-finite scalars, non-positive
-    curvature, stagnation → ``CGResult.breakdown``) and the
-    ``restart=True`` restart-once policy; the preconditioner
+    curvature, stagnation → ``CGResult.breakdown``), the
+    ``restart=True`` restart-once policy, and the
+    ``checkpoint``/``resume_from`` hooks (the persisted ``rs`` scalar
+    carries ``rᵀz`` here; states are tagged ``"pcg"`` and cannot be
+    resumed by the plain-CG solver, or vice versa); the preconditioner
     application is counted as one vector op per iteration (3n element
     traffic, n flops for Jacobi) and telemetered under its own
     "cg.precond" span.
@@ -79,19 +92,10 @@ def preconditioned_conjugate_gradient(
         else np.array(x0, dtype=np.float64)
     )
     n_spmv = 0
-    if x0 is None or not np.any(x):
-        r = b.copy()
-        ops.counter.add(0.0, 16.0 * n)
-    else:
-        with tracer.span("cg.spmv"):
-            Ax = spmv(x)
-        r = b - Ax
-        n_spmv += 1
-        ops.counter.add(float(n), 24.0 * n)
-
     b_norm = float(np.linalg.norm(b))
     threshold = tol * (b_norm if b_norm > 0 else 1.0)
     detector = BreakdownDetector(stagnation_window)
+    res_norm = float("nan")
 
     def reseed():
         """(z, rz) from the current residual (initial seed + restarts)."""
@@ -107,24 +111,43 @@ def preconditioned_conjugate_gradient(
             breakdown=breakdown,
         )
 
-    z, rz = reseed()
-    res_norm = float(np.linalg.norm(r))
-    bd = detector.check_scalar(res_norm, 0, "initial residual norm")
-    if bd is None:
-        bd = detector.check_scalar(float(rz), 0, "initial rᵀz")
-    if bd is not None:
-        _note_breakdown(tracer, bd)
-        return result(False, 0, bd)
-    if res_norm <= threshold:
-        return result(True, 0)
+    if resume_from is not None:
+        x, r, p, rz, res_norm = _restore_state(
+            resume_from, "pcg", n, detector
+        )
+        start_it = resume_from.iteration + 1
+        if res_norm <= threshold:
+            return result(True, resume_from.iteration)
+    else:
+        start_it = 1
+        if x0 is None or not np.any(x):
+            r = b.copy()
+            ops.counter.add(0.0, 16.0 * n)
+        else:
+            with tracer.span("cg.spmv"):
+                Ax = spmv(x)
+            r = b - Ax
+            n_spmv += 1
+            ops.counter.add(float(n), 24.0 * n)
 
-    p = z.copy()
-    ops.counter.add(0.0, 16.0 * n)
+        z, rz = reseed()
+        res_norm = float(np.linalg.norm(r))
+        bd = detector.check_scalar(res_norm, 0, "initial residual norm")
+        if bd is None:
+            bd = detector.check_scalar(float(rz), 0, "initial rᵀz")
+        if bd is not None:
+            _note_breakdown(tracer, bd)
+            return result(False, 0, bd)
+        if res_norm <= threshold:
+            return result(True, 0)
+
+        p = z.copy()
+        ops.counter.add(0.0, 16.0 * n)
     converged = False
     breakdown: Optional[Breakdown] = None
     restarted = False
-    it = 0
-    for it in range(1, max_iter + 1):
+    it = start_it - 1
+    for it in range(start_it, max_iter + 1):
         iter_t0 = perf_counter_ns() if tracer.enabled else 0
         with tracer.span("cg.spmv"):
             q = spmv(p)
@@ -186,6 +209,15 @@ def preconditioned_conjugate_gradient(
             beta = rz_new / rz
             ops.xpay(z, beta, p)
         rz = rz_new
+        if checkpoint is not None and checkpoint_every > 0 and (
+            it % checkpoint_every == 0
+        ):
+            with tracer.span("cg.checkpoint"):
+                checkpoint(CGState(
+                    "pcg", it, x, r, p, rz, res_norm,
+                    detector.best_residual,
+                    detector.iters_since_improvement,
+                ))
 
     if breakdown is not None:
         _note_breakdown(tracer, breakdown)
